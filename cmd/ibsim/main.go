@@ -1,0 +1,38 @@
+// Command ibsim exercises the InfiniBand simulator at the raw verbs level:
+// the testbed baseline numbers of §4.2.1 (5.9 µs latency, 870 MB/s
+// bandwidth) and the RDMA write-vs-read bandwidth comparison of Figure 15.
+//
+// Usage:
+//
+//	ibsim                 # latency + write/read bandwidth sweep
+//	ibsim -op read        # read-only sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/ib"
+)
+
+func main() {
+	op := flag.String("op", "both", "rdma operation: write, read or both")
+	flag.Parse()
+
+	fmt.Printf("raw RDMA write latency: %.1f µs (paper testbed: 5.9 µs)\n\n", bench.VerbsLatency(nil))
+
+	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	var series []bench.Series
+	if *op == "write" || *op == "both" {
+		series = append(series, bench.VerbsBandwidth(ib.OpRDMAWrite, sizes, nil))
+	}
+	if *op == "read" || *op == "both" {
+		series = append(series, bench.VerbsBandwidth(ib.OpRDMARead, sizes, nil))
+	}
+	fmt.Print(bench.FormatFigure(bench.Figure{
+		ID: "verbs", Title: "Raw InfiniBand bandwidth (Figure 15)",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: series,
+	}))
+}

@@ -1,0 +1,48 @@
+// Command mpich2ib-bench regenerates the paper's microbenchmark figures
+// (Figures 4–15) and the design-choice ablations over the simulated
+// testbed.
+//
+// Usage:
+//
+//	mpich2ib-bench -fig all        # every microbenchmark figure
+//	mpich2ib-bench -fig fig11      # one figure
+//	mpich2ib-bench -fig ablations  # the ablation suite
+//	mpich2ib-bench -list           # available figure ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id (fig4..fig15, baseline, headline, all, ablations)")
+	list := flag.Bool("list", false, "list available figures")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("baseline headline fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 ablations all")
+		return
+	}
+
+	switch *fig {
+	case "all":
+		for _, f := range bench.MicroFigures() {
+			fmt.Println(bench.FormatFigure(f))
+		}
+	case "ablations":
+		for _, f := range bench.Ablations() {
+			fmt.Println(bench.FormatFigure(f))
+		}
+	default:
+		f, err := bench.FigureByID(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatFigure(f))
+	}
+}

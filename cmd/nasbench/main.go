@@ -1,0 +1,71 @@
+// Command nasbench regenerates the paper's application-level evaluation
+// (Figures 16 and 17): the NAS Parallel Benchmarks over the three compared
+// transports — pipelining, RDMA-Channel zero-copy, and the direct CH3
+// zero-copy design.
+//
+// Usage:
+//
+//	nasbench -class A -np 4          # Figure 16
+//	nasbench -class B -np 8          # Figure 17
+//	nasbench -class S -np 4          # smoke-scale sweep
+//	nasbench -bench cg -class A -np 4 -transport zerocopy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/nas"
+)
+
+func main() {
+	class := flag.String("class", "A", "problem class: S, A or B")
+	np := flag.Int("np", 4, "number of ranks")
+	benchName := flag.String("bench", "", "single benchmark (bt cg ep ft is lu mg sp); empty = full figure")
+	transport := flag.String("transport", "", "single transport (pipeline, zerocopy, ch3); empty = all three")
+	flag.Parse()
+
+	cl := nas.Class((*class)[0])
+	if cl != nas.ClassS && cl != nas.ClassA && cl != nas.ClassB {
+		fmt.Fprintln(os.Stderr, "nasbench: class must be S, A or B")
+		os.Exit(1)
+	}
+
+	if *benchName == "" {
+		id := "fig16"
+		if cl == nas.ClassB {
+			id = "fig17"
+		}
+		fr := nas.RunFigure(id, cl, *np)
+		fmt.Print(fr.Format())
+		return
+	}
+
+	trs := map[string]cluster.Transport{
+		"basic":     cluster.TransportBasic,
+		"piggyback": cluster.TransportPiggyback,
+		"pipeline":  cluster.TransportPipeline,
+		"zerocopy":  cluster.TransportZeroCopy,
+		"ch3":       cluster.TransportCH3,
+	}
+	run := func(tr cluster.Transport) {
+		res := nas.Run(*benchName, cl, cluster.Config{NP: *np, Transport: tr})
+		fmt.Printf("%-22s %s\n", tr, res)
+	}
+	if *transport != "" {
+		tr, ok := trs[*transport]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nasbench: unknown transport %q\n", *transport)
+			os.Exit(1)
+		}
+		run(tr)
+		return
+	}
+	for _, tr := range []cluster.Transport{
+		cluster.TransportPipeline, cluster.TransportZeroCopy, cluster.TransportCH3,
+	} {
+		run(tr)
+	}
+}

@@ -1,0 +1,91 @@
+// Designlab compares all five transport designs of the paper side by side
+// on the same microbenchmarks: the evolution from the 18.6 µs / 230 MB/s
+// basic design to the 7.6 µs / 857 MB/s zero-copy design, plus the direct
+// CH3 comparison of §6 — the whole storyline of the paper in one table.
+//
+//	go run ./examples/designlab
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func measure(tr cluster.Transport, size, iters int) (latUs float64) {
+	c := cluster.New(cluster.Config{NP: 2, Transport: tr})
+	c.Launch(func(comm *mpi.Comm) {
+		buf, _ := comm.Alloc(size)
+		if comm.Rank() == 0 {
+			comm.Send(buf, 1, 0)
+			comm.Recv(buf, 1, 0)
+			start := comm.Wtime()
+			for i := 0; i < iters; i++ {
+				comm.Send(buf, 1, 0)
+				comm.Recv(buf, 1, 0)
+			}
+			latUs = (comm.Wtime() - start) / float64(2*iters) * 1e6
+		} else {
+			for i := 0; i < iters+1; i++ {
+				comm.Recv(buf, 0, 0)
+				comm.Send(buf, 0, 0)
+			}
+		}
+	})
+	return latUs
+}
+
+func bandwidth(tr cluster.Transport, size, count int) float64 {
+	c := cluster.New(cluster.Config{NP: 2, Transport: tr})
+	var bw float64
+	c.Launch(func(comm *mpi.Comm) {
+		buf, _ := comm.Alloc(size)
+		ack, _ := comm.Alloc(4)
+		if comm.Rank() == 0 {
+			comm.Send(buf, 1, 0)
+			comm.Recv(ack, 1, 1) // warmup
+			start := comm.Wtime()
+			for i := 0; i < count; i++ {
+				comm.Send(buf, 1, 0)
+			}
+			comm.Recv(ack, 1, 1)
+			bw = float64(size*count) / ((comm.Wtime() - start) * 1e6)
+		} else {
+			comm.Recv(buf, 0, 0)
+			comm.Send(ack, 0, 1)
+			for i := 0; i < count; i++ {
+				comm.Recv(buf, 0, 0)
+			}
+			comm.Send(ack, 0, 1)
+		}
+	})
+	return bw
+}
+
+func main() {
+	transports := []cluster.Transport{
+		cluster.TransportBasic,
+		cluster.TransportPiggyback,
+		cluster.TransportPipeline,
+		cluster.TransportZeroCopy,
+		cluster.TransportCH3,
+	}
+	fmt.Println("design evolution (§4–§6), simulated testbed:")
+	fmt.Printf("  %-24s %14s %16s\n", "design", "4B latency µs", "1MB bandwidth MB/s")
+	for _, tr := range transports {
+		lat := measure(tr, 4, 20)
+		size := 1 << 20
+		if tr == cluster.TransportBasic {
+			size = 48 << 10 // the basic ring holds 64 KB; the paper stops at 64 KB
+		}
+		bw := bandwidth(tr, size, 8)
+		note := ""
+		if tr == cluster.TransportBasic {
+			note = "  (bandwidth at 48KB)"
+		}
+		fmt.Printf("  %-24s %14.2f %16.1f%s\n", tr, lat, bw, note)
+	}
+	fmt.Println("\npaper reference points: basic 18.6 µs / 230 MB/s,")
+	fmt.Println("piggyback 7.4 µs, zero-copy 7.6 µs / 857 MB/s")
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a two-node simulated InfiniBand cluster, run an MPI
+// ping-pong over the paper's optimized zero-copy RDMA Channel design, and
+// print the measured latency and bandwidth — the headline numbers of the
+// paper (7.6 µs, 857 MB/s) regenerated in a few lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func main() {
+	c := cluster.New(cluster.Config{
+		NP:        2,
+		Transport: cluster.TransportZeroCopy, // the paper's final design
+	})
+
+	var latency, bandwidth float64
+	c.Launch(func(comm *mpi.Comm) {
+		small, _ := comm.Alloc(4)
+		big, bigBytes := comm.Alloc(1 << 20)
+		for i := range bigBytes {
+			bigBytes[i] = byte(i)
+		}
+
+		const pingPongs = 50
+		const windows = 16
+		switch comm.Rank() {
+		case 0:
+			// Latency: 4-byte ping-pong, one-way time.
+			comm.Send(small, 1, 0)
+			comm.Recv(small, 1, 0) // warmup round
+			start := comm.Wtime()
+			for i := 0; i < pingPongs; i++ {
+				comm.Send(small, 1, 0)
+				comm.Recv(small, 1, 0)
+			}
+			latency = (comm.Wtime() - start) / (2 * pingPongs) * 1e6
+
+			// Bandwidth: stream 1 MB messages, then collect the ack.
+			start = comm.Wtime()
+			for i := 0; i < windows; i++ {
+				comm.Send(big, 1, 1)
+			}
+			comm.Recv(small, 1, 2)
+			bandwidth = float64(windows) * (1 << 20) / ((comm.Wtime() - start) * 1e6)
+		case 1:
+			for i := 0; i < pingPongs+1; i++ {
+				comm.Recv(small, 0, 0)
+				comm.Send(small, 0, 0)
+			}
+			for i := 0; i < windows; i++ {
+				comm.Recv(big, 0, 1)
+			}
+			comm.Send(small, 0, 2)
+		}
+	})
+
+	fmt.Printf("zero-copy RDMA Channel design over simulated InfiniBand\n")
+	fmt.Printf("  4-byte latency : %6.2f µs   (paper: 7.6 µs)\n", latency)
+	fmt.Printf("  1 MB bandwidth : %6.1f MB/s (paper: 857 MB/s)\n", bandwidth)
+}

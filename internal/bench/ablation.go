@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/rdmachan"
+)
+
+// Ablations probe the design choices the paper calls out but does not
+// sweep explicitly; DESIGN.md lists each with its motivating section.
+
+// AblationTailThreshold sweeps the delayed tail-update (credit batch)
+// threshold of §4.3 for one-way 16 KB streaming.
+func AblationTailThreshold() Figure {
+	f := Figure{
+		ID: "ablation-tail", Title: "Delayed tail updates: credit batch sweep (16 KB messages)",
+		XLabel: "credit batch (chunks)", YLabel: "bandwidth (MB/s)",
+	}
+	s := Series{Name: "pipeline 16K"}
+	for _, batch := range []int{1, 2, 4, 6} {
+		bw := MPIBandwidth(Options{
+			Transport: cluster.TransportPipeline,
+			Chan:      rdmachan.Config{CreditBatch: batch},
+		}, []int{16 << 10})
+		s.Points = append(s.Points, Point{Size: batch, Value: bw.Points[0].Value})
+	}
+	f.Series = []Series{s}
+	return f
+}
+
+// AblationRegCache compares zero-copy bandwidth with and without the
+// pin-down cache (§5: registration/deregistration are expensive).
+func AblationRegCache() Figure {
+	sizes := sizesPow4(16<<10, 1<<20)
+	with := MPIBandwidth(Options{Transport: cluster.TransportZeroCopy}, sizes)
+	with.Name = "with cache"
+	without := MPIBandwidth(Options{
+		Transport: cluster.TransportZeroCopy,
+		Chan:      rdmachan.Config{RegCacheBytes: -1},
+	}, sizes)
+	without.Name = "no cache"
+	return Figure{
+		ID: "ablation-regcache", Title: "Zero-copy with and without the registration cache",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: []Series{with, without},
+	}
+}
+
+// AblationZCThreshold sweeps the eager→zero-copy switch point.
+func AblationZCThreshold() Figure {
+	f := Figure{
+		ID: "ablation-zcthreshold", Title: "Zero-copy threshold sweep",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+	}
+	sizes := sizesPow4(4<<10, 256<<10)
+	for _, th := range []int{8 << 10, 16 << 10, 32 << 10, 64 << 10} {
+		s := MPIBandwidth(Options{
+			Transport: cluster.TransportZeroCopy,
+			Chan:      rdmachan.Config{ZCThreshold: th},
+		}, sizes)
+		s.Name = "thresh " + fmtSize(th)
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// AblationOutstandingReads raises the HCA's outstanding-RDMA-read limit,
+// showing the mid-size read bandwidth gap of Figure 15 is an IRD effect.
+func AblationOutstandingReads() Figure {
+	f := Figure{
+		ID: "ablation-reads", Title: "Zero-copy bandwidth vs outstanding RDMA read limit",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+	}
+	sizes := sizesPow4(16<<10, 1<<20)
+	for _, ird := range []int{1, 2, 4} {
+		prm := model.Testbed()
+		prm.MaxRDMAReads = ird
+		s := MPIBandwidth(Options{Transport: cluster.TransportZeroCopy, Params: prm}, sizes)
+		s.Name = "IRD " + fmtSize(ird)
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// AblationRingSize sweeps the shared ring size for the pipeline design
+// (§4.4's flow-control stalls vs buffer memory trade).
+func AblationRingSize() Figure {
+	f := Figure{
+		ID: "ablation-ring", Title: "Pipeline bandwidth vs shared ring size (1 MB messages)",
+		XLabel: "ring size (bytes)", YLabel: "bandwidth (MB/s)",
+	}
+	s := Series{Name: "pipeline 1M"}
+	for _, ring := range []int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10} {
+		bw := MPIBandwidth(Options{
+			Transport: cluster.TransportPipeline,
+			Chan:      rdmachan.Config{RingSize: ring},
+		}, []int{1 << 20})
+		s.Points = append(s.Points, Point{Size: ring, Value: bw.Points[0].Value})
+	}
+	f.Series = []Series{s}
+	return f
+}
+
+// Ablations returns every ablation figure.
+func Ablations() []Figure {
+	return []Figure{
+		AblationTailThreshold(),
+		AblationRegCache(),
+		AblationZCThreshold(),
+		AblationOutstandingReads(),
+		AblationRingSize(),
+	}
+}

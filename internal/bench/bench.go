@@ -1,0 +1,350 @@
+// Package bench is the measurement harness behind every table and figure
+// of the paper's evaluation (§4–§7). It runs the paper's microbenchmarks —
+// ping-pong latency and window-based streaming bandwidth — at the MPI
+// level over any transport, and raw verbs-level benchmarks against the
+// InfiniBand simulator, producing the same data series the figures plot.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/rdmachan"
+)
+
+// Point is one x/y sample of a series.
+type Point struct {
+	Size  int
+	Value float64
+}
+
+// Series is a named curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced table/figure: the same rows/series the paper
+// plots.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Paper-style size axes (powers of four, as on the figures' x-axes).
+func sizesPow4(lo, hi int) []int {
+	var out []int
+	for s := lo; s <= hi; s *= 4 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// windowFor bounds the per-window message count so large-message sweeps
+// stay tractable while small messages amortize startup, as in the paper's
+// "predefined window size W" test.
+func windowFor(size int) int {
+	w := (4 << 20) / size
+	if w > 64 {
+		w = 64
+	}
+	if w < 8 {
+		w = 8
+	}
+	return w
+}
+
+// Options configures a measurement run.
+type Options struct {
+	Transport    cluster.Transport
+	Chan         rdmachan.Config
+	CH3Threshold int
+	Params       *model.Params
+}
+
+func (o Options) cluster(np int) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		NP:           np,
+		Transport:    o.Transport,
+		Chan:         o.Chan,
+		CH3Threshold: o.CH3Threshold,
+		Params:       o.Params,
+	})
+}
+
+// MPILatency measures one-way MPI latency (round-trip/2 of a ping-pong,
+// §4.2.1) in microseconds for each message size.
+func MPILatency(o Options, sizes []int, iters int) Series {
+	s := Series{Name: o.Transport.String()}
+	for _, size := range sizes {
+		c := o.cluster(2)
+		var oneWay float64
+		_ = c
+		c.Launch(func(comm *mpi.Comm) {
+			buf, _ := comm.Alloc(maxInt(size, 1))
+			rbuf, _ := comm.Alloc(maxInt(size, 1))
+			sb := mpi.Slice(buf, 0, size)
+			rb := mpi.Slice(rbuf, 0, size)
+			if comm.Rank() == 0 {
+				comm.Send(sb, 1, 0)
+				comm.Recv(rb, 1, 0) // warmup
+				start := comm.Wtime()
+				for i := 0; i < iters; i++ {
+					comm.Send(sb, 1, 0)
+					comm.Recv(rb, 1, 0)
+				}
+				oneWay = (comm.Wtime() - start) / float64(2*iters) * 1e6
+			} else {
+				for i := 0; i < iters+1; i++ {
+					comm.Recv(rb, 0, 0)
+					comm.Send(sb, 0, 0)
+				}
+			}
+		})
+		c.Close()
+		s.Points = append(s.Points, Point{Size: size, Value: oneWay})
+	}
+	return s
+}
+
+// MPIBandwidth measures streaming bandwidth (MB/s, MB = 10^6 bytes) with
+// the paper's window test: W back-to-back messages, then a wait, repeated.
+func MPIBandwidth(o Options, sizes []int) Series {
+	s := Series{Name: o.Transport.String()}
+	for _, size := range sizes {
+		w := windowFor(size)
+		const windows = 3
+		c := o.cluster(2)
+		var rate float64
+		_ = c
+		c.Launch(func(comm *mpi.Comm) {
+			buf, _ := comm.Alloc(size)
+			ack, _ := comm.Alloc(4)
+			if comm.Rank() == 0 {
+				// Warmup window.
+				runWindow(comm, buf, ack, w/2+1, true)
+				start := comm.Wtime()
+				for k := 0; k < windows; k++ {
+					runWindow(comm, buf, ack, w, true)
+				}
+				elapsed := comm.Wtime() - start
+				rate = float64(size*w*windows) / (elapsed * 1e6)
+			} else {
+				runWindow(comm, buf, ack, w/2+1, false)
+				for k := 0; k < windows; k++ {
+					runWindow(comm, buf, ack, w, false)
+				}
+			}
+		})
+		c.Close()
+		s.Points = append(s.Points, Point{Size: size, Value: rate})
+	}
+	return s
+}
+
+func runWindow(comm *mpi.Comm, buf, ack mpi.Buffer, w int, sender bool) {
+	if sender {
+		reqs := make([]*mpi.Request, w)
+		for i := 0; i < w; i++ {
+			reqs[i] = comm.Isend(buf, 1, 1)
+		}
+		comm.WaitAll(reqs...)
+		comm.Recv(ack, 1, 2)
+		return
+	}
+	reqs := make([]*mpi.Request, w)
+	for i := 0; i < w; i++ {
+		reqs[i] = comm.Irecv(buf, 0, 1)
+	}
+	comm.WaitAll(reqs...)
+	comm.Send(ack, 0, 2)
+}
+
+// VerbsBandwidth measures raw RDMA bandwidth at the verbs level (Figure 15
+// and the paper's 870 MB/s baseline).
+func VerbsBandwidth(op ib.Opcode, sizes []int, prm *model.Params) Series {
+	name := "RDMA Write"
+	if op == ib.OpRDMARead {
+		name = "RDMA Read"
+	}
+	s := Series{Name: name}
+	for _, size := range sizes {
+		s.Points = append(s.Points, Point{Size: size, Value: verbsBW(op, size, windowFor(size), prm)})
+	}
+	return s
+}
+
+func verbsBW(op ib.Opcode, size, count int, prm *model.Params) float64 {
+	if prm == nil {
+		prm = model.Testbed()
+	}
+	eng := des.NewEngine()
+	fab := ib.NewFabric(eng, prm)
+	n0, n1 := model.NewNode(0, prm), model.NewNode(1, prm)
+	h0, h1 := fab.NewHCA(n0), fab.NewHCA(n1)
+	pd0, pd1 := h0.AllocPD(), h1.AllocPD()
+	cq0 := h0.CreateCQ()
+	qp0 := h0.CreateQP(pd0, cq0, h0.CreateCQ())
+	qp1 := h1.CreateQP(pd1, h1.CreateCQ(), h1.CreateCQ())
+	if err := ib.Connect(qp0, qp1); err != nil {
+		panic(err)
+	}
+	var rate float64
+	eng.Spawn("driver", func(p *des.Proc) {
+		lva, _ := n0.Mem.Alloc(size)
+		rva, _ := n1.Mem.Alloc(size)
+		acc := ib.AccessLocalWrite | ib.AccessRemoteWrite | ib.AccessRemoteRead
+		lmr, err := h0.RegisterMR(p, pd0, lva, size, acc)
+		if err != nil {
+			panic(err)
+		}
+		rmr, err := h1.RegisterMR(p, pd1, rva, size, acc)
+		if err != nil {
+			panic(err)
+		}
+		post := func(signaled bool) {
+			qp0.PostSend(p, ib.SendWR{
+				Op: op, Signaled: signaled,
+				SGL:        []ib.SGE{{Addr: lva, Len: size, LKey: lmr.LKey()}},
+				RemoteAddr: rva, RKey: rmr.RKey(),
+			})
+		}
+		post(true) // warmup
+		cq0.Poll(p)
+		start := p.Now()
+		for i := 0; i < count; i++ {
+			post(true)
+		}
+		for i := 0; i < count; i++ {
+			cq0.Poll(p)
+		}
+		rate = float64(size*count) / (p.Now() - start).Micros()
+	})
+	eng.Run()
+	eng.Shutdown()
+	return rate
+}
+
+// VerbsLatency measures raw one-way small-message RDMA write latency
+// (the paper's 5.9 µs baseline), in microseconds.
+func VerbsLatency(prm *model.Params) float64 {
+	if prm == nil {
+		prm = model.Testbed()
+	}
+	eng := des.NewEngine()
+	fab := ib.NewFabric(eng, prm)
+	n0, n1 := model.NewNode(0, prm), model.NewNode(1, prm)
+	h0, h1 := fab.NewHCA(n0), fab.NewHCA(n1)
+	pd0, pd1 := h0.AllocPD(), h1.AllocPD()
+	qp0 := h0.CreateQP(pd0, h0.CreateCQ(), h0.CreateCQ())
+	qp1 := h1.CreateQP(pd1, h1.CreateCQ(), h1.CreateCQ())
+	if err := ib.Connect(qp0, qp1); err != nil {
+		panic(err)
+	}
+	var lat float64
+	const iters = 20
+	eng.Spawn("r0", func(p *des.Proc) {
+		lva, lb := n0.Mem.Alloc(64)
+		rva0, rb0 := n0.Mem.Alloc(64) // landing pad on node 0
+		_ = rva0
+		acc := ib.AccessLocalWrite | ib.AccessRemoteWrite
+		lmr, _ := h0.RegisterMR(p, pd0, lva, 64, acc)
+		pad0mr, _ := h0.RegisterMR(p, pd0, rva0, 64, acc)
+		// Exchange with r1 happens via shared Go state in this raw bench.
+		r1lva, r1lb := n1.Mem.Alloc(64)
+		r1pva, r1pb := n1.Mem.Alloc(64)
+		r1lmr, _ := h1.RegisterMR(p, pd1, r1lva, 64, acc)
+		r1pmr, _ := h1.RegisterMR(p, pd1, r1pva, 64, acc)
+		_ = r1lmr
+
+		eng.Spawn("r1", func(q *des.Proc) {
+			for i := 0; i < iters+1; i++ {
+				seq := byte(i + 1)
+				h1.WaitMemory(q, func() bool { return r1pb[63] == seq })
+				r1lb[63] = seq
+				qp1.PostSend(q, ib.SendWR{
+					Op:         ib.OpRDMAWrite,
+					SGL:        []ib.SGE{{Addr: r1lva, Len: 64, LKey: r1lmr.LKey()}},
+					RemoteAddr: rva0, RKey: pad0mr.RKey(),
+				})
+			}
+		})
+
+		pingpong := func(i int) {
+			seq := byte(i + 1)
+			lb[63] = seq
+			qp0.PostSend(p, ib.SendWR{
+				Op:         ib.OpRDMAWrite,
+				SGL:        []ib.SGE{{Addr: lva, Len: 64, LKey: lmr.LKey()}},
+				RemoteAddr: r1pva, RKey: r1pmr.RKey(),
+			})
+			h0.WaitMemory(p, func() bool { return rb0[63] == seq })
+		}
+		pingpong(0) // warmup
+		start := p.Now()
+		for i := 1; i <= iters; i++ {
+			pingpong(i)
+		}
+		lat = (p.Now() - start).Micros() / float64(2*iters)
+	})
+	eng.Run()
+	eng.Shutdown()
+	return lat
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatFigure renders a figure as an aligned text table, one row per
+// message size, one column per series — the rows behind the paper's plot.
+func FormatFigure(f Figure) string {
+	out := fmt.Sprintf("%s: %s\n", f.ID, f.Title)
+	out += fmt.Sprintf("  (%s vs %s)\n", f.YLabel, f.XLabel)
+	header := fmt.Sprintf("  %-10s", "size")
+	for _, s := range f.Series {
+		header += fmt.Sprintf("%16s", s.Name)
+	}
+	out += header + "\n"
+	rows := 0
+	longest := 0
+	for i, s := range f.Series {
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+			longest = i
+		}
+	}
+	for i := 0; i < rows; i++ {
+		row := fmt.Sprintf("  %-10s", fmtSize(f.Series[longest].Points[i].Size))
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				row += fmt.Sprintf("%16.1f", s.Points[i].Value)
+			} else {
+				row += fmt.Sprintf("%16s", "-")
+			}
+		}
+		out += row + "\n"
+	}
+	return out
+}
+
+func fmtSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ib"
+)
+
+func TestSizesPow4(t *testing.T) {
+	got := sizesPow4(4, 1<<20)
+	want := []int{4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	if len(got) != len(want) {
+		t.Fatalf("sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowFor(t *testing.T) {
+	if w := windowFor(4); w != 64 {
+		t.Errorf("windowFor(4) = %d, want 64 (cap)", w)
+	}
+	if w := windowFor(1 << 20); w != 8 {
+		t.Errorf("windowFor(1M) = %d, want 8 (floor)", w)
+	}
+	if w := windowFor(128 << 10); w != 32 {
+		t.Errorf("windowFor(128K) = %d, want 32", w)
+	}
+}
+
+func TestFmtSize(t *testing.T) {
+	cases := map[int]string{4: "4", 1 << 10: "1K", 16 << 10: "16K", 1 << 20: "1M", 1000: "1000"}
+	for n, want := range cases {
+		if got := fmtSize(n); got != want {
+			t.Errorf("fmtSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFormatFigureAlignsSeries(t *testing.T) {
+	f := Figure{
+		ID: "x", Title: "T", XLabel: "size", YLabel: "bw",
+		Series: []Series{
+			{Name: "short", Points: []Point{{Size: 4, Value: 1}}},
+			{Name: "long", Points: []Point{{Size: 4, Value: 2}, {Size: 16, Value: 3}}},
+		},
+	}
+	out := FormatFigure(f)
+	if !strings.Contains(out, "short") || !strings.Contains(out, "long") {
+		t.Fatalf("missing headers: %q", out)
+	}
+	// The short series pads with '-' on the longer row set.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing padding: %q", out)
+	}
+	if !strings.Contains(out, "16") {
+		t.Fatalf("row sizes should come from the longest series: %q", out)
+	}
+}
+
+func TestVerbsLatencyCalibrated(t *testing.T) {
+	lat := VerbsLatency(nil)
+	if lat < 5.5 || lat > 6.3 {
+		t.Fatalf("raw latency = %.2f, want ~5.9 µs", lat)
+	}
+}
+
+func TestVerbsBandwidthSeries(t *testing.T) {
+	s := VerbsBandwidth(ib.OpRDMAWrite, []int{1 << 20}, nil)
+	if s.Name != "RDMA Write" || len(s.Points) != 1 {
+		t.Fatalf("series = %+v", s)
+	}
+	if v := s.Points[0].Value; v < 840 || v > 875 {
+		t.Fatalf("1M write = %.1f, want ~870 MB/s", v)
+	}
+	r := VerbsBandwidth(ib.OpRDMARead, []int{16 << 10}, nil)
+	if r.Points[0].Value >= s.Points[0].Value {
+		t.Fatal("16K read should trail 1M write")
+	}
+}
+
+func TestMPILatencySmoke(t *testing.T) {
+	s := MPILatency(Options{Transport: cluster.TransportPiggyback}, []int{4}, 5)
+	if v := s.Points[0].Value; v < 6.8 || v > 8.4 {
+		t.Fatalf("piggyback 4B latency = %.2f, want ~7.4-7.6 µs", v)
+	}
+}
+
+func TestMPIBandwidthSmoke(t *testing.T) {
+	s := MPIBandwidth(Options{Transport: cluster.TransportZeroCopy}, []int{1 << 20})
+	if v := s.Points[0].Value; v < 800 || v > 875 {
+		t.Fatalf("zero-copy 1M bandwidth = %.1f, want ~840-857 MB/s", v)
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	if _, err := FigureByID("nope"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	f, err := FigureByID("baseline")
+	if err != nil || f.ID != "baseline" {
+		t.Fatalf("baseline: %v %v", f.ID, err)
+	}
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ib"
+	"repro/internal/rdmachan"
+)
+
+// Iteration counts; latency curves average over this many round trips.
+const latIters = 10
+
+// Fig4 reproduces Figure 4: MPI latency for the basic design, 4 B–16 KB.
+func Fig4() Figure {
+	return Figure{
+		ID: "fig4", Title: "MPI Latency for Basic Design",
+		XLabel: "message size (bytes)", YLabel: "time (µs)",
+		Series: []Series{
+			MPILatency(Options{Transport: cluster.TransportBasic}, sizesPow4(4, 16<<10), latIters),
+		},
+	}
+}
+
+// Fig5 reproduces Figure 5: MPI bandwidth for the basic design, 4 B–64 KB.
+func Fig5() Figure {
+	return Figure{
+		ID: "fig5", Title: "MPI Bandwidth for Basic Design",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: []Series{
+			MPIBandwidth(Options{Transport: cluster.TransportBasic}, sizesPow4(4, 64<<10)),
+		},
+	}
+}
+
+// Fig6 reproduces Figure 6: small-message latency, basic vs piggyback.
+func Fig6() Figure {
+	sizes := sizesPow4(4, 16<<10)
+	return Figure{
+		ID: "fig6", Title: "MPI Small-Message Latency with Piggybacking",
+		XLabel: "message size (bytes)", YLabel: "time (µs)",
+		Series: []Series{
+			MPILatency(Options{Transport: cluster.TransportBasic}, sizes, latIters),
+			MPILatency(Options{Transport: cluster.TransportPiggyback}, sizes, latIters),
+		},
+	}
+}
+
+// Fig7 reproduces Figure 7: small-message bandwidth, basic vs piggyback.
+func Fig7() Figure {
+	sizes := sizesPow4(4, 16<<10)
+	return Figure{
+		ID: "fig7", Title: "MPI Small-Message Bandwidth with Piggybacking",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: []Series{
+			MPIBandwidth(Options{Transport: cluster.TransportBasic}, sizes),
+			MPIBandwidth(Options{Transport: cluster.TransportPiggyback}, sizes),
+		},
+	}
+}
+
+// Fig8 reproduces Figure 8: bandwidth, basic vs pipeline, 4 B–64 KB.
+func Fig8() Figure {
+	return Figure{
+		ID: "fig8", Title: "MPI Bandwidth with Pipelining",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: []Series{
+			MPIBandwidth(Options{Transport: cluster.TransportBasic}, sizesPow4(4, 64<<10)),
+			MPIBandwidth(Options{Transport: cluster.TransportPipeline}, sizesPow4(4, 64<<10)),
+		},
+	}
+}
+
+// Fig9 reproduces Figure 9: pipeline bandwidth across chunk sizes
+// (1 KB–32 KB) for messages 4 KB–1 MB. The paper picks 16 KB from this
+// sweep.
+func Fig9() Figure {
+	f := Figure{
+		ID: "fig9", Title: "MPI Bandwidth with Pipelining (Different Chunk Sizes)",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+	}
+	for _, chunk := range []int{32 << 10, 16 << 10, 8 << 10, 4 << 10, 2 << 10, 1 << 10} {
+		s := MPIBandwidth(Options{
+			Transport: cluster.TransportPipeline,
+			Chan:      rdmachan.Config{ChunkSize: chunk},
+		}, sizesPow4(4<<10, 1<<20))
+		s.Name = fmtSize(chunk)
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig11 reproduces Figure 11: bandwidth, pipeline vs zero-copy, 4 B–1 MB.
+func Fig11() Figure {
+	sizes := sizesPow4(4, 1<<20)
+	return Figure{
+		ID: "fig11", Title: "MPI Bandwidth with Zero-Copy and Pipelining",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: []Series{
+			MPIBandwidth(Options{Transport: cluster.TransportPipeline}, sizes),
+			MPIBandwidth(Options{Transport: cluster.TransportZeroCopy}, sizes),
+		},
+	}
+}
+
+// Fig13 reproduces Figure 13: latency, RDMA-Channel zero-copy vs direct
+// CH3 design, 4 B–64 KB.
+func Fig13() Figure {
+	sizes := sizesPow4(4, 64<<10)
+	a := MPILatency(Options{Transport: cluster.TransportZeroCopy}, sizes, latIters)
+	a.Name = "RDMA Chan ZC"
+	b := MPILatency(Options{Transport: cluster.TransportCH3}, sizes, latIters)
+	b.Name = "CH3 ZC"
+	return Figure{
+		ID: "fig13", Title: "MPI Latency for CH3 Design and RDMA Channel Interface Design",
+		XLabel: "message size (bytes)", YLabel: "time (µs)",
+		Series: []Series{a, b},
+	}
+}
+
+// Fig14 reproduces Figure 14: bandwidth, RDMA-Channel zero-copy vs direct
+// CH3 design, 4 B–1 MB. The CH3 design wins for mid-size messages
+// (32 KB–256 KB), tracking the raw write-vs-read gap of Figure 15.
+func Fig14() Figure {
+	sizes := sizesPow4(4, 1<<20)
+	a := MPIBandwidth(Options{Transport: cluster.TransportZeroCopy}, sizes)
+	a.Name = "RDMA Chan ZC"
+	b := MPIBandwidth(Options{Transport: cluster.TransportCH3}, sizes)
+	b.Name = "CH3 ZC"
+	return Figure{
+		ID: "fig14", Title: "MPI Bandwidth for CH3 Design and RDMA Channel Interface Design",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: []Series{a, b},
+	}
+}
+
+// Fig15 reproduces Figure 15: raw verbs-level RDMA write vs read
+// bandwidth, 4 KB–1 MB.
+func Fig15() Figure {
+	sizes := sizesPow4(4<<10, 1<<20)
+	return Figure{
+		ID: "fig15", Title: "InfiniBand Bandwidth (verbs level)",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: []Series{
+			VerbsBandwidth(ib.OpRDMAWrite, sizes, nil),
+			VerbsBandwidth(ib.OpRDMARead, sizes, nil),
+		},
+	}
+}
+
+// Baseline reproduces the §4.2.1 raw numbers: 5.9 µs latency, 870 MB/s
+// bandwidth.
+func Baseline() Figure {
+	lat := VerbsLatency(nil)
+	bw := verbsBW(ib.OpRDMAWrite, 1<<20, 8, nil)
+	return Figure{
+		ID: "baseline", Title: "Raw InfiniBand performance (§4.2.1: 5.9 µs, 870 MB/s)",
+		XLabel: "metric", YLabel: "value",
+		Series: []Series{
+			{Name: "latency µs", Points: []Point{{Size: 4, Value: lat}}},
+			{Name: "bandwidth MB/s", Points: []Point{{Size: 1 << 20, Value: bw}}},
+		},
+	}
+}
+
+// Headline reproduces the paper's headline MPI numbers: 7.6 µs latency and
+// 857 MB/s peak bandwidth for the optimized (zero-copy) design.
+func Headline() Figure {
+	lat := MPILatency(Options{Transport: cluster.TransportZeroCopy}, []int{4}, latIters)
+	bw := MPIBandwidth(Options{Transport: cluster.TransportZeroCopy}, []int{1 << 20})
+	return Figure{
+		ID: "headline", Title: "Headline MPI numbers (paper: 7.6 µs, 857 MB/s)",
+		XLabel: "metric", YLabel: "value",
+		Series: []Series{
+			{Name: "latency µs", Points: lat.Points},
+			{Name: "bandwidth MB/s", Points: bw.Points},
+		},
+	}
+}
+
+// MicroFigures returns every microbenchmark figure (4–15; NAS figures 16
+// and 17 live in internal/nas).
+func MicroFigures() []Figure {
+	return []Figure{
+		Baseline(), Headline(),
+		Fig4(), Fig5(), Fig6(), Fig7(), Fig8(), Fig9(),
+		Fig11(), Fig13(), Fig14(), Fig15(),
+	}
+}
+
+// FigureByID returns a single figure producer by id ("fig4" … "fig15",
+// "baseline", "headline").
+func FigureByID(id string) (Figure, error) {
+	producers := map[string]func() Figure{
+		"baseline": Baseline, "headline": Headline,
+		"fig4": Fig4, "fig5": Fig5, "fig6": Fig6, "fig7": Fig7,
+		"fig8": Fig8, "fig9": Fig9, "fig11": Fig11, "fig13": Fig13,
+		"fig14": Fig14, "fig15": Fig15,
+	}
+	p, ok := producers[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("bench: unknown figure %q", id)
+	}
+	return p(), nil
+}

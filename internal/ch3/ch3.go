@@ -1,0 +1,139 @@
+// Package ch3 models MPICH2's CH3 layer (§3.1): the dozen-function porting
+// interface that sits between the ADI3 device and the transport. Two
+// implementations are provided, mirroring the paper's comparison in §6:
+//
+//   - OverChannel adapts any RDMA Channel endpoint (internal/rdmachan) to
+//     CH3 message semantics — this is the paper's main line of work, where
+//     the whole transport fits behind the five-function put/get pipe.
+//   - IBConn is a direct CH3-level InfiniBand design (Figure 12): the same
+//     eager chunk ring for small messages, but large messages negotiate a
+//     handshake (RTS → CTS) and move by RDMA *write* into the receiver's
+//     registered user buffer, finishing with a FIN packet. The extra
+//     flexibility — CH3 sees message boundaries, so the receiver can
+//     advertise its buffer — is exactly what the RDMA Channel interface
+//     hides.
+//
+// Both implementations speak the same Conn interface to the device, so the
+// evaluation can swap transports under an unchanged MPI stack.
+package ch3
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/rdmachan"
+)
+
+// Envelope is the MPI matching tuple plus payload size.
+type Envelope struct {
+	Src int32 // sending rank
+	Tag int32
+	Ctx int32 // communicator context id
+	Len int   // payload bytes
+}
+
+// Packet kinds carried in CH3 packet headers.
+const (
+	pktEager byte = 1
+	pktRTS   byte = 2
+	pktCTS   byte = 3
+	pktFIN   byte = 4
+)
+
+// hdrSize is the fixed CH3 packet header size.
+const hdrSize = 64
+
+// header is the wire form of a CH3 packet.
+type header struct {
+	kind  byte
+	env   Envelope
+	reqID uint64
+	raddr uint64
+	rkey  uint32
+}
+
+func encodeHeader(dst []byte, h header) {
+	dst[0] = h.kind
+	putLE32(dst[4:8], uint32(h.env.Src))
+	putLE32(dst[8:12], uint32(h.env.Tag))
+	putLE32(dst[12:16], uint32(h.env.Ctx))
+	putLE64(dst[16:24], uint64(h.env.Len))
+	putLE64(dst[24:32], h.reqID)
+	putLE64(dst[32:40], h.raddr)
+	putLE32(dst[40:44], h.rkey)
+}
+
+func decodeHeader(src []byte) header {
+	return header{
+		kind: src[0],
+		env: Envelope{
+			Src: int32(le32(src[4:8])),
+			Tag: int32(le32(src[8:12])),
+			Ctx: int32(le32(src[12:16])),
+			Len: int(le64(src[16:24])),
+		},
+		reqID: le64(src[24:32]),
+		raddr: le64(src[32:40]),
+		rkey:  le32(src[40:44]),
+	}
+}
+
+// Sink tells a connection where an incoming payload lands and what to call
+// when it has fully arrived.
+type Sink struct {
+	Buf  rdmachan.Buffer
+	Done func(p *des.Proc)
+}
+
+// Matcher is the device-side matching logic a connection calls up into.
+type Matcher interface {
+	// ArriveEager resolves the destination for an eager payload: a matched
+	// user buffer or a freshly allocated unexpected buffer.
+	ArriveEager(p *des.Proc, env Envelope) Sink
+
+	// ArriveRTS announces a rendezvous send (direct CH3 design only). If a
+	// matching receive is posted, the device calls c.RendezvousAccept
+	// immediately; otherwise it records the announcement and accepts later.
+	ArriveRTS(p *des.Proc, env Envelope, c Conn, reqID uint64)
+}
+
+// Conn is one CH3 connection to a peer rank.
+type Conn interface {
+	// Send enqueues one MPI message; onDone runs when the local send
+	// completes (buffer reusable).
+	Send(p *des.Proc, env Envelope, payload rdmachan.Buffer, onDone func(p *des.Proc))
+
+	// RendezvousAccept answers a previously announced RTS: dst is the now
+	// posted receive buffer; done runs when the payload has arrived.
+	RendezvousAccept(p *des.Proc, reqID uint64, dst rdmachan.Buffer, done func(p *des.Proc))
+
+	// Progress advances send and receive state machines one pass,
+	// reporting whether anything moved.
+	Progress(p *des.Proc) bool
+
+	// PendingSends reports queued-but-incomplete send operations.
+	PendingSends() int
+}
+
+// --- little-endian helpers (header encoding) ---
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func le64(b []byte) uint64 {
+	return uint64(le32(b[0:4])) | uint64(le32(b[4:8]))<<32
+}
+
+func putLE64(b []byte, v uint64) {
+	putLE32(b[0:4], uint32(v))
+	putLE32(b[4:8], uint32(v>>32))
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf("ch3: "+format, args...)
+}

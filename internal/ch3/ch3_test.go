@@ -1,0 +1,233 @@
+package ch3
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+	"repro/internal/rdmachan"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(kind byte, src, tag, ctx int32, ln uint32, reqID, raddr uint64, rkey uint32) bool {
+		h := header{
+			kind:  kind,
+			env:   Envelope{Src: src, Tag: tag, Ctx: ctx, Len: int(ln)},
+			reqID: reqID, raddr: raddr, rkey: rkey,
+		}
+		var buf [hdrSize]byte
+		encodeHeader(buf[:], h)
+		got := decodeHeader(buf[:])
+		return got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// matcher is a minimal device standing in for ADI3 in conn tests.
+type matcher struct {
+	node     *model.Node
+	arrived  []Envelope
+	rts      []uint64
+	deferRTS bool
+	sinkBufs []rdmachan.Buffer
+	done     int
+}
+
+func (m *matcher) ArriveEager(p *des.Proc, env Envelope) Sink {
+	m.arrived = append(m.arrived, env)
+	va, _ := m.node.Mem.Alloc(maxInt(env.Len, 1))
+	buf := rdmachan.Buffer{Addr: va, Len: env.Len}
+	m.sinkBufs = append(m.sinkBufs, buf)
+	return Sink{Buf: buf, Done: func(*des.Proc) { m.done++ }}
+}
+
+func (m *matcher) ArriveRTS(p *des.Proc, env Envelope, c Conn, reqID uint64) {
+	m.rts = append(m.rts, reqID)
+	if m.deferRTS {
+		return
+	}
+	va, _ := m.node.Mem.Alloc(env.Len)
+	c.RendezvousAccept(p, reqID, rdmachan.Buffer{Addr: va, Len: env.Len},
+		func(*des.Proc) { m.done++ })
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type rig struct {
+	eng   *des.Engine
+	nodes [2]*model.Node
+	eps   [2]rdmachan.Endpoint
+	match [2]*matcher
+}
+
+func newRig(t *testing.T, design rdmachan.Design) *rig {
+	t.Helper()
+	r := &rig{eng: des.NewEngine()}
+	prm := model.Testbed()
+	fab := ib.NewFabric(r.eng, prm)
+	var hcas [2]*ib.HCA
+	for i := 0; i < 2; i++ {
+		r.nodes[i] = model.NewNode(i, prm)
+		hcas[i] = fab.NewHCA(r.nodes[i])
+		r.match[i] = &matcher{node: r.nodes[i]}
+	}
+	r.eng.Spawn("setup", func(p *des.Proc) {
+		a, b, err := rdmachan.NewConnection(p, rdmachan.Config{Design: design}, hcas[0], hcas[1])
+		if err != nil {
+			t.Errorf("setup: %v", err)
+			return
+		}
+		r.eps[0], r.eps[1] = a, b
+	})
+	r.eng.Run()
+	return r
+}
+
+func fatalErr(t *testing.T) func(error) {
+	return func(err error) { t.Errorf("conn error: %v", err) }
+}
+
+// drive runs both conns' progress until pred holds or the sim stalls.
+func drive(p *des.Proc, conns []Conn, ep rdmachan.Endpoint, pred func() bool) {
+	for !pred() {
+		seq := ep.EventSeq()
+		prog := false
+		for _, c := range conns {
+			if c.Progress(p) {
+				prog = true
+			}
+		}
+		if pred() {
+			return
+		}
+		if !prog {
+			ep.WaitEventSince(p, seq)
+		}
+	}
+}
+
+func TestOverChannelEagerDelivery(t *testing.T) {
+	r := newRig(t, rdmachan.DesignPipeline)
+	c0 := NewOverChannel(r.eps[0], r.match[0], fatalErr(t))
+	c1 := NewOverChannel(r.eps[1], r.match[1], fatalErr(t))
+
+	const n = 3000
+	payVA, pay := r.nodes[0].Mem.Alloc(n)
+	for i := range pay {
+		pay[i] = byte(i * 11)
+	}
+	sent := false
+	r.eng.Spawn("rank0", func(p *des.Proc) {
+		c0.Send(p, Envelope{Src: 0, Tag: 42, Ctx: 0, Len: n},
+			rdmachan.Buffer{Addr: payVA, Len: n}, func(*des.Proc) { sent = true })
+		drive(p, []Conn{c0}, r.eps[0], func() bool { return sent })
+	})
+	r.eng.Spawn("rank1", func(p *des.Proc) {
+		drive(p, []Conn{c1}, r.eps[1], func() bool { return r.match[1].done == 1 })
+	})
+	r.eng.Run()
+	if !sent || r.match[1].done != 1 {
+		t.Fatal("message not delivered")
+	}
+	env := r.match[1].arrived[0]
+	if env.Src != 0 || env.Tag != 42 || env.Len != n {
+		t.Fatalf("envelope = %+v", env)
+	}
+	got := r.nodes[1].Mem.MustResolve(r.match[1].sinkBufs[0].Addr, n)
+	if !bytes.Equal(got, pay) {
+		t.Fatal("payload corrupted")
+	}
+	if c0.PendingSends() != 0 {
+		t.Fatal("send queue not drained")
+	}
+}
+
+func TestIBConnRendezvousNoUnexpectedCopy(t *testing.T) {
+	r := newRig(t, rdmachan.DesignPipeline)
+	c0 := NewIBConn(r.eps[0], r.match[0], 0, fatalErr(t))
+	c1 := NewIBConn(r.eps[1], r.match[1], 0, fatalErr(t))
+
+	const n = 256 << 10 // above the 32K default threshold
+	payVA, pay := r.nodes[0].Mem.Alloc(n)
+	for i := range pay {
+		pay[i] = byte(i * 31)
+	}
+	sent := false
+	r.eng.Spawn("rank0", func(p *des.Proc) {
+		c0.Send(p, Envelope{Src: 0, Tag: 1, Ctx: 0, Len: n},
+			rdmachan.Buffer{Addr: payVA, Len: n}, func(*des.Proc) { sent = true })
+		drive(p, []Conn{c0}, r.eps[0], func() bool { return sent })
+	})
+	r.eng.Spawn("rank1", func(p *des.Proc) {
+		drive(p, []Conn{c1}, r.eps[1], func() bool { return r.match[1].done == 1 })
+	})
+	r.eng.Run()
+	if !sent {
+		t.Fatal("rendezvous send incomplete")
+	}
+	if len(r.match[1].rts) != 1 {
+		t.Fatalf("RTS count = %d", len(r.match[1].rts))
+	}
+	if s := c0.Stats(); s.RndvSends != 1 || s.EagerSends != 0 {
+		t.Fatalf("sender stats = %+v", s)
+	}
+	if s := c1.Stats(); s.RndvRecvs != 1 {
+		t.Fatalf("receiver stats = %+v", s)
+	}
+}
+
+func TestIBConnEagerBelowThreshold(t *testing.T) {
+	r := newRig(t, rdmachan.DesignPipeline)
+	c0 := NewIBConn(r.eps[0], r.match[0], 64<<10, fatalErr(t))
+	c1 := NewIBConn(r.eps[1], r.match[1], 64<<10, fatalErr(t))
+
+	const n = 40 << 10 // below the explicit 64K threshold
+	payVA, _ := r.nodes[0].Mem.Alloc(n)
+	sent := false
+	r.eng.Spawn("rank0", func(p *des.Proc) {
+		c0.Send(p, Envelope{Src: 0, Tag: 1, Ctx: 0, Len: n},
+			rdmachan.Buffer{Addr: payVA, Len: n}, func(*des.Proc) { sent = true })
+		drive(p, []Conn{c0}, r.eps[0], func() bool { return sent })
+	})
+	r.eng.Spawn("rank1", func(p *des.Proc) {
+		drive(p, []Conn{c1}, r.eps[1], func() bool { return r.match[1].done == 1 })
+	})
+	r.eng.Run()
+	if s := c0.Stats(); s.EagerSends != 1 || s.RndvSends != 0 {
+		t.Fatalf("stats = %+v; 40K under a 64K threshold must go eager", s)
+	}
+	if len(r.match[1].rts) != 0 {
+		t.Fatal("unexpected RTS for an eager message")
+	}
+}
+
+func TestOverChannelRejectsRendezvousAccept(t *testing.T) {
+	r := newRig(t, rdmachan.DesignPipeline)
+	c0 := NewOverChannel(r.eps[0], r.match[0], fatalErr(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RendezvousAccept on OverChannel should panic")
+		}
+	}()
+	c0.RendezvousAccept(nil, 0, rdmachan.Buffer{}, nil)
+}
+
+func TestIBConnRequiresChunkEndpoint(t *testing.T) {
+	r := newRig(t, rdmachan.DesignBasic)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IBConn over the basic design should panic")
+		}
+	}()
+	NewIBConn(r.eps[0], r.match[0], 0, fatalErr(t))
+}

@@ -1,0 +1,312 @@
+package ch3
+
+import (
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/rdmachan"
+)
+
+// IBConn is the direct CH3-level InfiniBand design of §6 (Figure 12).
+// Small messages travel eagerly through a pipelined chunk ring — the same
+// machinery as the RDMA Channel designs. Large messages negotiate:
+//
+//	sender   → RTS (control packet announcing the message)
+//	receiver → CTS (after the receive is posted: the user buffer is
+//	            registered and its address/rkey advertised)
+//	sender   → RDMA WRITE of the payload into the receiver's user buffer
+//	sender   → FIN (control packet; RC ordering guarantees it arrives
+//	            after the payload is complete)
+//
+// Compared with the zero-copy RDMA Channel design this uses RDMA write
+// rather than RDMA read, which is why it wins for mid-size messages
+// (Figure 15's raw gap); and because CH3 sees message boundaries, an
+// unmatched rendezvous simply waits for the receive — no unexpected-buffer
+// copy for large messages.
+type IBConn struct {
+	ep    rdmachan.Endpoint
+	raw   rdmachan.RawAccess
+	dev   Matcher
+	onErr func(error)
+
+	threshold int
+	reqSeq    uint64
+
+	ctrlq  []*ibOp
+	dataq  []*ibOp
+	active *ibOp
+
+	sendRndv map[uint64]*ibRndvSend
+	recvRndv map[uint64]*ibRndvRecv
+
+	// Receive state machine (mirrors OverChannel).
+	rstate   int
+	rhdrBuf  rdmachan.Buffer
+	rhdrMem  []byte
+	rhdrRem  []rdmachan.Buffer
+	rsink    Sink
+	rpayload []rdmachan.Buffer
+
+	stats IBStats
+}
+
+// IBStats counts direct-design activity.
+type IBStats struct {
+	EagerSends uint64
+	RndvSends  uint64
+	RndvRecvs  uint64
+}
+
+type ibOp struct {
+	rem        []rdmachan.Buffer
+	onAccepted func(p *des.Proc)
+}
+
+type ibRndvSend struct {
+	payload rdmachan.Buffer
+	onDone  func(p *des.Proc)
+}
+
+type ibRndvRecv struct {
+	mr   *ib.MR
+	done func(p *des.Proc)
+}
+
+// NewIBConn builds the direct design over a pipelined chunk endpoint
+// created with rdmachan.DesignPipeline (zero-copy must be off: rendezvous
+// is handled here, at the CH3 level). threshold is the eager/rendezvous
+// switch, 0 meaning the default 32 KB (matching the zero-copy design).
+func NewIBConn(ep rdmachan.Endpoint, dev Matcher, threshold int, onErr func(error)) *IBConn {
+	raw, ok := ep.(rdmachan.RawAccess)
+	if !ok {
+		panic("ch3: IBConn requires a chunk-ring endpoint")
+	}
+	if threshold == 0 {
+		threshold = 32 << 10
+	}
+	c := &IBConn{
+		ep: ep, raw: raw, dev: dev, onErr: onErr,
+		threshold: threshold,
+		sendRndv:  make(map[uint64]*ibRndvSend),
+		recvRndv:  make(map[uint64]*ibRndvRecv),
+	}
+	mem := ep.HCA().Node().Mem
+	va, b := mem.Alloc(hdrSize)
+	c.rhdrBuf, c.rhdrMem = rdmachan.Buffer{Addr: va, Len: hdrSize}, b
+	c.rhdrRem = []rdmachan.Buffer{c.rhdrBuf}
+	return c
+}
+
+// Endpoint returns the underlying eager-ring endpoint.
+func (c *IBConn) Endpoint() rdmachan.Endpoint { return c.ep }
+
+// Stats returns direct-design counters.
+func (c *IBConn) Stats() IBStats { return c.stats }
+
+// newHdrOp allocates a packet with its own header staging (control packets
+// from a real implementation's preallocated pool).
+func (c *IBConn) newHdrOp(h header, payload *rdmachan.Buffer, onAccepted func(p *des.Proc)) *ibOp {
+	mem := c.ep.HCA().Node().Mem
+	va, b := mem.Alloc(hdrSize)
+	encodeHeader(b, h)
+	rem := []rdmachan.Buffer{{Addr: va, Len: hdrSize}}
+	if payload != nil && payload.Len > 0 {
+		rem = append(rem, *payload)
+	}
+	return &ibOp{rem: rem, onAccepted: onAccepted}
+}
+
+// Send implements Conn.
+func (c *IBConn) Send(p *des.Proc, env Envelope, payload rdmachan.Buffer, onDone func(p *des.Proc)) {
+	if env.Len < c.threshold {
+		c.stats.EagerSends++
+		op := c.newHdrOp(header{kind: pktEager, env: env}, &payload, onDone)
+		c.dataq = append(c.dataq, op)
+		c.Progress(p)
+		return
+	}
+	// Rendezvous: announce with RTS; the payload moves after CTS.
+	c.stats.RndvSends++
+	c.reqSeq++
+	id := c.reqSeq
+	c.sendRndv[id] = &ibRndvSend{payload: payload, onDone: onDone}
+	op := c.newHdrOp(header{kind: pktRTS, env: env, reqID: id}, nil, nil)
+	c.dataq = append(c.dataq, op)
+	c.Progress(p)
+}
+
+// RendezvousAccept implements Conn: the receive matching an announced RTS
+// is now posted. Register the user buffer through the pin-down cache and
+// advertise it with a CTS control packet.
+func (c *IBConn) RendezvousAccept(p *des.Proc, reqID uint64, dst rdmachan.Buffer, done func(p *des.Proc)) {
+	cache := c.raw.RegCache()
+	mr, _, err := cache.Register(p, dst.Addr, dst.Len)
+	if err != nil {
+		c.onErr(errf("rendezvous register: %w", err))
+		return
+	}
+	c.recvRndv[reqID] = &ibRndvRecv{mr: mr, done: done}
+	c.stats.RndvRecvs++
+	op := c.newHdrOp(header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, rkey: mr.RKey()}, nil, nil)
+	c.ctrlq = append(c.ctrlq, op)
+	c.Progress(p)
+}
+
+// handleCTS fires the RDMA write of the payload and queues the FIN.
+func (c *IBConn) handleCTS(p *des.Proc, h header) {
+	rs, ok := c.sendRndv[h.reqID]
+	if !ok {
+		c.onErr(errf("CTS for unknown rendezvous %d", h.reqID))
+		return
+	}
+	delete(c.sendRndv, h.reqID)
+	cache := c.raw.RegCache()
+	mr, _, err := cache.Register(p, rs.payload.Addr, rs.payload.Len)
+	if err != nil {
+		c.onErr(errf("rendezvous source register: %w", err))
+		return
+	}
+	c.raw.RawQP().PostSend(p, ib.SendWR{
+		Op:         ib.OpRDMAWrite,
+		SGL:        []ib.SGE{{Addr: rs.payload.Addr, Len: rs.payload.Len, LKey: mr.LKey()}},
+		RemoteAddr: h.raddr,
+		RKey:       h.rkey,
+	})
+	// The registration stays cached; RC ordering puts the FIN behind the
+	// payload on the wire.
+	if err := cache.Release(p, mr); err != nil {
+		c.onErr(errf("rendezvous source release: %w", err))
+		return
+	}
+	onDone := rs.onDone
+	fin := c.newHdrOp(header{kind: pktFIN, reqID: h.reqID}, nil, onDone)
+	c.ctrlq = append(c.ctrlq, fin)
+}
+
+// handleFIN completes a rendezvous receive: the payload is already in the
+// user buffer (it preceded the FIN on the wire).
+func (c *IBConn) handleFIN(p *des.Proc, h header) {
+	rr, ok := c.recvRndv[h.reqID]
+	if !ok {
+		c.onErr(errf("FIN for unknown rendezvous %d", h.reqID))
+		return
+	}
+	delete(c.recvRndv, h.reqID)
+	if err := c.raw.RegCache().Release(p, rr.mr); err != nil {
+		c.onErr(errf("rendezvous dest release: %w", err))
+		return
+	}
+	if rr.done != nil {
+		rr.done(p)
+	}
+}
+
+// PendingSends implements Conn.
+func (c *IBConn) PendingSends() int {
+	n := len(c.ctrlq) + len(c.dataq) + len(c.sendRndv)
+	if c.active != nil {
+		n++
+	}
+	return n
+}
+
+// Progress implements Conn.
+func (c *IBConn) Progress(p *des.Proc) bool {
+	prog := false
+
+	// Sends: control packets win at message boundaries.
+	for {
+		if c.active == nil {
+			if len(c.ctrlq) > 0 {
+				c.active = c.ctrlq[0]
+				c.ctrlq = c.ctrlq[1:]
+			} else if len(c.dataq) > 0 {
+				c.active = c.dataq[0]
+				c.dataq = c.dataq[1:]
+			} else {
+				break
+			}
+		}
+		n, err := c.ep.Put(p, c.active.rem)
+		if err != nil {
+			c.onErr(errf("send: %w", err))
+			return prog
+		}
+		if n == 0 {
+			break
+		}
+		prog = true
+		c.active.rem = rdmachan.Advance(c.active.rem, n)
+		if len(c.active.rem) > 0 {
+			break
+		}
+		done := c.active.onAccepted
+		c.active = nil
+		if done != nil {
+			done(p)
+		}
+	}
+
+	// Receives.
+	for {
+		switch c.rstate {
+		case 0:
+			n, err := c.ep.Get(p, c.rhdrRem)
+			if err != nil {
+				c.onErr(errf("recv header: %w", err))
+				return prog
+			}
+			if n == 0 {
+				return prog
+			}
+			prog = true
+			c.rhdrRem = rdmachan.Advance(c.rhdrRem, n)
+			if len(c.rhdrRem) > 0 {
+				continue
+			}
+			h := decodeHeader(c.rhdrMem)
+			c.rhdrRem = []rdmachan.Buffer{c.rhdrBuf}
+			switch h.kind {
+			case pktEager:
+				sink := c.dev.ArriveEager(p, h.env)
+				if h.env.Len == 0 {
+					if sink.Done != nil {
+						sink.Done(p)
+					}
+					continue
+				}
+				c.rsink = sink
+				c.rpayload = []rdmachan.Buffer{{Addr: sink.Buf.Addr, Len: h.env.Len}}
+				c.rstate = 1
+			case pktRTS:
+				c.dev.ArriveRTS(p, h.env, c, h.reqID)
+			case pktCTS:
+				c.handleCTS(p, h)
+			case pktFIN:
+				c.handleFIN(p, h)
+			default:
+				c.onErr(errf("bad packet kind %d", h.kind))
+				return prog
+			}
+		case 1:
+			n, err := c.ep.Get(p, c.rpayload)
+			if err != nil {
+				c.onErr(errf("recv payload: %w", err))
+				return prog
+			}
+			if n == 0 {
+				return prog
+			}
+			prog = true
+			c.rpayload = rdmachan.Advance(c.rpayload, n)
+			if len(c.rpayload) > 0 {
+				continue
+			}
+			done := c.rsink.Done
+			c.rsink = Sink{}
+			c.rstate = 0
+			if done != nil {
+				done(p)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package ch3
+
+import (
+	"repro/internal/des"
+	"repro/internal/rdmachan"
+)
+
+// OverChannel adapts an RDMA Channel endpoint to CH3 message semantics:
+// each MPI message is framed as a 64-byte packet header followed by the
+// payload, streamed through the channel's byte pipe. Rendezvous for large
+// messages — when the endpoint is the zero-copy design — happens invisibly
+// below the pipe abstraction (§5); this adapter neither knows nor cares.
+type OverChannel struct {
+	ep    rdmachan.Endpoint
+	dev   Matcher
+	onErr func(error)
+
+	// Send side: strict FIFO of message operations.
+	sendq  []*overSend
+	hdrBuf rdmachan.Buffer // staging slot for the active message's header
+	hdrMem []byte
+
+	// Receive side state machine.
+	rstate   int // 0 = reading header, 1 = reading payload
+	rhdrBuf  rdmachan.Buffer
+	rhdrMem  []byte
+	rhdrRem  []rdmachan.Buffer
+	rsink    Sink
+	rpayload []rdmachan.Buffer
+}
+
+type overSend struct {
+	env     Envelope
+	payload rdmachan.Buffer
+	rem     []rdmachan.Buffer // header + payload remaining in the pipe
+	active  bool
+	onDone  func(p *des.Proc)
+}
+
+// NewOverChannel builds the adapter over an endpoint. onErr receives any
+// transport error (the simulation treats these as fatal protocol bugs).
+func NewOverChannel(ep rdmachan.Endpoint, dev Matcher, onErr func(error)) *OverChannel {
+	c := &OverChannel{ep: ep, dev: dev, onErr: onErr}
+	mem := ep.HCA().Node().Mem
+	va, b := mem.Alloc(hdrSize)
+	c.hdrBuf, c.hdrMem = rdmachan.Buffer{Addr: va, Len: hdrSize}, b
+	va, b = mem.Alloc(hdrSize)
+	c.rhdrBuf, c.rhdrMem = rdmachan.Buffer{Addr: va, Len: hdrSize}, b
+	c.rhdrRem = []rdmachan.Buffer{c.rhdrBuf}
+	return c
+}
+
+// Endpoint returns the underlying channel endpoint (for statistics).
+func (c *OverChannel) Endpoint() rdmachan.Endpoint { return c.ep }
+
+// Send implements Conn.
+func (c *OverChannel) Send(p *des.Proc, env Envelope, payload rdmachan.Buffer, onDone func(p *des.Proc)) {
+	c.sendq = append(c.sendq, &overSend{env: env, payload: payload, onDone: onDone})
+	c.Progress(p)
+}
+
+// RendezvousAccept implements Conn; the channel designs never raise RTS
+// upcalls, so this is unreachable.
+func (c *OverChannel) RendezvousAccept(*des.Proc, uint64, rdmachan.Buffer, func(p *des.Proc)) {
+	panic("ch3: RendezvousAccept on OverChannel")
+}
+
+// PendingSends implements Conn.
+func (c *OverChannel) PendingSends() int { return len(c.sendq) }
+
+// Progress implements Conn: advance the head send and drain the receive
+// pipe.
+func (c *OverChannel) Progress(p *des.Proc) bool {
+	prog := false
+	for len(c.sendq) > 0 {
+		op := c.sendq[0]
+		if !op.active {
+			encodeHeader(c.hdrMem, header{kind: pktEager, env: op.env})
+			op.rem = []rdmachan.Buffer{c.hdrBuf}
+			if op.payload.Len > 0 {
+				op.rem = append(op.rem, op.payload)
+			}
+			op.active = true
+		}
+		n, err := c.ep.Put(p, op.rem)
+		if err != nil {
+			c.onErr(errf("send to pipe: %w", err))
+			return prog
+		}
+		if n == 0 {
+			break
+		}
+		prog = true
+		op.rem = rdmachan.Advance(op.rem, n)
+		if len(op.rem) > 0 {
+			break
+		}
+		c.sendq = c.sendq[1:]
+		if op.onDone != nil {
+			op.onDone(p)
+		}
+	}
+
+	for {
+		switch c.rstate {
+		case 0: // header
+			n, err := c.ep.Get(p, c.rhdrRem)
+			if err != nil {
+				c.onErr(errf("recv header: %w", err))
+				return prog
+			}
+			if n == 0 {
+				return prog
+			}
+			prog = true
+			c.rhdrRem = rdmachan.Advance(c.rhdrRem, n)
+			if len(c.rhdrRem) > 0 {
+				continue
+			}
+			h := decodeHeader(c.rhdrMem)
+			c.rhdrRem = []rdmachan.Buffer{c.rhdrBuf}
+			if h.kind != pktEager {
+				c.onErr(errf("unexpected packet kind %d on channel pipe", h.kind))
+				return prog
+			}
+			sink := c.dev.ArriveEager(p, h.env)
+			if h.env.Len == 0 {
+				if sink.Done != nil {
+					sink.Done(p)
+				}
+				continue
+			}
+			c.rsink = sink
+			c.rpayload = []rdmachan.Buffer{{Addr: sink.Buf.Addr, Len: h.env.Len}}
+			c.rstate = 1
+		case 1: // payload
+			n, err := c.ep.Get(p, c.rpayload)
+			if err != nil {
+				c.onErr(errf("recv payload: %w", err))
+				return prog
+			}
+			if n == 0 {
+				return prog
+			}
+			prog = true
+			c.rpayload = rdmachan.Advance(c.rpayload, n)
+			if len(c.rpayload) > 0 {
+				continue
+			}
+			done := c.rsink.Done
+			c.rsink = Sink{}
+			c.rstate = 0
+			if done != nil {
+				done(p)
+			}
+		}
+	}
+}

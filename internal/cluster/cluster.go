@@ -1,0 +1,158 @@
+// Package cluster assembles complete simulated systems: N nodes with HCAs
+// on a switched fabric, a chosen transport design wired between every rank
+// pair, ADI3 devices, and MPI process launch — the simulation counterpart
+// of the paper's 8-node testbed (§4.1).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/adi3"
+	"repro/internal/ch3"
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/rdmachan"
+)
+
+// Transport selects the MPI transport under test, matching the designs the
+// paper evaluates against each other.
+type Transport int
+
+// The five transports of the evaluation.
+const (
+	TransportBasic Transport = iota
+	TransportPiggyback
+	TransportPipeline
+	TransportZeroCopy // "RDMA Channel" in Figures 16–17
+	TransportCH3      // direct CH3 design with RDMA-write rendezvous
+)
+
+func (t Transport) String() string {
+	switch t {
+	case TransportBasic:
+		return "basic"
+	case TransportPiggyback:
+		return "piggyback"
+	case TransportPipeline:
+		return "pipeline"
+	case TransportZeroCopy:
+		return "rdma-channel-zerocopy"
+	case TransportCH3:
+		return "ch3-zerocopy"
+	}
+	return fmt.Sprintf("Transport(%d)", int(t))
+}
+
+// Config describes the cluster to build.
+type Config struct {
+	NP        int // number of ranks (one per node, as in the testbed)
+	Transport Transport
+
+	// Chan overrides per-connection channel parameters (chunk size, ring
+	// size, thresholds, registration cache) for sweeps and ablations.
+	Chan rdmachan.Config
+
+	// CH3Threshold overrides the direct design's rendezvous threshold.
+	CH3Threshold int
+
+	// Params overrides the testbed cost model (nil = calibrated defaults).
+	Params *model.Params
+}
+
+// Cluster is a built simulation.
+type Cluster struct {
+	Eng    *des.Engine
+	Prm    *model.Params
+	Fabric *ib.Fabric
+	Nodes  []*model.Node
+	HCAs   []*ib.HCA
+	Devs   []*adi3.Device
+
+	cfg Config
+}
+
+// New builds the cluster and wires all rank-pair connections. Connection
+// setup runs to completion in simulated time before New returns; the
+// clock then holds the setup cost, which benchmarks exclude by measuring
+// intervals.
+func New(cfg Config) *Cluster {
+	if cfg.NP < 2 {
+		panic("cluster: need at least 2 ranks")
+	}
+	prm := cfg.Params
+	if prm == nil {
+		prm = model.Testbed()
+	}
+	c := &Cluster{
+		Eng: des.NewEngine(),
+		Prm: prm,
+		cfg: cfg,
+	}
+	c.Fabric = ib.NewFabric(c.Eng, prm)
+	for i := 0; i < cfg.NP; i++ {
+		n := model.NewNode(i, prm)
+		c.Nodes = append(c.Nodes, n)
+		c.HCAs = append(c.HCAs, c.Fabric.NewHCA(n))
+		c.Devs = append(c.Devs, adi3.NewDevice(int32(i), cfg.NP, c.HCAs[i]))
+	}
+
+	chanCfg := c.cfg.Chan
+	switch cfg.Transport {
+	case TransportBasic:
+		chanCfg.Design = rdmachan.DesignBasic
+	case TransportPiggyback:
+		chanCfg.Design = rdmachan.DesignPiggyback
+	case TransportPipeline:
+		chanCfg.Design = rdmachan.DesignPipeline
+	case TransportZeroCopy:
+		chanCfg.Design = rdmachan.DesignZeroCopy
+	case TransportCH3:
+		chanCfg.Design = rdmachan.DesignPipeline // eager ring only
+	}
+
+	c.Eng.Spawn("setup", func(p *des.Proc) {
+		for i := 0; i < cfg.NP; i++ {
+			for j := i + 1; j < cfg.NP; j++ {
+				epi, epj, err := rdmachan.NewConnection(p, chanCfg, c.HCAs[i], c.HCAs[j])
+				if err != nil {
+					panic(fmt.Sprintf("cluster: connect %d-%d: %v", i, j, err))
+				}
+				c.Devs[i].SetConn(int32(j), c.newConn(epi, c.Devs[i]))
+				c.Devs[j].SetConn(int32(i), c.newConn(epj, c.Devs[j]))
+			}
+		}
+	})
+	c.Eng.Run()
+	return c
+}
+
+func (c *Cluster) newConn(ep rdmachan.Endpoint, dev *adi3.Device) ch3.Conn {
+	if c.cfg.Transport == TransportCH3 {
+		return ch3.NewIBConn(ep, dev, c.cfg.CH3Threshold, dev.OnErr())
+	}
+	return ch3.NewOverChannel(ep, dev, dev.OnErr())
+}
+
+// Launch runs body on every rank as a simulated process and returns when
+// all ranks have finished. It can be called repeatedly on one cluster.
+func (c *Cluster) Launch(body func(comm *mpi.Comm)) {
+	for i := 0; i < c.cfg.NP; i++ {
+		dev := c.Devs[i]
+		c.Eng.Spawn(fmt.Sprintf("rank%d", i), func(p *des.Proc) {
+			body(mpi.New(p, dev))
+		})
+	}
+	c.Eng.Run()
+}
+
+// Now returns the simulated clock.
+func (c *Cluster) Now() des.Time { return c.Eng.Now() }
+
+// Close tears the simulation down, terminating the hardware service
+// processes so the cluster's memory (rings, application buffers, fabric
+// state) becomes collectable. Harnesses that build many clusters — figure
+// sweeps, the NAS suite — must call it; a class-B NAS cluster pins over a
+// gigabyte otherwise.
+func (c *Cluster) Close() { c.Eng.Shutdown() }

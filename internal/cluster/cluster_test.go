@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestClusterConstruction(t *testing.T) {
+	c := New(Config{NP: 4, Transport: TransportZeroCopy})
+	if len(c.Nodes) != 4 || len(c.HCAs) != 4 || len(c.Devs) != 4 {
+		t.Fatal("cluster incompletely constructed")
+	}
+	for i, d := range c.Devs {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				if d.Conn(int32(j)) != nil {
+					t.Errorf("rank %d has a self connection", i)
+				}
+				continue
+			}
+			if d.Conn(int32(j)) == nil {
+				t.Errorf("rank %d missing connection to %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLaunchReusable(t *testing.T) {
+	// One cluster, several application launches (as the NAS harness does
+	// when reusing a cluster for warmup + measurement).
+	c := New(Config{NP: 2, Transport: TransportPipeline})
+	for round := 0; round < 3; round++ {
+		completed := 0
+		c.Launch(func(comm *mpi.Comm) {
+			buf, _ := comm.Alloc(128)
+			if comm.Rank() == 0 {
+				comm.Send(buf, 1, round)
+			} else {
+				comm.Recv(buf, 0, round)
+			}
+			completed++
+		})
+		if completed != 2 {
+			t.Fatalf("round %d: %d ranks completed", round, completed)
+		}
+	}
+	if c.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestTransportStrings(t *testing.T) {
+	want := map[Transport]string{
+		TransportBasic:     "basic",
+		TransportPiggyback: "piggyback",
+		TransportPipeline:  "pipeline",
+		TransportZeroCopy:  "rdma-channel-zerocopy",
+		TransportCH3:       "ch3-zerocopy",
+	}
+	for tr, s := range want {
+		if tr.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(tr), tr.String(), s)
+		}
+	}
+}
+
+func TestRejectsTinyCluster(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NP=1 should panic")
+		}
+	}()
+	New(Config{NP: 1, Transport: TransportZeroCopy})
+}
+
+func TestSimulatedTimeIndependentOfHost(t *testing.T) {
+	run := func() float64 {
+		c := New(Config{NP: 3, Transport: TransportCH3})
+		var end float64
+		c.Launch(func(comm *mpi.Comm) {
+			buf, _ := comm.Alloc(64 << 10)
+			comm.Bcast(buf, 0)
+			comm.Barrier()
+			end = comm.Wtime()
+		})
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic cluster timing: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,70 @@
+// Package core is the façade over the paper's primary contribution: the
+// MPICH2 RDMA Channel interface implemented over InfiniBand in four
+// designs (basic, piggyback, pipeline, zero-copy) plus the direct CH3
+// comparison design. The implementation lives in internal/rdmachan (the
+// channel itself), internal/ch3 (the CH3 layer), and internal/cluster
+// (system assembly); this package re-exports the entry points a user of
+// the library starts from, mirroring the repository structure described
+// in DESIGN.md.
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/mpi"
+	"repro/internal/rdmachan"
+)
+
+// The RDMA Channel interface and its designs (§3.2, §4–§5 of the paper).
+type (
+	// Channel is one side of the five-function RDMA Channel interface:
+	// a non-blocking byte-FIFO pipe pair implemented over RDMA.
+	Channel = rdmachan.Endpoint
+	// ChannelConfig tunes ring size, chunk size, zero-copy threshold,
+	// credit batching and the registration cache.
+	ChannelConfig = rdmachan.Config
+	// Design selects basic, piggyback, pipeline or zero-copy.
+	Design = rdmachan.Design
+	// Buffer names a span of simulated node memory.
+	Buffer = rdmachan.Buffer
+)
+
+// The four channel designs.
+const (
+	DesignBasic     = rdmachan.DesignBasic
+	DesignPiggyback = rdmachan.DesignPiggyback
+	DesignPipeline  = rdmachan.DesignPipeline
+	DesignZeroCopy  = rdmachan.DesignZeroCopy
+)
+
+// NewChannelPair wires a bidirectional connection between two simulated
+// adapters; see rdmachan.NewConnection.
+func NewChannelPair(p *des.Proc, cfg ChannelConfig, a, b *ib.HCA) (Channel, Channel, error) {
+	return rdmachan.NewConnection(p, cfg, a, b)
+}
+
+// System assembly and the MPI library on top.
+type (
+	// Cluster is a complete simulated system: nodes, fabric, transports,
+	// and MPI process launch.
+	Cluster = cluster.Cluster
+	// ClusterConfig selects node count and transport design.
+	ClusterConfig = cluster.Config
+	// Transport identifies the five evaluated MPI transports.
+	Transport = cluster.Transport
+	// Comm is a rank's MPI-1 communicator handle.
+	Comm = mpi.Comm
+)
+
+// The five MPI transports of the evaluation.
+const (
+	TransportBasic     = cluster.TransportBasic
+	TransportPiggyback = cluster.TransportPiggyback
+	TransportPipeline  = cluster.TransportPipeline
+	TransportZeroCopy  = cluster.TransportZeroCopy
+	TransportCH3       = cluster.TransportCH3
+)
+
+// NewCluster builds a simulated cluster; see cluster.New.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }

@@ -1,0 +1,292 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled callback. Events with equal times fire in scheduling
+// order (seq), which is what makes the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel. It is not safe for
+// concurrent use from multiple host goroutines; all interaction must happen
+// from the goroutine that calls Run (or from simulated processes, which the
+// engine serializes itself).
+type Engine struct {
+	now     Time
+	pq      eventHeap
+	seq     uint64
+	alive   int // spawned non-daemon processes that have not terminated
+	daemons int // spawned daemon processes that have not terminated
+	blocked map[*Proc]string
+	procs   []*Proc
+	current *Proc
+	stopped bool
+	down    bool
+	panicV  interface{}
+	events  uint64 // total events executed, for stats/tests
+}
+
+// NewEngine returns an engine with the clock at the epoch.
+func NewEngine() *Engine {
+	return &Engine{blocked: make(map[*Proc]string)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsExecuted returns the number of events the engine has dispatched.
+func (e *Engine) EventsExecuted() uint64 { return e.events }
+
+// Schedule runs fn at absolute simulated time at (clamped to now).
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn after delay d.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Shutdown terminates every remaining process goroutine and drops the
+// event queue, releasing everything the simulation references. A finished
+// simulation otherwise pins its entire state: daemon goroutines (hardware
+// service engines) park forever on their resume channels and keep nodes,
+// adapters and application buffers reachable. Call Shutdown when a
+// simulation will not be used again; the engine is dead afterwards.
+func (e *Engine) Shutdown() {
+	if e.down {
+		return
+	}
+	e.down = true
+	for _, p := range e.procs {
+		if p.dead {
+			continue
+		}
+		p.toProc <- struct{}{} // resume; the process observes down and exits
+		<-p.toEng
+	}
+	e.procs = nil
+	e.pq = nil
+	e.blocked = nil
+}
+
+// Run dispatches events until the queue drains, Stop is called, or a
+// simulated process panics (the panic is re-raised on the caller's
+// goroutine). If processes remain alive when the queue drains, Run panics
+// with a deadlock report naming each blocked process — a protocol hang in
+// the layers above is a bug, and silent termination would mask it.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		e.events++
+		ev.fn()
+		if e.panicV != nil {
+			v := e.panicV
+			e.panicV = nil
+			panic(v)
+		}
+	}
+	if !e.stopped && e.alive > 0 {
+		panic("des: deadlock: " + e.deadlockReport())
+	}
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then sets the
+// clock to deadline. Processes may still be alive; this is how open-ended
+// server-style simulations are driven.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.pq) > 0 && e.pq[0].at <= deadline && !e.stopped {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		e.events++
+		ev.fn()
+		if e.panicV != nil {
+			v := e.panicV
+			e.panicV = nil
+			panic(v)
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) deadlockReport() string {
+	var names []string
+	for p, where := range e.blocked {
+		if p.daemon {
+			continue
+		}
+		names = append(names, fmt.Sprintf("%s (%s)", p.name, where))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Sprintf("%d process(es) alive but none blocked on a kernel primitive", e.alive)
+	}
+	return fmt.Sprintf("%d process(es) blocked: %s", len(names), strings.Join(names, ", "))
+}
+
+// Proc is a simulated process. Exactly one Proc executes at any instant;
+// kernel primitives are the only legal blocking points.
+type Proc struct {
+	eng     *Engine
+	name    string
+	toProc  chan struct{}
+	toEng   chan struct{}
+	dead    bool
+	daemon  bool
+	waiting bool
+	gen     uint64 // pause generation; stale wakeups are dropped
+}
+
+// Spawn creates a process running body and schedules it to start at the
+// current simulated time. The name appears in deadlock reports.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.spawn(name, body, false)
+}
+
+// SpawnDaemon creates a process that does not count toward deadlock
+// detection: the simulation may finish while daemons are blocked. Hardware
+// service engines (HCA receive paths, responder engines) are daemons.
+func (e *Engine) SpawnDaemon(name string, body func(p *Proc)) *Proc {
+	return e.spawn(name, body, true)
+}
+
+func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		daemon: daemon,
+		toProc: make(chan struct{}),
+		toEng:  make(chan struct{}),
+	}
+	if daemon {
+		e.daemons++
+	} else {
+		e.alive++
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.toProc // wait for the start event
+		defer func() {
+			p.dead = true
+			if p.daemon {
+				e.daemons--
+			} else {
+				e.alive--
+			}
+			if r := recover(); r != nil {
+				e.panicV = fmt.Sprintf("des: process %q panicked: %v", name, r)
+			}
+			p.toEng <- struct{}{}
+		}()
+		if !e.down {
+			body(p)
+		}
+	}()
+	e.Schedule(e.now, func() { p.step() })
+	return p
+}
+
+// step hands control to the process goroutine and waits for it to block on
+// a kernel primitive (or terminate).
+func (p *Proc) step() {
+	prev := p.eng.current
+	p.eng.current = p
+	p.toProc <- struct{}{}
+	<-p.toEng
+	p.eng.current = prev
+}
+
+// pause yields control back to the engine; the process resumes when a
+// wakeup targeting this pause generation fires. where labels the block site
+// for deadlock reports.
+func (p *Proc) pause(where string) {
+	p.eng.blocked[p] = where
+	p.waiting = true
+	p.toEng <- struct{}{}
+	<-p.toProc
+	if p.eng.down {
+		// Engine shutdown: unwind this goroutine; the spawn defer notifies
+		// the engine.
+		runtime.Goexit()
+	}
+	p.waiting = false
+	p.gen++
+	delete(p.eng.blocked, p)
+}
+
+// wake schedules the process to resume at absolute time at. A wakeup is
+// bound to the pause generation current at the time of the call: if the
+// process has since resumed (another wakeup won the race) or terminated,
+// the event is a no-op. A wakeup issued while the process is running (e.g.
+// Sleep schedules its own wakeup before pausing) targets the next pause.
+func (p *Proc) wake(at Time) {
+	g := p.gen
+	p.eng.Schedule(at, func() {
+		if p.dead || p.gen != g || !p.waiting {
+			return
+		}
+		p.step()
+	})
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep blocks the process for duration d of simulated time. Negative
+// durations sleep zero time but still yield, giving other ready processes a
+// chance to run first.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.wake(p.eng.now + d)
+	p.pause("sleep")
+}
+
+// Yield lets any other process scheduled at the current instant run.
+func (p *Proc) Yield() { p.Sleep(0) }

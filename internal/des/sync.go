@@ -1,0 +1,151 @@
+package des
+
+// Cond is a condition variable for simulated processes. The usual pattern
+// applies: re-check the predicate in a loop around Wait, because Broadcast
+// wakes all waiters and another process may consume the state first.
+//
+// Unlike sync.Cond there is no associated lock: the engine serializes all
+// processes, so predicates can be examined without synchronization.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait blocks p until another process calls Signal or Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.pause("cond.Wait")
+}
+
+// Signal wakes the longest-waiting process, if any. The wakeup is scheduled
+// at the current instant; the woken process runs after the caller blocks.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	w.wake(w.eng.now)
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		w.wake(w.eng.now)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// WaitFor blocks p until pred() is true, re-checking each time the
+// condition is signalled. If pred is already true it returns immediately.
+func (c *Cond) WaitFor(p *Proc, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}
+
+// Queue is an unbounded FIFO mailbox between simulated processes.
+type Queue[T any] struct {
+	items []T
+	cond  Cond
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes one waiting receiver. It never blocks.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Get blocks p until an item is available, then dequeues and returns it.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet dequeues an item if one is available.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Resource is a counting semaphore with FIFO admission, used to model
+// contended hardware units (DMA engines, bus slots).
+type Resource struct {
+	capacity int
+	inUse    int
+	waiters  []resWaiter
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource returns a resource with the given capacity (must be > 0).
+func NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("des: resource capacity must be positive")
+	}
+	return &Resource{capacity: capacity}
+}
+
+// InUse reports the currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity reports the total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// Acquire blocks p until n units are available, then takes them. FIFO order
+// is strict: a small request queued behind a large one waits for it.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n > r.capacity {
+		panic("des: acquire exceeds resource capacity")
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p, n})
+	for {
+		p.pause("resource.Acquire")
+		if len(r.waiters) > 0 && r.waiters[0].p == p && r.inUse+n <= r.capacity {
+			r.waiters = r.waiters[1:]
+			r.inUse += n
+			r.admitNext()
+			return
+		}
+	}
+}
+
+// Release returns n units and admits queued waiters.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("des: resource released below zero")
+	}
+	r.admitNext()
+}
+
+func (r *Resource) admitNext() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n <= r.capacity {
+			w.p.wake(w.p.eng.now)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package ib
+
+import "repro/internal/des"
+
+// CQ is a completion queue. Entries are delivered in work-request order per
+// queue pair; consumers either poll non-blockingly (TryPoll) or block until
+// an entry arrives (Poll), which models the spin-poll loop of the real
+// implementation with a condition wakeup plus the reap cost.
+type CQ struct {
+	hca     *HCA
+	entries []CQE
+	cond    des.Cond
+	total   uint64
+}
+
+// CreateCQ allocates a completion queue on the adapter.
+func (h *HCA) CreateCQ() *CQ {
+	return &CQ{hca: h}
+}
+
+// insert appends a completion and wakes pollers, including processes
+// blocked in WaitMemEvent progress loops (software multiplexes flag
+// polling and CQ polling in one loop).
+func (cq *CQ) insert(e CQE) {
+	cq.entries = append(cq.entries, e)
+	cq.total++
+	cq.cond.Broadcast()
+	cq.hca.notifyMemWrite()
+}
+
+// Len reports pending, unreaped completions.
+func (cq *CQ) Len() int { return len(cq.entries) }
+
+// Total reports the number of completions ever generated.
+func (cq *CQ) Total() uint64 { return cq.total }
+
+// TryPoll dequeues a completion if one is pending. It charges no simulated
+// time; callers model their own poll-loop costs.
+func (cq *CQ) TryPoll() (CQE, bool) {
+	if len(cq.entries) == 0 {
+		return CQE{}, false
+	}
+	e := cq.entries[0]
+	cq.entries = cq.entries[1:]
+	return e, true
+}
+
+// Poll blocks the process until a completion is available, then reaps it,
+// charging the per-CQE reap overhead.
+func (cq *CQ) Poll(p *des.Proc) CQE {
+	for len(cq.entries) == 0 {
+		cq.cond.Wait(p)
+	}
+	p.Sleep(cq.hca.prm.CQPollOverhead)
+	e := cq.entries[0]
+	cq.entries = cq.entries[1:]
+	return e
+}

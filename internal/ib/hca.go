@@ -1,0 +1,262 @@
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/model"
+)
+
+// HCA is a simulated host channel adapter attached to one node. It owns
+// the key tables, the receive path (granules arriving from the wire cross
+// the node's memory bus), and the responder-side RDMA read engine.
+type HCA struct {
+	node *model.Node
+	eng  *des.Engine
+	prm  *model.Params
+
+	pdSeq  int
+	qpSeq  uint32
+	keySeq uint32
+	lkeys  map[uint32]*MR
+	rkeys  map[uint32]*MR
+
+	rxq   des.Queue[rxItem]
+	readq des.Queue[*readRequest]
+
+	memWatch des.Cond
+	memSeq   uint64 // bumped on every notifyMemWrite / CQE
+
+	stats HCAStats
+}
+
+// HCAStats counts adapter-level activity.
+type HCAStats struct {
+	BytesInjected   uint64
+	BytesDelivered  uint64
+	ReadsServed     uint64
+	MRsRegistered   uint64
+	MRsDeregistered uint64
+	BytesRegistered uint64
+}
+
+// rxItem is one granule arriving from the wire. fn, when non-nil, runs
+// after the granule crosses the memory bus (used for last-granule
+// delivery actions).
+type rxItem struct {
+	bytes int
+	fn    func()
+}
+
+// readRequest is an RDMA read or atomic request arriving at the responder.
+type readRequest struct {
+	qp     *QP // the requester QP
+	w      *sendWork
+	length int
+	atomic bool
+}
+
+// Node returns the node the adapter is attached to.
+func (h *HCA) Node() *model.Node { return h.node }
+
+// Engine returns the simulation engine.
+func (h *HCA) Engine() *des.Engine { return h.eng }
+
+// Params returns the testbed cost model.
+func (h *HCA) Params() *model.Params { return h.prm }
+
+// Stats returns a copy of the adapter counters.
+func (h *HCA) Stats() HCAStats { return h.stats }
+
+// notifyMemWrite wakes processes polling host memory for remotely written
+// flags (WaitMemory).
+func (h *HCA) notifyMemWrite() {
+	h.memSeq++
+	h.memWatch.Broadcast()
+}
+
+// MemEventSeq returns a counter that advances on every remote write or
+// completion landing on this node. Progress loops snapshot it before a
+// polling pass; WaitMemEventSince then returns immediately if anything
+// happened during the pass, closing the lost-wakeup window between
+// checking one connection and sleeping.
+func (h *HCA) MemEventSeq() uint64 { return h.memSeq }
+
+// WaitMemEventSince blocks until fabric activity newer than seq, then
+// charges the poll-detection latency. If activity already happened after
+// seq was read, it returns at once.
+func (h *HCA) WaitMemEventSince(p *des.Proc, seq uint64) {
+	for h.memSeq == seq {
+		h.memWatch.Wait(p)
+	}
+	p.Sleep(h.prm.PollDetect)
+}
+
+// WaitMemory blocks until pred() becomes true, re-evaluating after every
+// remote write delivered into this node, then charges the poll-detection
+// latency. This models the spin-polling on ring-buffer flags used by the
+// piggybacking design (§4.3) without simulating every poll iteration.
+func (h *HCA) WaitMemory(p *des.Proc, pred func() bool) {
+	for !pred() {
+		h.memWatch.Wait(p)
+	}
+	p.Sleep(h.prm.PollDetect)
+}
+
+// WaitMemEvent blocks until the next remote write or completion lands on
+// this node, then charges the poll-detection latency. Progress loops use
+// it between retries of non-blocking operations.
+func (h *HCA) WaitMemEvent(p *des.Proc) {
+	h.memWatch.Wait(p)
+	p.Sleep(h.prm.PollDetect)
+}
+
+// runRx is the adapter's receive engine: every granule arriving from the
+// wire crosses the node's memory bus at the network rate (the PCI-X DMA
+// write), then runs its delivery action.
+func (h *HCA) runRx(p *des.Proc) {
+	for {
+		it := h.rxq.Get(p)
+		if it.bytes > 0 {
+			h.node.Bus.Transfer(p, it.bytes, h.prm.NetBandwidth)
+			h.stats.BytesDelivered += uint64(it.bytes)
+		}
+		if it.fn != nil {
+			it.fn()
+		}
+	}
+}
+
+// runReadResponder serves incoming RDMA read and atomic requests: validate
+// the rkey, charge the responder turnaround, stream the response through
+// this node's bus, and deliver granules to the requester's receive path.
+// One engine per adapter: concurrent readers of the same node serialize
+// here, as they do on the real responder.
+func (h *HCA) runReadResponder(p *des.Proc) {
+	for {
+		req := h.readq.Get(p)
+		qp := req.qp
+		prm := h.prm
+		p.Sleep(prm.ReadTurnaround)
+
+		need := AccessRemoteRead
+		if req.atomic {
+			need = AccessRemoteAtomic
+		}
+		src, err := h.checkRemote(req.w.wr.RemoteAddr, req.length, req.w.wr.RKey, qp.peer.pd, need)
+		if err != nil {
+			h.eng.After(prm.WireLatency, func() {
+				qp.completeErr(req.w, StatusRemoteAccessErr)
+				qp.readSlots.Release(1)
+			})
+			continue
+		}
+
+		var data []byte
+		if req.atomic {
+			// Execute the atomic at the responder's memory.
+			orig := readUint64(src)
+			switch req.w.wr.Op {
+			case OpCmpSwap:
+				if orig == req.w.wr.Compare {
+					writeUint64(src, req.w.wr.Swap)
+				}
+			case OpFetchAdd:
+				writeUint64(src, orig+req.w.wr.Compare)
+			}
+			h.notifyMemWrite()
+			data = make([]byte, 8)
+			writeUint64(data, orig)
+		} else {
+			data = append([]byte(nil), src...)
+		}
+		h.stats.ReadsServed++
+
+		reqHCA := qp.hca
+		w := req.w
+		deliver := func() {
+			if err := reqHCA.scatter(w.wr.SGL, qp.pd, data); err != nil {
+				qp.completeErr(w, StatusLocalProtErr)
+			} else {
+				reqHCA.notifyMemWrite()
+				qp.complete(w.seq, qp.cqeFor(w, len(data)))
+			}
+			qp.readSlots.Release(1)
+		}
+
+		// Stream the response through the responder's bus; granules land at
+		// the requester one wire latency later.
+		n := len(data)
+		if n == 0 {
+			h.eng.After(prm.WireLatency, func() {
+				reqHCA.rxq.Put(rxItem{fn: deliver})
+			})
+			continue
+		}
+		g := prm.BusGranule
+		for off := 0; off < n; off += g {
+			chunk := g
+			if n-off < chunk {
+				chunk = n - off
+			}
+			h.node.Bus.Transfer(p, chunk, prm.NetBandwidth)
+			var fn func()
+			if off+chunk >= n {
+				fn = deliver
+			}
+			it := rxItem{bytes: chunk, fn: fn}
+			h.eng.After(prm.WireLatency, func() {
+				reqHCA.rxq.Put(it)
+			})
+		}
+	}
+}
+
+// Fabric is the switched network connecting the adapters. The InfiniScale
+// switch in the testbed is non-blocking for 8 ports, so the fabric adds
+// latency (folded into WireLatency) but no internal contention; endpoint
+// contention lives on the node memory buses.
+type Fabric struct {
+	eng  *des.Engine
+	prm  *model.Params
+	hcas []*HCA
+}
+
+// NewFabric creates an empty fabric over the given engine and cost model.
+func NewFabric(eng *des.Engine, prm *model.Params) *Fabric {
+	return &Fabric{eng: eng, prm: prm}
+}
+
+// NewHCA attaches an adapter to node and starts its receive and
+// read-responder engines.
+func (f *Fabric) NewHCA(node *model.Node) *HCA {
+	h := &HCA{
+		node:   node,
+		eng:    f.eng,
+		prm:    f.prm,
+		keySeq: 0x100,
+		lkeys:  make(map[uint32]*MR),
+		rkeys:  make(map[uint32]*MR),
+	}
+	f.hcas = append(f.hcas, h)
+	f.eng.SpawnDaemon(fmt.Sprintf("hca%d.rx", node.ID), h.runRx)
+	f.eng.SpawnDaemon(fmt.Sprintf("hca%d.readresp", node.ID), h.runReadResponder)
+	return h
+}
+
+// HCAs returns the attached adapters.
+func (f *Fabric) HCAs() []*HCA { return f.hcas }
+
+// Connect pairs two queue pairs into a reliable connection and moves both
+// to the ready-to-send state.
+func Connect(a, b *QP) error {
+	if a.hca == b.hca {
+		return fmt.Errorf("ib: loopback connections not supported")
+	}
+	if a.state != QPReset || b.state != QPReset {
+		return fmt.Errorf("ib: Connect requires both QPs in RESET")
+	}
+	a.peer, b.peer = b, a
+	a.state, b.state = QPReadyToSend, QPReadyToSend
+	return nil
+}

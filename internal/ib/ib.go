@@ -1,0 +1,163 @@
+// Package ib simulates the InfiniBand Architecture at the verbs level:
+// host channel adapters (HCAs), reliable-connection queue pairs, work queue
+// requests, completion queues, and registered memory regions with
+// lkey/rkey protection — the API surface the paper's MPICH2 designs are
+// built on (§2 of the paper).
+//
+// The simulator executes real protocol state machines over real bytes; only
+// time is simulated, via the internal/des kernel and the internal/model
+// cost model. It preserves the semantics the paper's designs rely on:
+//
+//   - RC ordering: operations on a queue pair execute in posted order, and
+//     RDMA writes become visible at the responder in order.
+//   - One-sidedness: RDMA read/write consume no responder CPU.
+//   - Completion semantics: a requester CQE means the operation is acked
+//     end-to-end; completions appear in work-request order.
+//   - Protection: remote access requires a valid rkey covering the range
+//     with the right access flags; violations complete in error and move
+//     the queue pair to the error state.
+//   - Limited outstanding RDMA reads per QP (the InfiniHost-era IRD limit
+//     responsible for the read-vs-write mid-size bandwidth gap, Figure 15).
+package ib
+
+import "fmt"
+
+// Opcode identifies the operation of a work request or completion.
+type Opcode int
+
+// Work request opcodes.
+const (
+	OpSend Opcode = iota
+	OpRecv
+	OpRDMAWrite
+	OpRDMARead
+	OpCmpSwap
+	OpFetchAdd
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpRDMAWrite:
+		return "RDMA_WRITE"
+	case OpRDMARead:
+		return "RDMA_READ"
+	case OpCmpSwap:
+		return "CMP_SWAP"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// Status is the completion status of a work request.
+type Status int
+
+// Completion statuses.
+const (
+	StatusSuccess Status = iota
+	StatusLocalProtErr
+	StatusRemoteAccessErr
+	StatusRemoteInvalidErr
+	StatusWRFlushErr
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "SUCCESS"
+	case StatusLocalProtErr:
+		return "LOCAL_PROT_ERR"
+	case StatusRemoteAccessErr:
+		return "REMOTE_ACCESS_ERR"
+	case StatusRemoteInvalidErr:
+		return "REMOTE_INVALID_ERR"
+	case StatusWRFlushErr:
+		return "WR_FLUSH_ERR"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Access flags for memory regions.
+type Access uint32
+
+// Access rights, combinable with |.
+const (
+	AccessLocalWrite Access = 1 << iota
+	AccessRemoteWrite
+	AccessRemoteRead
+	AccessRemoteAtomic
+)
+
+// QPState is the queue pair state (a reduced RESET→RTS→ERROR machine; the
+// full INIT/RTR ladder adds nothing to the protocols under study).
+type QPState int
+
+// Queue pair states.
+const (
+	QPReset QPState = iota
+	QPReadyToSend
+	QPError
+)
+
+func (s QPState) String() string {
+	switch s {
+	case QPReset:
+		return "RESET"
+	case QPReadyToSend:
+		return "RTS"
+	case QPError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("QPState(%d)", int(s))
+}
+
+// SGE is a scatter/gather element naming local registered memory.
+type SGE struct {
+	Addr uint64
+	Len  int
+	LKey uint32
+}
+
+// SendWR is a send-queue work request (send, RDMA write/read, atomic).
+type SendWR struct {
+	WRID     uint64
+	Op       Opcode
+	SGL      []SGE // local segments (gather for send/write, scatter for read)
+	Signaled bool
+
+	// RDMA and atomic targets.
+	RemoteAddr uint64
+	RKey       uint32
+
+	// Atomic operands (8-byte): CmpSwap compares against Compare and swaps
+	// in Swap; FetchAdd adds Compare.
+	Compare uint64
+	Swap    uint64
+}
+
+// RecvWR is a receive-queue work request.
+type RecvWR struct {
+	WRID uint64
+	SGL  []SGE
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	WRID    uint64
+	Status  Status
+	Op      Opcode
+	ByteLen int
+	QPNum   uint32
+}
+
+func sglLen(sgl []SGE) int {
+	n := 0
+	for _, s := range sgl {
+		n += s.Len
+	}
+	return n
+}

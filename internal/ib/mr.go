@@ -1,0 +1,168 @@
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// PD is a protection domain. Queue pairs and memory regions belong to a PD;
+// remote access is only granted when the target MR's PD matches the
+// responder queue pair's PD.
+type PD struct {
+	hca *HCA
+	id  int
+}
+
+// HCA returns the adapter this PD belongs to.
+func (pd *PD) HCA() *HCA { return pd.hca }
+
+// MR is a registered (pinned) memory region.
+type MR struct {
+	pd     *PD
+	addr   uint64
+	length int
+	lkey   uint32
+	rkey   uint32
+	access Access
+	valid  bool
+}
+
+// Addr returns the region's starting virtual address.
+func (mr *MR) Addr() uint64 { return mr.addr }
+
+// Len returns the region's length in bytes.
+func (mr *MR) Len() int { return mr.length }
+
+// LKey returns the local key used in SGEs.
+func (mr *MR) LKey() uint32 { return mr.lkey }
+
+// RKey returns the remote key presented by RDMA initiators.
+func (mr *MR) RKey() uint32 { return mr.rkey }
+
+// Valid reports whether the region is still registered.
+func (mr *MR) Valid() bool { return mr.valid }
+
+// AllocPD creates a protection domain on the adapter.
+func (h *HCA) AllocPD() *PD {
+	h.pdSeq++
+	return &PD{hca: h, id: h.pdSeq}
+}
+
+// RegisterMR pins [addr, addr+length) with the given access rights,
+// charging the calling process the registration cost from the testbed
+// model. The range must lie within a single allocation of the node's
+// address space.
+func (h *HCA) RegisterMR(p *des.Proc, pd *PD, addr uint64, length int, access Access) (*MR, error) {
+	if pd.hca != h {
+		return nil, fmt.Errorf("ib: PD belongs to a different HCA")
+	}
+	if _, err := h.node.Mem.Resolve(addr, length); err != nil {
+		return nil, fmt.Errorf("ib: register: %w", err)
+	}
+	p.Sleep(h.prm.RegTime(length))
+	h.keySeq++
+	mr := &MR{
+		pd:     pd,
+		addr:   addr,
+		length: length,
+		lkey:   h.keySeq,
+		rkey:   h.keySeq | rkeyBit,
+		access: access,
+		valid:  true,
+	}
+	h.lkeys[mr.lkey] = mr
+	h.rkeys[mr.rkey] = mr
+	h.stats.MRsRegistered++
+	h.stats.BytesRegistered += uint64(length)
+	return mr, nil
+}
+
+// rkeyBit distinguishes rkeys from lkeys so that passing one where the
+// other is expected always faults, as on real adapters.
+const rkeyBit = 0x8000_0000
+
+// DeregisterMR unpins the region, charging deregistration cost.
+func (h *HCA) DeregisterMR(p *des.Proc, mr *MR) error {
+	if !mr.valid {
+		return fmt.Errorf("ib: deregister: MR already invalid")
+	}
+	p.Sleep(h.prm.DeregTime(mr.length))
+	mr.valid = false
+	delete(h.lkeys, mr.lkey)
+	delete(h.rkeys, mr.rkey)
+	h.stats.MRsDeregistered++
+	return nil
+}
+
+// checkLocal validates an SGE against the adapter's lkey table and returns
+// the backing bytes. needWrite requires AccessLocalWrite (scatter targets).
+func (h *HCA) checkLocal(sge SGE, pd *PD, needWrite bool) ([]byte, error) {
+	mr, ok := h.lkeys[sge.LKey]
+	if !ok || !mr.valid {
+		return nil, fmt.Errorf("ib: invalid lkey %#x", sge.LKey)
+	}
+	if mr.pd != pd {
+		return nil, fmt.Errorf("ib: lkey %#x PD mismatch", sge.LKey)
+	}
+	if needWrite && mr.access&AccessLocalWrite == 0 {
+		return nil, fmt.Errorf("ib: lkey %#x lacks local-write access", sge.LKey)
+	}
+	if sge.Addr < mr.addr || sge.Addr+uint64(sge.Len) > mr.addr+uint64(mr.length) {
+		return nil, fmt.Errorf("ib: SGE [%#x,+%d) outside MR [%#x,+%d)",
+			sge.Addr, sge.Len, mr.addr, mr.length)
+	}
+	return h.node.Mem.MustResolve(sge.Addr, sge.Len), nil
+}
+
+// checkRemote validates a remote access against this adapter's rkey table.
+func (h *HCA) checkRemote(addr uint64, length int, rkey uint32, pd *PD, need Access) ([]byte, error) {
+	mr, ok := h.rkeys[rkey]
+	if !ok || !mr.valid {
+		return nil, fmt.Errorf("ib: invalid rkey %#x", rkey)
+	}
+	if mr.pd != pd {
+		return nil, fmt.Errorf("ib: rkey %#x PD mismatch", rkey)
+	}
+	if mr.access&need == 0 {
+		return nil, fmt.Errorf("ib: rkey %#x lacks access %#x", rkey, need)
+	}
+	if addr < mr.addr || addr+uint64(length) > mr.addr+uint64(mr.length) {
+		return nil, fmt.Errorf("ib: remote range [%#x,+%d) outside MR [%#x,+%d)",
+			addr, length, mr.addr, mr.length)
+	}
+	return h.node.Mem.MustResolve(addr, length), nil
+}
+
+// gather validates a gather list and returns a snapshot of its bytes.
+func (h *HCA) gather(sgl []SGE, pd *PD) ([]byte, error) {
+	out := make([]byte, 0, sglLen(sgl))
+	for _, sge := range sgl {
+		b, err := h.checkLocal(sge, pd, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// scatter validates a scatter list and copies data into it.
+func (h *HCA) scatter(sgl []SGE, pd *PD, data []byte) error {
+	if sglLen(sgl) < len(data) {
+		return fmt.Errorf("ib: scatter list too short: %d < %d", sglLen(sgl), len(data))
+	}
+	off := 0
+	for _, sge := range sgl {
+		if off >= len(data) {
+			break
+		}
+		b, err := h.checkLocal(sge, pd, true)
+		if err != nil {
+			return err
+		}
+		n := copy(b, data[off:])
+		off += n
+	}
+	return nil
+}

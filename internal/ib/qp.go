@@ -1,0 +1,313 @@
+package ib
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// QP is a reliable-connection queue pair. Work requests posted to the send
+// queue execute in order on a per-QP engine process; completions are
+// delivered to the send CQ in posted order even when operations (RDMA
+// reads) complete out of order internally.
+type QP struct {
+	hca  *HCA
+	pd   *PD
+	num  uint32
+	scq  *CQ
+	rcq  *CQ
+	peer *QP
+
+	state QPState
+	sq    des.Queue[*sendWork]
+	rq    []*RecvWR
+
+	readSlots *des.Resource
+
+	// Completion sequencing.
+	wrSeq   uint64
+	seqNext uint64
+	seqBuf  map[uint64]*seqEntry
+
+	stats QPStats
+}
+
+// QPStats counts per-QP activity.
+type QPStats struct {
+	SendsPosted   uint64
+	RecvsPosted   uint64
+	BytesSent     uint64
+	BytesRead     uint64
+	ErrsCompleted uint64
+}
+
+type seqEntry struct {
+	cqe *CQE // nil for unsignaled operations
+	cq  *CQ
+}
+
+type sendWork struct {
+	wr   SendWR
+	seq  uint64
+	data []byte // gather snapshot, filled by the engine
+}
+
+// CreateQP allocates a queue pair with the given PD and completion queues.
+// The send engine starts immediately and idles until the QP is connected.
+func (h *HCA) CreateQP(pd *PD, scq, rcq *CQ) *QP {
+	h.qpSeq++
+	qp := &QP{
+		hca:       h,
+		pd:        pd,
+		num:       h.qpSeq,
+		scq:       scq,
+		rcq:       rcq,
+		state:     QPReset,
+		readSlots: des.NewResource(h.prm.MaxRDMAReads),
+		seqBuf:    make(map[uint64]*seqEntry),
+	}
+	h.eng.SpawnDaemon(fmt.Sprintf("hca%d.qp%d.send", h.node.ID, qp.num), qp.runSendEngine)
+	return qp
+}
+
+// Num returns the queue pair number.
+func (qp *QP) Num() uint32 { return qp.num }
+
+// State returns the queue pair state.
+func (qp *QP) State() QPState { return qp.state }
+
+// Stats returns a copy of the per-QP counters.
+func (qp *QP) Stats() QPStats { return qp.stats }
+
+// HCA returns the adapter owning this QP.
+func (qp *QP) HCA() *HCA { return qp.hca }
+
+// PD returns the protection domain of this QP.
+func (qp *QP) PD() *PD { return qp.pd }
+
+// PostSend posts a work request to the send queue, charging the posting
+// CPU overhead to the calling process.
+func (qp *QP) PostSend(p *des.Proc, wr SendWR) {
+	p.Sleep(qp.hca.prm.PostOverhead)
+	qp.wrSeq++
+	qp.stats.SendsPosted++
+	qp.sq.Put(&sendWork{wr: wr, seq: qp.wrSeq})
+}
+
+// PostRecv posts a receive descriptor.
+func (qp *QP) PostRecv(p *des.Proc, wr RecvWR) {
+	p.Sleep(qp.hca.prm.PostOverhead)
+	qp.stats.RecvsPosted++
+	rw := wr
+	qp.rq = append(qp.rq, &rw)
+}
+
+// complete records the outcome of the work request with sequence seq and
+// drains the in-order completion buffer.
+func (qp *QP) complete(seq uint64, cqe *CQE) {
+	qp.seqBuf[seq] = &seqEntry{cqe: cqe, cq: qp.scq}
+	for {
+		e, ok := qp.seqBuf[qp.seqNext+1]
+		if !ok {
+			return
+		}
+		delete(qp.seqBuf, qp.seqNext+1)
+		qp.seqNext++
+		if e.cqe != nil {
+			e.cq.insert(*e.cqe)
+		}
+	}
+}
+
+// completeErr finishes a work request in error and transitions the QP to
+// the error state. Errors are always signaled, matching the spec.
+func (qp *QP) completeErr(w *sendWork, st Status) {
+	qp.state = QPError
+	qp.stats.ErrsCompleted++
+	qp.complete(w.seq, &CQE{WRID: w.wr.WRID, Status: st, Op: w.wr.Op, QPNum: qp.num})
+}
+
+// cqeFor builds the success completion for w, or nil if unsignaled.
+func (qp *QP) cqeFor(w *sendWork, n int) *CQE {
+	if !w.wr.Signaled {
+		return nil
+	}
+	return &CQE{WRID: w.wr.WRID, Status: StatusSuccess, Op: w.wr.Op, ByteLen: n, QPNum: qp.num}
+}
+
+// runSendEngine is the per-QP HCA send engine: it drains the send queue in
+// order, charging per-WQR processing time and injecting data through the
+// node's memory bus at the network rate.
+func (qp *QP) runSendEngine(p *des.Proc) {
+	for {
+		w := qp.sq.Get(p)
+		if qp.state == QPError {
+			qp.complete(w.seq, &CQE{WRID: w.wr.WRID, Status: StatusWRFlushErr, Op: w.wr.Op, QPNum: qp.num})
+			continue
+		}
+		if qp.state != QPReadyToSend || qp.peer == nil {
+			qp.completeErr(w, StatusWRFlushErr)
+			continue
+		}
+		p.Sleep(qp.hca.prm.HCAProc)
+		switch w.wr.Op {
+		case OpRDMAWrite:
+			qp.execWrite(p, w)
+		case OpSend:
+			qp.execSend(p, w)
+		case OpRDMARead:
+			qp.execRead(p, w)
+		case OpCmpSwap, OpFetchAdd:
+			qp.execAtomic(p, w)
+		default:
+			qp.completeErr(w, StatusLocalProtErr)
+		}
+	}
+}
+
+// execWrite performs an RDMA write: gather locally, validate the remote
+// window, stream granules through the local bus onto the wire, and apply
+// the bytes at the responder when the last granule lands. The requester
+// CQE fires one wire latency after last-byte delivery (the transport ack).
+func (qp *QP) execWrite(p *des.Proc, w *sendWork) {
+	data, err := qp.hca.gather(w.wr.SGL, qp.pd)
+	if err != nil {
+		qp.completeErr(w, StatusLocalProtErr)
+		return
+	}
+	peer := qp.peer
+	dst, err := peer.hca.checkRemote(w.wr.RemoteAddr, len(data), w.wr.RKey, peer.pd, AccessRemoteWrite)
+	if err != nil {
+		qp.completeErr(w, StatusRemoteAccessErr)
+		return
+	}
+	qp.stats.BytesSent += uint64(len(data))
+	qp.hca.stats.BytesInjected += uint64(len(data))
+	seq := w.seq
+	last := func() {
+		copy(dst, data)
+		peer.hca.notifyMemWrite()
+		qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
+			qp.complete(seq, qp.cqeFor(w, len(data)))
+		})
+	}
+	qp.inject(p, peer.hca, len(data), last)
+}
+
+// execSend performs a two-sided send: the payload lands in the responder's
+// head-of-queue receive descriptor, generating a receive completion there.
+func (qp *QP) execSend(p *des.Proc, w *sendWork) {
+	data, err := qp.hca.gather(w.wr.SGL, qp.pd)
+	if err != nil {
+		qp.completeErr(w, StatusLocalProtErr)
+		return
+	}
+	peer := qp.peer
+	qp.stats.BytesSent += uint64(len(data))
+	qp.hca.stats.BytesInjected += uint64(len(data))
+	seq := w.seq
+	last := func() {
+		if len(peer.rq) == 0 {
+			// Receiver-not-ready. The protocols in this repository always
+			// pre-post; hitting this is a bug in the layer above.
+			panic(fmt.Sprintf("ib: RNR on qp%d: send of %d bytes with no posted receive",
+				peer.num, len(data)))
+		}
+		rwr := peer.rq[0]
+		peer.rq = peer.rq[1:]
+		if err := peer.hca.scatter(rwr.SGL, peer.pd, data); err != nil {
+			peer.state = QPError
+			peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusLocalProtErr, Op: OpRecv, QPNum: peer.num})
+			qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
+				qp.completeErr(w, StatusRemoteAccessErr)
+			})
+			return
+		}
+		peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusSuccess, Op: OpRecv, ByteLen: len(data), QPNum: peer.num})
+		peer.hca.notifyMemWrite()
+		qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
+			qp.complete(seq, qp.cqeFor(w, len(data)))
+		})
+	}
+	qp.inject(p, peer.hca, len(data), last)
+}
+
+// execRead issues an RDMA read. The engine blocks while the HCA's
+// outstanding-read limit is exhausted (the IRD serialization that caps
+// mid-size read bandwidth), then fires the request and moves on; the
+// response is handled by the responder's read engine and this HCA's
+// receive path.
+func (qp *QP) execRead(p *des.Proc, w *sendWork) {
+	need := sglLen(w.wr.SGL)
+	// Validate the scatter destination eagerly so local faults complete
+	// before any network activity.
+	for _, sge := range w.wr.SGL {
+		if _, err := qp.hca.checkLocal(sge, qp.pd, true); err != nil {
+			qp.completeErr(w, StatusLocalProtErr)
+			return
+		}
+	}
+	qp.readSlots.Acquire(p, 1)
+	qp.stats.BytesRead += uint64(need)
+	req := &readRequest{qp: qp, w: w, length: need}
+	qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
+		qp.peer.hca.readq.Put(req)
+	})
+}
+
+// execAtomic issues an 8-byte remote atomic (compare-and-swap or
+// fetch-and-add). Atomics share the outstanding-read limit, as on real
+// adapters.
+func (qp *QP) execAtomic(p *des.Proc, w *sendWork) {
+	if sglLen(w.wr.SGL) < 8 {
+		qp.completeErr(w, StatusLocalProtErr)
+		return
+	}
+	if _, err := qp.hca.checkLocal(w.wr.SGL[0], qp.pd, true); err != nil {
+		qp.completeErr(w, StatusLocalProtErr)
+		return
+	}
+	qp.readSlots.Acquire(p, 1)
+	req := &readRequest{qp: qp, w: w, length: 8, atomic: true}
+	qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
+		qp.peer.hca.readq.Put(req)
+	})
+}
+
+// inject streams n bytes through the local node's memory bus at the
+// network rate in bus granules; each granule is handed to the responder's
+// receive path one wire latency after it leaves. onLast runs at the
+// responder after the final granule has crossed the responder's bus.
+// Zero-length operations still traverse the wire as a single header.
+func (qp *QP) inject(p *des.Proc, dst *HCA, n int, onLast func()) {
+	prm := qp.hca.prm
+	if n == 0 {
+		qp.hca.eng.After(prm.WireLatency, func() {
+			dst.rxq.Put(rxItem{bytes: 0, fn: onLast})
+		})
+		return
+	}
+	bus := qp.hca.node.Bus
+	g := prm.BusGranule
+	for off := 0; off < n; off += g {
+		chunk := g
+		if n-off < chunk {
+			chunk = n - off
+		}
+		bus.Transfer(p, chunk, prm.NetBandwidth)
+		isLast := off+chunk >= n
+		var fn func()
+		if isLast {
+			fn = onLast
+		}
+		it := rxItem{bytes: chunk, fn: fn}
+		qp.hca.eng.After(prm.WireLatency, func() {
+			dst.rxq.Put(it)
+		})
+	}
+}
+
+// readUint64 and writeUint64 implement the atomic memory accesses.
+func readUint64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
+func writeUint64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }

@@ -1,0 +1,68 @@
+package model
+
+import "repro/internal/des"
+
+// Bus models a node's memory bus as a granule-arbitrated shared resource.
+//
+// Every flow that touches host memory — CPU memcpy, HCA DMA on transmit,
+// HCA DMA on receive — moves its bytes through the bus in BusGranule-sized
+// slices, each of which holds the bus exclusively for granule/rate time.
+// When two backlogged flows share the bus their granules interleave FIFO,
+// so each observes roughly 1/(1/r1+1/r2) of its solo rate — exactly the
+// contention behaviour behind the paper's pipelining ceiling ("the memory
+// bus clearly becomes a performance bottleneck for large messages because
+// of the extra memory copies", §4.4).
+type Bus struct {
+	name    string
+	params  *Params
+	res     *des.Resource
+	busy    des.Time // accumulated occupancy, for utilization stats
+	granted uint64   // granules served
+}
+
+// NewBus returns a bus using the granule and rate ceiling from p.
+func NewBus(name string, p *Params) *Bus {
+	return &Bus{name: name, params: p, res: des.NewResource(1)}
+}
+
+// Name returns the bus label (used in traces).
+func (b *Bus) Name() string { return b.name }
+
+// BusyTime returns total simulated time the bus has been occupied.
+func (b *Bus) BusyTime() des.Time { return b.busy }
+
+// Granules returns the number of granule grants served.
+func (b *Bus) Granules() uint64 { return b.granted }
+
+// Transfer moves n bytes through the bus at up to rate MB/s, blocking the
+// calling process for the duration (including queueing behind other flows).
+// A rate of 0 means "as fast as the bus allows".
+func (b *Bus) Transfer(p *des.Proc, n int, rate float64) {
+	if n <= 0 {
+		return
+	}
+	if rate <= 0 || rate > b.params.BusMaxRate {
+		rate = b.params.BusMaxRate
+	}
+	g := b.params.BusGranule
+	for rem := n; rem > 0; {
+		chunk := g
+		if rem < chunk {
+			chunk = rem
+		}
+		b.res.Acquire(p, 1)
+		d := TimeForBytes(chunk, rate)
+		p.Sleep(d)
+		b.busy += d
+		b.granted++
+		b.res.Release(1)
+		rem -= chunk
+	}
+}
+
+// Memcpy models a CPU copy of n bytes whose benchmark working set is ws
+// bytes: the copy occupies both the CPU (the calling process) and the
+// memory bus at the cache-dependent rate.
+func (b *Bus) Memcpy(p *des.Proc, n, ws int) {
+	b.Transfer(p, n, b.params.CopyRate(ws))
+}

@@ -1,0 +1,98 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Memory is a node's virtual address space. Buffers are allocated at
+// simulated virtual addresses; RDMA operations name remote memory by
+// (virtual address, rkey) exactly as InfiniBand does, and the simulator
+// resolves the address back to backing storage with bounds checking.
+type Memory struct {
+	next   uint64
+	allocs []allocation // sorted by base
+}
+
+type allocation struct {
+	base uint64
+	buf  []byte
+}
+
+// memoryBase leaves the low addresses unmapped so that address 0 (and small
+// offsets from it) fault, as on real hardware.
+const memoryBase = 0x10000
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{next: memoryBase}
+}
+
+// Alloc reserves n bytes and returns the virtual address and the backing
+// slice. Allocations are padded to 64-byte lines so distinct buffers never
+// share a line (the flag-polling protocols rely on that).
+func (m *Memory) Alloc(n int) (uint64, []byte) {
+	if n <= 0 {
+		panic("model: Alloc of nonpositive size")
+	}
+	base := m.next
+	buf := make([]byte, n)
+	m.allocs = append(m.allocs, allocation{base, buf})
+	pad := uint64(n)
+	if r := pad % 64; r != 0 {
+		pad += 64 - r
+	}
+	m.next = base + pad + 64 // guard gap: off-by-one overruns fault
+	return base, buf
+}
+
+// Resolve returns the backing bytes for [va, va+n). It reports an error if
+// the range is unmapped or spans an allocation boundary.
+func (m *Memory) Resolve(va uint64, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("model: negative length %d", n)
+	}
+	i := sort.Search(len(m.allocs), func(i int) bool {
+		return m.allocs[i].base > va
+	})
+	if i == 0 {
+		return nil, fmt.Errorf("model: address %#x unmapped", va)
+	}
+	a := m.allocs[i-1]
+	off := va - a.base
+	if off > uint64(len(a.buf)) || off+uint64(n) > uint64(len(a.buf)) {
+		return nil, fmt.Errorf("model: range [%#x,+%d) exceeds allocation [%#x,+%d)",
+			va, n, a.base, len(a.buf))
+	}
+	return a.buf[off : off+uint64(n)], nil
+}
+
+// MustResolve is Resolve that panics on fault; for simulator-internal paths
+// where a fault indicates a protocol bug.
+func (m *Memory) MustResolve(va uint64, n int) []byte {
+	b, err := m.Resolve(va, n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Node is one machine of the simulated cluster: an identity, the shared
+// cost parameters, a memory bus and an address space. The InfiniBand layer
+// attaches an HCA to a node; MPI processes run on it.
+type Node struct {
+	ID     int
+	Params *Params
+	Bus    *Bus
+	Mem    *Memory
+}
+
+// NewNode builds a node with its own bus and address space.
+func NewNode(id int, p *Params) *Node {
+	return &Node{
+		ID:     id,
+		Params: p,
+		Bus:    NewBus(fmt.Sprintf("node%d.bus", id), p),
+		Mem:    NewMemory(),
+	}
+}

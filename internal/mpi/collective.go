@@ -1,0 +1,247 @@
+package mpi
+
+import "fmt"
+
+// Collective tags (on the collective context, so they never collide with
+// user point-to-point traffic).
+const (
+	tagBarrier = 1000 + iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+)
+
+// Barrier blocks until all ranks arrive (dissemination algorithm, correct
+// for any rank count).
+func (c *Comm) Barrier() {
+	size, rank := c.Size(), c.Rank()
+	if size == 1 {
+		return
+	}
+	token, _ := c.Alloc(1)
+	in, _ := c.Alloc(1)
+	for dist := 1; dist < size; dist <<= 1 {
+		to := (rank + dist) % size
+		from := (rank - dist + size) % size
+		rr := c.irecvCtx(in, from, tagBarrier)
+		sr := c.isendCtx(token, to, tagBarrier)
+		c.dev.Wait(c.p, sr)
+		c.dev.Wait(c.p, rr)
+	}
+}
+
+// Bcast broadcasts root's buffer to all ranks (binomial tree).
+func (c *Comm) Bcast(buf Buffer, root int) {
+	size, rank := c.Size(), c.Rank()
+	if size == 1 {
+		return
+	}
+	vrank := (rank - root + size) % size
+	// Receive from parent.
+	if vrank != 0 {
+		mask := 1
+		for mask < size {
+			if vrank&mask != 0 {
+				parent := ((vrank - mask) + root) % size
+				c.Recv2(buf, parent, tagBcast)
+				break
+			}
+			mask <<= 1
+		}
+		// mask now has vrank's lowest set bit; children are below it.
+		c.bcastChildren(buf, vrank, mask, root)
+		return
+	}
+	// Root: children at all powers of two.
+	mask := 1
+	for mask < size {
+		mask <<= 1
+	}
+	c.bcastChildren(buf, 0, mask, root)
+}
+
+func (c *Comm) bcastChildren(buf Buffer, vrank, mask, root int) {
+	size := c.Size()
+	for m := mask >> 1; m > 0; m >>= 1 {
+		child := vrank + m
+		if child < size {
+			c.Send2(buf, (child+root)%size, tagBcast)
+		}
+	}
+}
+
+// Send2/Recv2 are collective-context point-to-point helpers.
+func (c *Comm) Send2(buf Buffer, dest, tag int) { c.dev.Wait(c.p, c.isendCtx(buf, dest, tag)) }
+func (c *Comm) Recv2(buf Buffer, src, tag int) Status {
+	return c.dev.Wait(c.p, c.irecvCtx(buf, src, tag))
+}
+
+// Reduce combines send buffers elementwise into recv at root (binomial
+// tree). recv may be Buffer{} on non-root ranks.
+func (c *Comm) Reduce(send, recv Buffer, dt Datatype, op Op, root int) {
+	size, rank := c.Size(), c.Rank()
+	n := send.Len
+	if size == 1 {
+		copy(c.Bytes(recv), c.Bytes(send))
+		return
+	}
+	vrank := (rank - root + size) % size
+
+	// Accumulate into a scratch buffer so the caller's send buffer is
+	// untouched, as MPI requires.
+	acc, accBytes := c.Alloc(n)
+	copy(accBytes, c.Bytes(send))
+	tmp, tmpBytes := c.Alloc(n)
+
+	mask := 1
+	for mask < size {
+		if vrank&mask == 0 {
+			peer := vrank | mask
+			if peer < size {
+				c.Recv2(tmp, (peer+root)%size, tagReduce)
+				reduce(accBytes, tmpBytes, dt, op)
+				c.chargeReduceFlops(n, dt)
+			}
+		} else {
+			parent := ((vrank &^ mask) + root) % size
+			c.Send2(acc, parent, tagReduce)
+			break
+		}
+		mask <<= 1
+	}
+	if rank == root {
+		copy(c.Bytes(recv), accBytes)
+	}
+}
+
+// chargeReduceFlops models the arithmetic of combining n bytes.
+func (c *Comm) chargeReduceFlops(n int, dt Datatype) {
+	c.Compute(float64(n / dt.Size()))
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast, the classic simple
+// algorithm (adequate at 8 ranks).
+func (c *Comm) Allreduce(send, recv Buffer, dt Datatype, op Op) {
+	c.Reduce(send, recv, dt, op, 0)
+	if c.Rank() != 0 && recv.Len != send.Len {
+		panic("mpi: Allreduce needs a full recv buffer on every rank")
+	}
+	c.Bcast(recv, 0)
+}
+
+// Gather collects equal-size contributions into recv at root
+// (recv holds size × send.Len bytes, rank order).
+func (c *Comm) Gather(send, recv Buffer, root int) {
+	size, rank := c.Size(), c.Rank()
+	n := send.Len
+	if rank == root {
+		if recv.Len < n*size {
+			panic(fmt.Sprintf("mpi: Gather recv %d < %d", recv.Len, n*size))
+		}
+		copy(c.Bytes(Slice(recv, rank*n, n)), c.Bytes(send))
+		reqs := make([]*Request, 0, size-1)
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			reqs = append(reqs, c.irecvCtx(Slice(recv, r*n, n), r, tagGather))
+		}
+		c.WaitAll(reqs...)
+		return
+	}
+	c.Send2(send, root, tagGather)
+}
+
+// Scatter distributes root's buffer in rank order.
+func (c *Comm) Scatter(send, recv Buffer, root int) {
+	size, rank := c.Size(), c.Rank()
+	n := recv.Len
+	if rank == root {
+		if send.Len < n*size {
+			panic(fmt.Sprintf("mpi: Scatter send %d < %d", send.Len, n*size))
+		}
+		reqs := make([]*Request, 0, size-1)
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			reqs = append(reqs, c.isendCtx(Slice(send, r*n, n), r, tagScatter))
+		}
+		copy(c.Bytes(recv), c.Bytes(Slice(send, rank*n, n)))
+		c.WaitAll(reqs...)
+		return
+	}
+	c.Recv2(recv, root, tagScatter)
+}
+
+// Allgather shares equal-size contributions with everyone (ring algorithm).
+func (c *Comm) Allgather(send, recv Buffer) {
+	size, rank := c.Size(), c.Rank()
+	n := send.Len
+	if recv.Len < n*size {
+		panic(fmt.Sprintf("mpi: Allgather recv %d < %d", recv.Len, n*size))
+	}
+	copy(c.Bytes(Slice(recv, rank*n, n)), c.Bytes(send))
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		blk := (rank - step + size) % size
+		nxt := (rank - step - 1 + size) % size
+		rr := c.irecvCtx(Slice(recv, nxt*n, n), left, tagAllgather)
+		sr := c.isendCtx(Slice(recv, blk*n, n), right, tagAllgather)
+		c.dev.Wait(c.p, sr)
+		c.dev.Wait(c.p, rr)
+	}
+}
+
+// Alltoall exchanges equal-size blocks between all rank pairs (pairwise
+// exchange schedule).
+func (c *Comm) Alltoall(send, recv Buffer) {
+	size, rank := c.Size(), c.Rank()
+	if send.Len%size != 0 || recv.Len != send.Len {
+		panic("mpi: Alltoall buffers must be size-divisible and equal")
+	}
+	n := send.Len / size
+	copy(c.Bytes(Slice(recv, rank*n, n)), c.Bytes(Slice(send, rank*n, n)))
+	for step := 1; step < size; step++ {
+		to := (rank + step) % size
+		from := (rank - step + size) % size
+		c.Sendrecv2(Slice(send, to*n, n), to, Slice(recv, from*n, n), from, tagAlltoall)
+	}
+}
+
+// Alltoallv exchanges variable-size blocks; counts give per-peer bytes.
+func (c *Comm) Alltoallv(send Buffer, sendCounts []int, recv Buffer, recvCounts []int) {
+	size, rank := c.Size(), c.Rank()
+	sOff := offsets(sendCounts)
+	rOff := offsets(recvCounts)
+	copy(c.Bytes(Slice(recv, rOff[rank], recvCounts[rank])),
+		c.Bytes(Slice(send, sOff[rank], sendCounts[rank])))
+	for step := 1; step < size; step++ {
+		to := (rank + step) % size
+		from := (rank - step + size) % size
+		c.Sendrecv2(Slice(send, sOff[to], sendCounts[to]), to,
+			Slice(recv, rOff[from], recvCounts[from]), from, tagAlltoall)
+	}
+}
+
+// Sendrecv2 is Sendrecv on the collective context.
+func (c *Comm) Sendrecv2(send Buffer, dest int, recv Buffer, src, tag int) {
+	rr := c.irecvCtx(recv, src, tag)
+	sr := c.isendCtx(send, dest, tag)
+	c.dev.Wait(c.p, sr)
+	c.dev.Wait(c.p, rr)
+}
+
+func offsets(counts []int) []int {
+	off := make([]int, len(counts))
+	sum := 0
+	for i, n := range counts {
+		off[i] = sum
+		sum += n
+	}
+	return off
+}

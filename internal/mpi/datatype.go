@@ -1,0 +1,127 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Datatype is a basic MPI datatype.
+type Datatype int
+
+// Supported datatypes.
+const (
+	Byte Datatype = iota
+	Int64
+	Float64
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Byte:
+		return 1
+	case Int64, Float64:
+		return 8
+	}
+	panic("mpi: unknown datatype")
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Supported reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+// reduce applies dst = dst ⊕ src elementwise over real bytes.
+func reduce(dst, src []byte, dt Datatype, op Op) {
+	switch dt {
+	case Byte:
+		for i := range dst {
+			dst[i] = reduceByte(dst[i], src[i], op)
+		}
+	case Int64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(dst[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], uint64(reduceInt64(a, b, op)))
+		}
+	case Float64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(reduceFloat64(a, b, op)))
+		}
+	}
+}
+
+func reduceByte(a, b byte, op Op) byte {
+	switch op {
+	case Sum:
+		return a + b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic("mpi: unknown op")
+}
+
+func reduceInt64(a, b int64, op Op) int64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic("mpi: unknown op")
+}
+
+func reduceFloat64(a, b float64, op Op) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Max:
+		return math.Max(a, b)
+	case Min:
+		return math.Min(a, b)
+	}
+	panic("mpi: unknown op")
+}
+
+// PutFloat64 stores v at element index i of the buffer's backing bytes.
+func PutFloat64(b []byte, i int, v float64) {
+	binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+}
+
+// GetFloat64 loads element index i.
+func GetFloat64(b []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+// PutInt64 stores v at element index i.
+func PutInt64(b []byte, i int, v int64) {
+	binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+}
+
+// GetInt64 loads element index i.
+func GetInt64(b []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(b[i*8:]))
+}

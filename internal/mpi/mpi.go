@@ -1,0 +1,140 @@
+// Package mpi implements the MPI-1 subset the paper evaluates — blocking
+// and non-blocking point-to-point with tag/source matching and wildcards,
+// and the collectives the NAS Parallel Benchmarks use — on top of the ADI3
+// device (internal/adi3). The paper's focus is exactly this: "our study
+// focuses on optimizing the performance of MPI-1 functions in MPICH2".
+//
+// An MPI-2 one-sided extension (Win/Put/Get/Accumulate/Fence over RDMA and
+// InfiniBand atomics), flagged as future work in §9 of the paper, lives in
+// onesided.go.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/adi3"
+	"repro/internal/des"
+	"repro/internal/rdmachan"
+)
+
+// Matching wildcards.
+const (
+	AnySource = int(adi3.AnySource)
+	AnyTag    = int(adi3.AnyTag)
+)
+
+// Context ids separating point-to-point from collective traffic on the
+// world communicator, as real MPI context ids do.
+const (
+	ctxP2P  int32 = 0
+	ctxColl int32 = 1
+)
+
+// Buffer names a span of the rank's node memory.
+type Buffer = rdmachan.Buffer
+
+// Request is a non-blocking operation handle.
+type Request = adi3.Request
+
+// Status describes a completed receive.
+type Status = adi3.Status
+
+// Comm is a rank's handle on the world communicator. Each MPI process is
+// one simulated process; all calls must come from it.
+type Comm struct {
+	p   *des.Proc
+	dev *adi3.Device
+}
+
+// New binds a communicator handle to a device and its process.
+func New(p *des.Proc, dev *adi3.Device) *Comm {
+	return &Comm{p: p, dev: dev}
+}
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return int(c.dev.Rank()) }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.dev.Size() }
+
+// Proc returns the simulated process driving this rank.
+func (c *Comm) Proc() *des.Proc { return c.p }
+
+// Wtime returns the simulated wall clock in seconds (MPI_Wtime).
+func (c *Comm) Wtime() float64 { return c.p.Now().Seconds() }
+
+// Alloc carves n bytes of node memory and returns the descriptor and the
+// backing bytes (applications manipulate real data).
+func (c *Comm) Alloc(n int) (Buffer, []byte) {
+	va, b := c.dev.Node().Mem.Alloc(n)
+	return Buffer{Addr: va, Len: n}, b
+}
+
+// Bytes resolves a buffer to its backing storage.
+func (c *Comm) Bytes(b Buffer) []byte {
+	return c.dev.Node().Mem.MustResolve(b.Addr, b.Len)
+}
+
+// Slice returns a sub-buffer.
+func Slice(b Buffer, off, n int) Buffer {
+	if off < 0 || n < 0 || off+n > b.Len {
+		panic(fmt.Sprintf("mpi: slice [%d,+%d) of %d-byte buffer", off, n, b.Len))
+	}
+	return Buffer{Addr: b.Addr + uint64(off), Len: n}
+}
+
+// Isend starts a non-blocking standard send.
+func (c *Comm) Isend(buf Buffer, dest, tag int) *Request {
+	return c.dev.Isend(c.p, int32(dest), int32(tag), ctxP2P, buf)
+}
+
+// Irecv starts a non-blocking receive.
+func (c *Comm) Irecv(buf Buffer, src, tag int) *Request {
+	return c.dev.Irecv(c.p, int32(src), int32(tag), ctxP2P, buf)
+}
+
+// Send blocks until the send buffer is reusable.
+func (c *Comm) Send(buf Buffer, dest, tag int) {
+	c.dev.Wait(c.p, c.Isend(buf, dest, tag))
+}
+
+// Recv blocks until a matching message has arrived.
+func (c *Comm) Recv(buf Buffer, src, tag int) Status {
+	return c.dev.Wait(c.p, c.Irecv(buf, src, tag))
+}
+
+// Wait blocks until req completes, driving progress.
+func (c *Comm) Wait(req *Request) Status {
+	return c.dev.Wait(c.p, req)
+}
+
+// WaitAll blocks until every request completes.
+func (c *Comm) WaitAll(reqs ...*Request) {
+	c.dev.WaitAll(c.p, reqs...)
+}
+
+// Sendrecv exchanges messages with possibly different peers, deadlock-free.
+func (c *Comm) Sendrecv(send Buffer, dest, stag int, recv Buffer, src, rtag int) Status {
+	rr := c.Irecv(recv, src, rtag)
+	sr := c.Isend(send, dest, stag)
+	c.dev.Wait(c.p, sr)
+	return c.dev.Wait(c.p, rr)
+}
+
+// isendCtx and irecvCtx run on the collective context.
+func (c *Comm) isendCtx(buf Buffer, dest, tag int) *Request {
+	return c.dev.Isend(c.p, int32(dest), int32(tag), ctxColl, buf)
+}
+
+func (c *Comm) irecvCtx(buf Buffer, src, tag int) *Request {
+	return c.dev.Irecv(c.p, int32(src), int32(tag), ctxColl, buf)
+}
+
+// Compute advances simulated time by the cost of flops floating-point
+// operations at the testbed's compute rate; applications use it to model
+// their computation phases between communications.
+func (c *Comm) Compute(flops float64) {
+	prm := c.dev.Node().Params
+	us := flops / prm.FlopRate // MFLOP/s ⇒ flops/µs
+	c.p.Sleep(des.Microseconds(us))
+}

@@ -1,0 +1,218 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/ch3"
+	"repro/internal/ib"
+	"repro/internal/rdmachan"
+)
+
+// This file implements the MPI-2 one-sided extension the paper flags as
+// future work (§9): "provide support for MPI-2 functionalities such as
+// one-sided communication using RDMA and atomic operations in InfiniBand".
+// A window exposes a region of each rank's memory; Put and Get map
+// directly onto RDMA write/read on the existing connections' queue pairs,
+// and FetchAdd/CompareSwap map onto InfiniBand atomics — no target-side
+// CPU involvement, the whole point of the exercise.
+//
+// The extension requires an RDMA-capable transport (piggyback, pipeline,
+// zero-copy or CH3); the basic design's endpoints do not expose raw queue
+// pairs.
+
+// Win is a one-sided communication window.
+type Win struct {
+	comm *Comm
+	base Buffer
+
+	peers []winPeer // indexed by rank; self entry unused
+	// Outstanding signaled one-sided operations awaiting completion.
+	outstanding int
+	failed      error
+}
+
+type winPeer struct {
+	raw     rdmachan.RawAccess
+	mr      *ib.MR // window registration under this connection's PD
+	rAddr   uint64 // peer window base
+	rKey    uint32 // peer window rkey for this connection
+	scratch Buffer // registered 8-byte scratch for atomics results
+	scrMR   *ib.MR
+}
+
+// rawOf digs the verbs-level access out of a CH3 connection.
+func rawOf(c ch3.Conn) (rdmachan.RawAccess, error) {
+	type hasEndpoint interface{ Endpoint() rdmachan.Endpoint }
+	he, ok := c.(hasEndpoint)
+	if !ok {
+		return nil, fmt.Errorf("mpi: connection exposes no endpoint")
+	}
+	raw, ok := he.Endpoint().(rdmachan.RawAccess)
+	if !ok {
+		return nil, fmt.Errorf("mpi: one-sided windows need an RDMA-capable transport (not the basic design)")
+	}
+	return raw, nil
+}
+
+// WinCreate collectively exposes base on every rank and returns the
+// window. The base buffer must be at least `size` bytes on every rank.
+func (c *Comm) WinCreate(base Buffer) (*Win, error) {
+	w := &Win{comm: c, base: base, peers: make([]winPeer, c.Size())}
+	np, rank := c.Size(), c.Rank()
+
+	// Register the window under every connection's protection domain and
+	// exchange (addr, rkey) pairwise — the window-creation handshake.
+	for peer := 0; peer < np; peer++ {
+		if peer == rank {
+			continue
+		}
+		raw, err := rawOf(c.dev.Conn(int32(peer)))
+		if err != nil {
+			return nil, err
+		}
+		hca := c.dev.HCA()
+		mr, err := hca.RegisterMR(c.p, raw.RawPD(), base.Addr, base.Len,
+			ib.AccessLocalWrite|ib.AccessRemoteWrite|ib.AccessRemoteRead|ib.AccessRemoteAtomic)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: window registration: %w", err)
+		}
+		scratchVA, _ := c.dev.Node().Mem.Alloc(8)
+		scrMR, err := hca.RegisterMR(c.p, raw.RawPD(), scratchVA, 8, ib.AccessLocalWrite)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: scratch registration: %w", err)
+		}
+		w.peers[peer] = winPeer{
+			raw: raw, mr: mr,
+			scratch: Buffer{Addr: scratchVA, Len: 8}, scrMR: scrMR,
+		}
+		raw.SetForeignCQE(func(cqe ib.CQE) {
+			w.outstanding--
+			if cqe.Status != ib.StatusSuccess && w.failed == nil {
+				w.failed = fmt.Errorf("mpi: one-sided wr %#x failed: %v", cqe.WRID, cqe.Status)
+			}
+		})
+
+		// Exchange window addresses with this peer.
+		sb, sbb := c.Alloc(16)
+		rb, rbb := c.Alloc(16)
+		PutInt64(sbb, 0, int64(base.Addr))
+		PutInt64(sbb, 1, int64(mr.RKey()))
+		c.Sendrecv(sb, peer, 900, rb, peer, 900)
+		w.peers[peer].rAddr = uint64(GetInt64(rbb, 0))
+		w.peers[peer].rKey = uint32(GetInt64(rbb, 1))
+	}
+	c.Barrier()
+	return w, nil
+}
+
+// wridOneSided marks one-sided work requests in completion handling.
+const wridOneSided = 0x0515
+
+// Put writes local into the target rank's window at byte offset off —
+// one RDMA write, no target CPU.
+func (w *Win) Put(local Buffer, target, off int) error {
+	p := w.peers[target]
+	if p.raw == nil {
+		return fmt.Errorf("mpi: Put to self or unconnected rank %d", target)
+	}
+	mr, _, err := p.raw.RegCache().Register(w.comm.p, local.Addr, local.Len)
+	if err != nil {
+		return err
+	}
+	defer release(w, p, mr)
+	p.raw.RawQP().PostSend(w.comm.p, ib.SendWR{
+		WRID: wridOneSided, Op: ib.OpRDMAWrite, Signaled: true,
+		SGL:        []ib.SGE{{Addr: local.Addr, Len: local.Len, LKey: mr.LKey()}},
+		RemoteAddr: p.rAddr + uint64(off), RKey: p.rKey,
+	})
+	w.outstanding++
+	return nil
+}
+
+// Get reads from the target rank's window at byte offset off into local —
+// one RDMA read.
+func (w *Win) Get(local Buffer, target, off int) error {
+	p := w.peers[target]
+	if p.raw == nil {
+		return fmt.Errorf("mpi: Get from self or unconnected rank %d", target)
+	}
+	mr, _, err := p.raw.RegCache().Register(w.comm.p, local.Addr, local.Len)
+	if err != nil {
+		return err
+	}
+	defer release(w, p, mr)
+	p.raw.RawQP().PostSend(w.comm.p, ib.SendWR{
+		WRID: wridOneSided, Op: ib.OpRDMARead, Signaled: true,
+		SGL:        []ib.SGE{{Addr: local.Addr, Len: local.Len, LKey: mr.LKey()}},
+		RemoteAddr: p.rAddr + uint64(off), RKey: p.rKey,
+	})
+	w.outstanding++
+	return nil
+}
+
+// FetchAdd atomically adds delta to the int64 at byte offset off in the
+// target window and returns the previous value (InfiniBand fetch-and-add;
+// the fence is not required first — atomics complete independently).
+func (w *Win) FetchAdd(target, off int, delta int64) (int64, error) {
+	return w.atomic(target, off, ib.OpFetchAdd, uint64(delta), 0)
+}
+
+// CompareSwap atomically replaces the int64 at byte offset off in the
+// target window with swap if it equals compare, returning the previous
+// value.
+func (w *Win) CompareSwap(target, off int, compare, swap int64) (int64, error) {
+	return w.atomic(target, off, ib.OpCmpSwap, uint64(compare), uint64(swap))
+}
+
+func (w *Win) atomic(target, off int, op ib.Opcode, compare, swap uint64) (int64, error) {
+	p := w.peers[target]
+	if p.raw == nil {
+		return 0, fmt.Errorf("mpi: atomic to self or unconnected rank %d", target)
+	}
+	before := w.outstanding
+	p.raw.RawQP().PostSend(w.comm.p, ib.SendWR{
+		WRID: wridOneSided, Op: op, Signaled: true,
+		SGL:        []ib.SGE{{Addr: p.scratch.Addr, Len: 8, LKey: p.scrMR.LKey()}},
+		RemoteAddr: p.rAddr + uint64(off), RKey: p.rKey,
+		Compare: compare, Swap: swap,
+	})
+	w.outstanding++
+	// Atomics return a value, so wait for this operation's completion.
+	w.waitOutstanding(before)
+	if w.failed != nil {
+		return 0, w.failed
+	}
+	return GetInt64(w.comm.Bytes(p.scratch), 0), nil
+}
+
+func release(w *Win, p winPeer, mr *ib.MR) {
+	// The pin-down cache keeps the registration alive past the in-flight
+	// DMA; refcount release here is safe and O(1).
+	if err := p.raw.RegCache().Release(w.comm.p, mr); err != nil && w.failed == nil {
+		w.failed = err
+	}
+}
+
+// waitOutstanding drives progress until at most target one-sided
+// operations remain in flight. Reaping a completion is not "connection
+// progress", so the event counter is snapshotted before each non-blocking
+// pass: if the pass consumed the completion the loop exits; otherwise the
+// wait returns as soon as anything new lands.
+func (w *Win) waitOutstanding(target int) {
+	for w.outstanding > target {
+		seq := w.comm.dev.HCA().MemEventSeq()
+		w.comm.dev.Progress(w.comm.p, false)
+		if w.outstanding <= target {
+			return
+		}
+		w.comm.dev.HCA().WaitMemEventSince(w.comm.p, seq)
+	}
+}
+
+// Fence completes all outstanding one-sided operations issued by this
+// rank, then synchronizes all ranks (MPI_Win_fence semantics).
+func (w *Win) Fence() error {
+	w.waitOutstanding(0)
+	w.comm.Barrier()
+	return w.failed
+}

@@ -1,0 +1,135 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func TestOneSidedPutGet(t *testing.T) {
+	for _, tr := range []cluster.Transport{cluster.TransportZeroCopy, cluster.TransportCH3, cluster.TransportPipeline} {
+		tr := tr
+		t.Run(tr.String(), func(t *testing.T) {
+			c := cluster.New(cluster.Config{NP: 4, Transport: tr})
+			c.Launch(func(comm *mpi.Comm) {
+				const winSize = 4096
+				rank, size := comm.Rank(), comm.Size()
+				winBuf, winBytes := comm.Alloc(winSize)
+				for i := range winBytes {
+					winBytes[i] = byte(rank)
+				}
+				win, err := comm.WinCreate(winBuf)
+				if err != nil {
+					t.Errorf("WinCreate: %v", err)
+					return
+				}
+
+				// Every rank puts its rank byte into the next rank's window
+				// at a rank-specific offset.
+				target := (rank + 1) % size
+				local, lb := comm.Alloc(64)
+				for i := range lb {
+					lb[i] = byte(100 + rank)
+				}
+				if err := win.Put(local, target, rank*64); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if err := win.Fence(); err != nil {
+					t.Errorf("Fence: %v", err)
+					return
+				}
+
+				// Check the incoming put landed (from rank-1).
+				src := (rank - 1 + size) % size
+				for i := 0; i < 64; i++ {
+					if winBytes[src*64+i] != byte(100+src) {
+						t.Errorf("rank %d: window byte %d = %d, want %d",
+							rank, src*64+i, winBytes[src*64+i], 100+src)
+						return
+					}
+				}
+
+				// Get a slice of the previous rank's window.
+				gbuf, gb := comm.Alloc(128)
+				if err := win.Get(gbuf, src, 1024); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if err := win.Fence(); err != nil {
+					t.Errorf("Fence: %v", err)
+					return
+				}
+				for i := range gb {
+					if gb[i] != byte(src) {
+						t.Errorf("rank %d: got %d from rank %d window, want %d", rank, gb[i], src, src)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestOneSidedAtomics(t *testing.T) {
+	c := cluster.New(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
+	c.Launch(func(comm *mpi.Comm) {
+		winBuf, winBytes := comm.Alloc(64)
+		mpi.PutInt64(winBytes, 0, 0)
+		win, err := comm.WinCreate(winBuf)
+		if err != nil {
+			t.Errorf("WinCreate: %v", err)
+			return
+		}
+		// Every rank atomically increments a counter on rank 0.
+		if comm.Rank() != 0 {
+			if _, err := win.FetchAdd(0, 0, 1); err != nil {
+				t.Errorf("FetchAdd: %v", err)
+				return
+			}
+		}
+		if err := win.Fence(); err != nil {
+			t.Errorf("Fence: %v", err)
+			return
+		}
+		if comm.Rank() == 0 {
+			if got := mpi.GetInt64(winBytes, 0); got != 3 {
+				t.Errorf("counter = %d, want 3", got)
+			}
+		}
+
+		// Compare-and-swap lock acquisition: exactly one rank wins.
+		mpi.PutInt64(winBytes, 1, 0)
+		comm.Barrier()
+		won := int64(0)
+		if comm.Rank() != 0 {
+			old, err := win.CompareSwap(0, 8, 0, int64(comm.Rank()))
+			if err != nil {
+				t.Errorf("CompareSwap: %v", err)
+				return
+			}
+			if old == 0 {
+				won = 1
+			}
+		}
+		s, sb := comm.Alloc(8)
+		r, rb := comm.Alloc(8)
+		mpi.PutInt64(sb, 0, won)
+		comm.Allreduce(s, r, mpi.Int64, mpi.Sum)
+		if got := mpi.GetInt64(rb, 0); got != 1 {
+			t.Errorf("winners = %d, want exactly 1", got)
+		}
+	})
+}
+
+func TestOneSidedBasicTransportRejected(t *testing.T) {
+	c := cluster.New(cluster.Config{NP: 2, Transport: cluster.TransportBasic})
+	c.Launch(func(comm *mpi.Comm) {
+		buf, _ := comm.Alloc(64)
+		if _, err := comm.WinCreate(buf); err == nil {
+			t.Error("WinCreate on the basic design should fail")
+		}
+		comm.Barrier()
+	})
+}

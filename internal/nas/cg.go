@@ -1,0 +1,78 @@
+package nas
+
+import "repro/internal/mpi"
+
+// runCG is the Conjugate Gradient benchmark: ranks form a 2D grid; every
+// inner CG iteration performs the sparse matrix-vector product's
+// row-reduction exchanges and transpose exchange, plus two scalar
+// all-reduces for the dot products — many medium messages latency- and
+// bandwidth-sensitive in equal measure.
+func runCG(comm *mpi.Comm, class Class) (float64, bool) {
+	var na, nonzer, outer, inner int
+	switch class {
+	case ClassS:
+		na, nonzer, outer, inner = 1400, 7, 2, 5
+	case ClassA:
+		na, nonzer, outer, inner = 14000, 11, 15, 25
+	case ClassB:
+		na, nonzer, outer, inner = 75000, 13, 75, 25
+	}
+	np, rank := comm.Size(), comm.Rank()
+	rows, cols := grid2(np)
+	myRow, myCol := rank/cols, rank%cols
+
+	segment := na / cols * 8 // bytes of the vector piece exchanged
+	send, sendB := comm.Alloc(segment)
+	recv, recvB := comm.Alloc(segment)
+	fill(sendB, uint64(rank+1))
+	local := checksum(sendB)
+
+	// Nominal flops per inner iteration: 2·nnz/np for the matvec plus the
+	// vector updates; nnz ≈ na·(nonzer+1)².
+	nnz := float64(na) * float64((nonzer+1)*(nonzer+1))
+	perIter := (2*nnz + 10*float64(na)) / float64(np)
+
+	scalS, scalSb := comm.Alloc(8)
+	scalR, _ := comm.Alloc(8)
+
+	var ops float64
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			comm.Compute(perIter)
+			ops += perIter * float64(np)
+
+			// Sum-reduction across the row of the process grid.
+			for stage := 1; stage < cols; stage <<= 1 {
+				partner := myRow*cols + (myCol ^ stage)
+				comm.Sendrecv(send, partner, 100+stage, recv, partner, 100+stage)
+				local ^= checksum(recvB)
+				comm.Compute(float64(segment / 8)) // add the partial vectors
+			}
+			// Transpose exchange. On a square grid the partner is the
+			// transposed coordinate; on the 2·rows × rows grid (np = 2·r²)
+			// ranks pair even/odd over the square sub-grid, as NPB CG's
+			// exch_proc does — both mappings are involutions, so the
+			// Sendrecv pairs match.
+			var tr int
+			if rows == cols {
+				tr = myCol*rows + myRow
+			} else {
+				v := rank / 2
+				vt := (v%rows)*rows + v/rows
+				tr = 2*vt + rank%2
+			}
+			if tr != rank {
+				comm.Sendrecv(send, tr, 200, recv, tr, 200)
+				local ^= checksum(recvB)
+			}
+
+			// Two dot products.
+			mpi.PutFloat64(scalSb, 0, float64(i))
+			comm.Allreduce(scalS, scalR, mpi.Float64, mpi.Sum)
+			comm.Allreduce(scalS, scalR, mpi.Float64, mpi.Sum)
+		}
+		// Residual norm at the end of each outer iteration.
+		comm.Allreduce(scalS, scalR, mpi.Float64, mpi.Sum)
+	}
+	return ops, verifySum(comm, local)
+}

@@ -1,0 +1,61 @@
+package nas
+
+import "repro/internal/mpi"
+
+// runEP is the Embarrassingly Parallel benchmark: generate 2^M Gaussian
+// pairs with ~no communication, then combine the counts and sums with
+// three small all-reduces. It bounds the transports' best case — designs
+// should tie here.
+func runEP(comm *mpi.Comm, class Class) (float64, bool) {
+	var m int
+	switch class {
+	case ClassS:
+		m = 16
+	case ClassA:
+		m = 28
+	case ClassB:
+		m = 30
+	}
+	np := comm.Size()
+	pairs := float64(uint64(1) << m)
+	// NPB EP: ~10 flops per pair for the Marsaglia polar method plus the
+	// random-number generation.
+	localFlops := pairs * 10 / float64(np)
+	comm.Compute(localFlops)
+
+	// Deterministic per-rank partial results: counts per annulus.
+	const annuli = 10
+	send, sb := comm.Alloc(annuli * 8)
+	recv, rb := comm.Alloc(annuli * 8)
+	var localTotal int64
+	for i := 0; i < annuli; i++ {
+		v := int64((comm.Rank()+1)*(i+3)) * 1009
+		mpi.PutInt64(sb, i, v)
+		localTotal += v
+	}
+	comm.Allreduce(send, recv, mpi.Int64, mpi.Sum)
+
+	// Sx, Sy sums.
+	s2, s2b := comm.Alloc(16)
+	r2, r2b := comm.Alloc(16)
+	mpi.PutFloat64(s2b, 0, float64(comm.Rank())+0.5)
+	mpi.PutFloat64(s2b, 1, float64(comm.Rank())-0.5)
+	comm.Allreduce(s2, r2, mpi.Float64, mpi.Sum)
+
+	// Verify: the reduced annulus counts must equal the closed form.
+	ok := true
+	for i := 0; i < annuli; i++ {
+		var want int64
+		for r := 0; r < np; r++ {
+			want += int64((r+1)*(i+3)) * 1009
+		}
+		if mpi.GetInt64(rb, i) != want {
+			ok = false
+		}
+	}
+	wantX := float64(np*(np-1))/2 + 0.5*float64(np)
+	if diff := mpi.GetFloat64(r2b, 0) - wantX; diff > 1e-9 || diff < -1e-9 {
+		ok = false
+	}
+	return pairs * 10, ok
+}

@@ -1,0 +1,57 @@
+package nas
+
+import "repro/internal/mpi"
+
+// runFT is the 3D FFT benchmark: every iteration evolves the spectrum and
+// performs the distributed transpose — an all-to-all moving each rank's
+// entire local volume. It is the most bandwidth-dominated benchmark in
+// the suite and separates the transports most clearly.
+func runFT(comm *mpi.Comm, class Class) (float64, bool) {
+	var nx, ny, nz, nit int
+	switch class {
+	case ClassS:
+		nx, ny, nz, nit = 64, 64, 64, 2
+	case ClassA:
+		nx, ny, nz, nit = 256, 256, 128, 6
+	case ClassB:
+		nx, ny, nz, nit = 512, 256, 256, 20
+	}
+	np, rank := comm.Size(), comm.Rank()
+	points := float64(nx) * float64(ny) * float64(nz)
+	localBytes := int(points) / np * 16 // complex128 per point
+
+	send, sendB := comm.Alloc(localBytes)
+	recv, recvB := comm.Alloc(localBytes)
+	fill(sendB, uint64(rank)*17+3)
+	local := checksum(sendB)
+
+	// 5·N·log2(N) flops per 1D FFT pass; three passes per 3D transform.
+	logN := 0
+	for v := nx * ny * nz; v > 1; v >>= 1 {
+		logN++
+	}
+	fftFlops := 5 * points * float64(logN) / float64(np)
+
+	var ops float64
+	// Initial transform.
+	comm.Compute(fftFlops)
+	comm.Alltoall(send, recv)
+	local ^= checksum(recvB)
+	ops += fftFlops * float64(np)
+
+	for it := 0; it < nit; it++ {
+		comm.Compute(points / float64(np) * 8) // evolve + checksum pass
+		comm.Compute(fftFlops)
+		comm.Alltoall(send, recv)
+		local ^= checksum(recvB)
+		ops += fftFlops * float64(np)
+
+		// NPB FT computes a global checksum each iteration.
+		s, sb := comm.Alloc(16)
+		r, _ := comm.Alloc(16)
+		mpi.PutFloat64(sb, 0, float64(it))
+		mpi.PutFloat64(sb, 1, float64(rank))
+		comm.Allreduce(s, r, mpi.Float64, mpi.Sum)
+	}
+	return ops, verifySum(comm, local)
+}

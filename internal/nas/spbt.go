@@ -1,0 +1,99 @@
+package nas
+
+import "repro/internal/mpi"
+
+// SP and BT are the two ADI (alternating-direction-implicit) application
+// benchmarks. Both run on square process grids only (§7: "Benchmarks SP
+// and BT require a square number of nodes"). Each iteration exchanges
+// ghost faces with the four grid neighbours (copy_faces) and performs a
+// line solve in each of the three dimensions, each sweep passing boundary
+// planes across every process column/row stage by stage. BT does roughly
+// three times the per-iteration computation of SP with a quarter of the
+// iterations.
+
+// runSP is the Scalar Pentadiagonal solver.
+func runSP(comm *mpi.Comm, class Class) (float64, bool) {
+	return runADI(comm, class, 400, 60, 250)
+}
+
+// runBT is the Block Tridiagonal solver.
+func runBT(comm *mpi.Comm, class Class) (float64, bool) {
+	return runADI(comm, class, 200, 25, 800)
+}
+
+// runADI is the shared skeleton: niterFull is the NPB iteration count,
+// niterRun the simulated count (the per-iteration traffic is identical;
+// the reported operation count is scaled), flopsPerPt the per-point
+// per-iteration computation.
+func runADI(comm *mpi.Comm, class Class, niterFull, niterRun int, flopsPerPt float64) (float64, bool) {
+	var n int
+	switch class {
+	case ClassS:
+		n = 12
+	case ClassA:
+		n = 64
+	case ClassB:
+		n = 102
+	}
+	np, rank := comm.Size(), comm.Rank()
+	q := isqrt(np)
+	if q == 0 {
+		panic("nas: SP/BT require a square number of processes")
+	}
+	myRow, myCol := rank/q, rank%q
+	local := n / q // cells per side per rank
+
+	// Face buffers: 5 components per point, n planes deep.
+	faceBytes := local * n * 5 * 8
+	send, sendB := comm.Alloc(faceBytes)
+	recv, recvB := comm.Alloc(faceBytes)
+	fill(sendB, uint64(rank)*7+11)
+	sum := checksum(sendB)
+
+	right := myRow*q + (myCol+1)%q
+	left := myRow*q + (myCol-1+q)%q
+	down := ((myRow+1)%q)*q + myCol
+	up := ((myRow-1+q)%q)*q + myCol
+
+	pts := float64(local) * float64(local) * float64(n)
+	iterScale := float64(niterFull) / float64(niterRun)
+
+	var ops float64
+	scalS, scalSb := comm.Alloc(40)
+	scalR, _ := comm.Alloc(40)
+	for it := 0; it < niterRun; it++ {
+		// copy_faces: exchange ghost faces with all four neighbours.
+		if q > 1 {
+			comm.Sendrecv(send, right, 500, recv, left, 500)
+			sum ^= checksum(recvB)
+			comm.Sendrecv(send, left, 501, recv, right, 501)
+			comm.Sendrecv(send, down, 502, recv, up, 502)
+			sum ^= checksum(recvB)
+			comm.Sendrecv(send, up, 503, recv, down, 503)
+		}
+		comm.Compute(pts * flopsPerPt * 0.3) // RHS computation
+
+		// Three ADI sweeps; each passes boundary planes across the q
+		// stages of its dimension (multi-partition schedule).
+		for dim := 0; dim < 3; dim++ {
+			for stage := 1; stage < q; stage++ {
+				var to, from int
+				if dim == 0 {
+					to, from = right, left
+				} else {
+					to, from = down, up
+				}
+				comm.Sendrecv(send, to, 510+dim, recv, from, 510+dim)
+				sum ^= checksum(recvB)
+			}
+			comm.Compute(pts * flopsPerPt * 0.2)
+		}
+		ops += pts * flopsPerPt * float64(np)
+
+		if it%10 == 0 {
+			mpi.PutFloat64(scalSb, 0, float64(it))
+			comm.Allreduce(scalS, scalR, mpi.Float64, mpi.Sum)
+		}
+	}
+	return ops * iterScale, verifySum(comm, sum)
+}

@@ -1,0 +1,347 @@
+// Package rdmachan implements the paper's primary contribution: the MPICH2
+// RDMA Channel interface (§3.2) over InfiniBand, in four successive designs
+// (§4–§5):
+//
+//   - Basic: a direct emulation of the shared-memory ring of Figure 3 using
+//     RDMA writes for the data and for the replicated head/tail pointers —
+//     three RDMA writes per matching send/receive pair (§4.2).
+//   - Piggyback: pointer updates ride with the data; the ring is divided
+//     into fixed-size flagged chunks, and tail (credit) updates are delayed
+//     and batched (§4.3).
+//   - Pipeline: piggybacking plus per-chunk overlap of memory copies with
+//     RDMA writes for large messages (§4.4).
+//   - ZeroCopy: piggybacked/pipelined eager path for small messages; large
+//     messages are pulled by the receiver with RDMA read directly between
+//     user buffers, with a pin-down registration cache (§5).
+//
+// The interface is the paper's byte-FIFO pipe: Put writes toward the peer,
+// Get reads, both non-blocking, both returning the number of bytes
+// completed; the caller retries until its buffer list is drained. The
+// other three functions of the real interface (init/finalize/process
+// management) correspond to NewConnection and the simulation harness.
+package rdmachan
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+)
+
+// Design selects one of the paper's channel implementations.
+type Design int
+
+// The four designs of §4–§5.
+const (
+	DesignBasic Design = iota
+	DesignPiggyback
+	DesignPipeline
+	DesignZeroCopy
+)
+
+func (d Design) String() string {
+	switch d {
+	case DesignBasic:
+		return "basic"
+	case DesignPiggyback:
+		return "piggyback"
+	case DesignPipeline:
+		return "pipeline"
+	case DesignZeroCopy:
+		return "zerocopy"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// Buffer names a span of the endpoint's node address space. The channel
+// moves real bytes between Buffers; zero-copy transfers register them.
+type Buffer struct {
+	Addr uint64
+	Len  int
+}
+
+// Total returns the byte count of a buffer list.
+func Total(bufs []Buffer) int {
+	n := 0
+	for _, b := range bufs {
+		n += b.Len
+	}
+	return n
+}
+
+// Advance returns bufs with the first n bytes removed.
+func Advance(bufs []Buffer, n int) []Buffer {
+	out := bufs
+	for n > 0 && len(out) > 0 {
+		if out[0].Len <= n {
+			n -= out[0].Len
+			out = out[1:]
+			continue
+		}
+		head := Buffer{Addr: out[0].Addr + uint64(n), Len: out[0].Len - n}
+		rest := append([]Buffer{head}, out[1:]...)
+		return rest
+	}
+	return out
+}
+
+// Endpoint is one side of a connection: a bidirectional pair of byte pipes
+// (Figure 2 of the paper). All methods must be called from simulated
+// processes on the endpoint's node.
+type Endpoint interface {
+	// Put writes bytes from bufs into the pipe toward the peer. It returns
+	// the number of bytes completed, which is 0 when the pipe is full or a
+	// zero-copy transfer is still in flight; the caller retries with the
+	// unconsumed remainder.
+	Put(p *des.Proc, bufs []Buffer) (int, error)
+
+	// Get reads bytes from the incoming pipe into bufs, returning the
+	// number of bytes completed (0 when no data is available yet).
+	Get(p *des.Proc, bufs []Buffer) (int, error)
+
+	// EventSeq snapshots the endpoint's fabric-activity counter. Read it
+	// before a Put/Get attempt; if the attempt makes no progress, pass it
+	// to WaitEventSince to sleep without losing a wakeup that raced with
+	// the attempt.
+	EventSeq() uint64
+
+	// WaitEventSince blocks until fabric activity newer than seq (a remote
+	// write landed or a completion arrived), returning immediately if
+	// something already happened.
+	WaitEventSince(p *des.Proc, seq uint64)
+
+	// HCA returns the adapter the endpoint drives.
+	HCA() *ib.HCA
+
+	// Design identifies the implementation.
+	Design() Design
+
+	// Stats returns endpoint counters.
+	Stats() Stats
+}
+
+// Stats counts endpoint activity.
+type Stats struct {
+	PutCalls     uint64
+	GetCalls     uint64
+	BytesPut     uint64
+	BytesGot     uint64
+	ChunksSent   uint64
+	CreditWrites uint64
+	ZCSends      uint64
+	ZCRecvs      uint64
+	RegCache     regStats
+}
+
+type regStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// Config tunes a connection. Zero values select the defaults used
+// throughout the paper's evaluation.
+type Config struct {
+	Design Design
+
+	// RingSize is the per-direction shared buffer size. Default 128 KB for
+	// the chunked designs and 64 KB for the basic design (one large message
+	// in flight, matching the basic design's serialized behaviour).
+	RingSize int
+
+	// ChunkSize divides the ring for the piggyback/pipeline/zero-copy
+	// designs (§4.3–§4.4). Default 16 KB, the paper's chosen value.
+	ChunkSize int
+
+	// ZCThreshold is the message size at and above which the zero-copy
+	// design switches from the eager ring to RDMA read. Default 32 KB
+	// (below it, the RDMA read round trip costs more than it saves).
+	ZCThreshold int
+
+	// CreditBatch is the delayed-tail-update threshold: the receiver sends
+	// an explicit credit message only after consuming this many chunks
+	// without reverse traffic (§4.3). Default: half the chunks.
+	CreditBatch int
+
+	// RegCacheBytes bounds the pin-down cache (§5). Default 64 MB;
+	// negative disables caching (every zero-copy transfer pays full
+	// registration cost).
+	RegCacheBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSize == 0 {
+		if c.Design == DesignBasic {
+			c.RingSize = 64 << 10
+		} else {
+			c.RingSize = 128 << 10
+		}
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 16 << 10
+	}
+	if c.ZCThreshold == 0 {
+		c.ZCThreshold = 32 << 10
+	}
+	if c.CreditBatch == 0 {
+		c.CreditBatch = (c.RingSize / c.ChunkSize) / 2
+		if c.CreditBatch < 1 {
+			c.CreditBatch = 1
+		}
+	}
+	if c.RegCacheBytes == 0 {
+		c.RegCacheBytes = 64 << 20
+	}
+	return c
+}
+
+// NewConnection wires a bidirectional connection between two adapters and
+// returns the two endpoints. Setup (ring allocation, registration, address
+// exchange) happens synchronously on the calling process; in the real
+// system this is the channel's init function, outside the measured path.
+func NewConnection(p *des.Proc, cfg Config, ha, hb *ib.HCA) (Endpoint, Endpoint, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Design == DesignBasic {
+		return newBasicPair(p, cfg, ha, hb)
+	}
+	return newChunkPair(p, cfg, ha, hb)
+}
+
+// PutAll drives Put until every byte of bufs is accepted.
+func PutAll(p *des.Proc, e Endpoint, bufs []Buffer) error {
+	for len(bufs) > 0 {
+		seq := e.EventSeq()
+		n, err := e.Put(p, bufs)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			e.WaitEventSince(p, seq)
+			continue
+		}
+		bufs = Advance(bufs, n)
+	}
+	return nil
+}
+
+// GetAll drives Get until bufs is completely filled.
+func GetAll(p *des.Proc, e Endpoint, bufs []Buffer) error {
+	for len(bufs) > 0 {
+		seq := e.EventSeq()
+		n, err := e.Get(p, bufs)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			e.WaitEventSince(p, seq)
+			continue
+		}
+		bufs = Advance(bufs, n)
+	}
+	return nil
+}
+
+// slot8 is a registered 8-byte counter used for replicated pointers,
+// credit returns and zero-copy acknowledgements. The owner reads it
+// locally; the peer updates it with an 8-byte RDMA write.
+type slot8 struct {
+	va  uint64
+	buf []byte
+	mr  *ib.MR
+}
+
+func newSlot8(p *des.Proc, h *ib.HCA, pd *ib.PD) (slot8, error) {
+	va, buf := h.Node().Mem.Alloc(8)
+	mr, err := h.RegisterMR(p, pd, va, 8,
+		ib.AccessLocalWrite|ib.AccessRemoteWrite|ib.AccessRemoteRead)
+	if err != nil {
+		return slot8{}, err
+	}
+	return slot8{va: va, buf: buf, mr: mr}, nil
+}
+
+func (s slot8) value() uint64 { return le64(s.buf) }
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// counterWriter owns a local registered 8-byte source staging slot and
+// posts unsignaled RDMA writes of fresh counter values to a peer slot.
+type counterWriter struct {
+	src     slot8
+	qp      *ib.QP
+	peerVA  uint64
+	peerKey uint32
+}
+
+func (cw *counterWriter) write(p *des.Proc, v uint64) {
+	cw.post(p, v, false, 0)
+}
+
+func (cw *counterWriter) post(p *des.Proc, v uint64, signaled bool, wrid uint64) {
+	putLE64(cw.src.buf, v)
+	cw.qp.PostSend(p, ib.SendWR{
+		WRID:       wrid,
+		Op:         ib.OpRDMAWrite,
+		Signaled:   signaled,
+		SGL:        []ib.SGE{{Addr: cw.src.va, Len: 8, LKey: cw.src.mr.LKey()}},
+		RemoteAddr: cw.peerVA,
+		RKey:       cw.peerKey,
+	})
+}
+
+// endpointBase carries the plumbing common to all designs.
+type endpointBase struct {
+	cfg   Config
+	hca   *ib.HCA
+	node  *model.Node
+	prm   *model.Params
+	pd    *ib.PD
+	qp    *ib.QP
+	scq   *ib.CQ
+	rcq   *ib.CQ
+	stats Stats
+}
+
+func (b *endpointBase) HCA() *ib.HCA   { return b.hca }
+func (b *endpointBase) Design() Design { return b.cfg.Design }
+func (b *endpointBase) Stats() Stats   { return b.stats }
+
+func (b *endpointBase) EventSeq() uint64 { return b.hca.MemEventSeq() }
+func (b *endpointBase) WaitEventSince(p *des.Proc, seq uint64) {
+	b.hca.WaitMemEventSince(p, seq)
+}
+
+// resolve maps a Buffer to its backing bytes on this endpoint's node.
+func (b *endpointBase) resolve(buf Buffer) ([]byte, error) {
+	return b.node.Mem.Resolve(buf.Addr, buf.Len)
+}
+
+func newBase(cfg Config, h *ib.HCA) *endpointBase {
+	b := &endpointBase{
+		cfg:  cfg,
+		hca:  h,
+		node: h.Node(),
+		prm:  h.Params(),
+	}
+	b.pd = h.AllocPD()
+	b.scq = h.CreateCQ()
+	b.rcq = h.CreateCQ()
+	b.qp = h.CreateQP(b.pd, b.scq, b.rcq)
+	return b
+}

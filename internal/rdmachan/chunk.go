@@ -1,0 +1,537 @@
+package rdmachan
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/regcache"
+)
+
+// Chunk framing (§4.3): the ring is divided into fixed-size chunks; each
+// message segment occupies one chunk and carries its own detection flags,
+// so the receiver polls chunk flags instead of a head pointer and the
+// sender never sends a separate head-pointer update.
+//
+// Layout within a chunk:
+//
+//	[0:4)   seq+1   (uint32 LE) — leading flag; 0 never matches
+//	[4]     type    (1 = data, 2 = RTS)
+//	[5:8)   reserved
+//	[8:12)  paylen  (uint32 LE)
+//	[12:16) credits (uint32 LE) — piggybacked cumulative consumed count
+//	[16:16+paylen) payload
+//	[16+paylen]    trailing flag = byte(seq+1) ("bottom fill")
+//
+// A chunk is valid when both flags match the expected sequence number;
+// sequence numbers distinguish a fresh chunk from the stale contents of a
+// previous ring lap.
+const (
+	chunkHdrSize  = 16
+	chunkOverhead = chunkHdrSize + 1
+
+	chunkData byte = 1
+	chunkRTS  byte = 2
+
+	rtsPayloadLen = 20 // addr(8) + size(8) + rkey(4)
+
+	wridZCRead = 0x2C00
+)
+
+// chunkEP implements the piggyback, pipeline and zero-copy designs; the
+// three differ only in the pipelined and zc flags set from cfg.Design.
+type chunkEP struct {
+	*endpointBase
+	pipelined bool // overlap per-chunk copies with RDMA writes (§4.4)
+	zc        bool // RDMA-read zero-copy for large messages (§5)
+
+	nChunks    int
+	maxPayload int
+
+	// Receive side: the ring lives in this endpoint's memory.
+	ring      []byte
+	ringVA    uint64
+	ringMR    *ib.MR
+	recvSeq   uint64 // chunks fully consumed == next expected seq
+	chunkOff  int    // bytes of the current chunk's payload already delivered
+	announced uint64 // consumed count last conveyed to the peer
+	creditOut counterWriter
+
+	// Send side.
+	staging       []byte
+	stagingVA     uint64
+	stagingMR     *ib.MR
+	sendSeq       uint64 // chunks sent
+	knownConsumed uint64 // peer's consumed count, from credits
+	creditsIn     slot8  // explicit credit returns land here
+	peerRing      remoteWindow
+
+	// Zero-copy send state (one outstanding operation per direction; the
+	// pipe is FIFO, so the paper's put returns 0 until the transfer and
+	// its acknowledgement complete).
+	zcSendActive bool
+	zcSendBuf    Buffer
+	zcSendMR     *ib.MR
+	zcStarted    uint64 // cumulative zero-copy sends initiated
+	zcAckIn      slot8  // peer writes cumulative completions
+	zcAckOut     counterWriter
+	zcCompleted  uint64 // cumulative zero-copy receives completed
+
+	// Zero-copy receive state.
+	zcRecvActive bool
+	zcRecvSize   int
+	zcRecvDone   bool
+	zcRecvMR     *ib.MR
+
+	regc       *regcache.Cache
+	foreignCQE func(ib.CQE)
+	err        error
+}
+
+func newChunkPair(p *des.Proc, cfg Config, ha, hb *ib.HCA) (Endpoint, Endpoint, error) {
+	if cfg.ChunkSize <= chunkOverhead+rtsPayloadLen {
+		return nil, nil, fmt.Errorf("rdmachan: chunk size %d too small", cfg.ChunkSize)
+	}
+	if cfg.RingSize%cfg.ChunkSize != 0 || cfg.RingSize/cfg.ChunkSize < 2 {
+		return nil, nil, fmt.Errorf("rdmachan: ring %d not a multiple (≥2) of chunk %d",
+			cfg.RingSize, cfg.ChunkSize)
+	}
+	a := &chunkEP{endpointBase: newBase(cfg, ha)}
+	b := &chunkEP{endpointBase: newBase(cfg, hb)}
+	for _, e := range []*chunkEP{a, b} {
+		e.pipelined = cfg.Design == DesignPipeline || cfg.Design == DesignZeroCopy
+		e.zc = cfg.Design == DesignZeroCopy
+		e.nChunks = cfg.RingSize / cfg.ChunkSize
+		e.maxPayload = cfg.ChunkSize - chunkOverhead
+	}
+	if err := ib.Connect(a.qp, b.qp); err != nil {
+		return nil, nil, err
+	}
+	for _, e := range []*chunkEP{a, b} {
+		if err := e.setupLocal(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	a.exchange(b)
+	b.exchange(a)
+	return a, b, nil
+}
+
+func (e *chunkEP) setupLocal(p *des.Proc) error {
+	n := e.cfg.RingSize
+	e.ringVA, e.ring = e.node.Mem.Alloc(n)
+	var err error
+	e.ringMR, err = e.hca.RegisterMR(p, e.pd, e.ringVA, n,
+		ib.AccessLocalWrite|ib.AccessRemoteWrite)
+	if err != nil {
+		return err
+	}
+	e.stagingVA, e.staging = e.node.Mem.Alloc(n)
+	if e.stagingMR, err = e.hca.RegisterMR(p, e.pd, e.stagingVA, n, ib.AccessLocalWrite); err != nil {
+		return err
+	}
+	if e.creditsIn, err = newSlot8(p, e.hca, e.pd); err != nil {
+		return err
+	}
+	if e.zcAckIn, err = newSlot8(p, e.hca, e.pd); err != nil {
+		return err
+	}
+	if e.creditOut.src, err = newSlot8(p, e.hca, e.pd); err != nil {
+		return err
+	}
+	if e.zcAckOut.src, err = newSlot8(p, e.hca, e.pd); err != nil {
+		return err
+	}
+	e.creditOut.qp = e.qp
+	e.zcAckOut.qp = e.qp
+	cacheBytes := e.cfg.RegCacheBytes
+	if cacheBytes < 0 {
+		cacheBytes = 0
+	}
+	e.regc = regcache.New(e.hca, e.pd, cacheBytes)
+	return nil
+}
+
+func (e *chunkEP) exchange(peer *chunkEP) {
+	e.peerRing = remoteWindow{va: peer.ringVA, rkey: peer.ringMR.RKey(), size: peer.cfg.RingSize}
+	e.creditOut.peerVA = peer.creditsIn.va
+	e.creditOut.peerKey = peer.creditsIn.mr.RKey()
+	e.zcAckOut.peerVA = peer.zcAckIn.va
+	e.zcAckOut.peerKey = peer.zcAckIn.mr.RKey()
+}
+
+// RawAccess exposes the verbs-level resources behind a chunked endpoint.
+// The RDMA Channel interface deliberately hides these; the direct CH3
+// design (§6) is exactly the design that needs them — it reuses the eager
+// chunk ring but posts its own RDMA writes for rendezvous payloads. The
+// MPI-2 one-sided extension (the paper's future work) also builds on it.
+type RawAccess interface {
+	RawQP() *ib.QP
+	RawPD() *ib.PD
+	RegCache() *regcache.Cache
+
+	// SetForeignCQE installs a handler for completions on the endpoint's
+	// send CQ that the channel itself did not generate (signaled work
+	// requests posted directly on RawQP by a layer above).
+	SetForeignCQE(fn func(ib.CQE))
+}
+
+// RawQP implements RawAccess.
+func (e *chunkEP) RawQP() *ib.QP { return e.qp }
+
+// SetForeignCQE implements RawAccess.
+func (e *chunkEP) SetForeignCQE(fn func(ib.CQE)) { e.foreignCQE = fn }
+
+// RawPD implements RawAccess.
+func (e *chunkEP) RawPD() *ib.PD { return e.pd }
+
+// RegCache implements RawAccess.
+func (e *chunkEP) RegCache() *regcache.Cache { return e.regc }
+
+// Stats returns endpoint counters including registration-cache behaviour.
+func (e *chunkEP) Stats() Stats {
+	s := e.stats
+	cs := e.regc.Stats()
+	s.RegCache = regStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions}
+	return s
+}
+
+// freeCredits reports send-window slots available.
+func (e *chunkEP) freeCredits() int {
+	return e.nChunks - int(e.sendSeq-e.knownConsumed)
+}
+
+// refreshCredits merges the explicit credit slot into the send window.
+func (e *chunkEP) refreshCredits() {
+	if v := e.creditsIn.value(); v > e.knownConsumed {
+		e.knownConsumed = v
+	}
+}
+
+// drainCQ reaps pending completions (zero-copy read completions and any
+// errors), charging reap cost only when something was pending.
+func (e *chunkEP) drainCQ(p *des.Proc) {
+	for {
+		cqe, ok := e.scq.TryPoll()
+		if !ok {
+			return
+		}
+		p.Sleep(e.prm.CQPollOverhead)
+		if cqe.WRID == wridZCRead {
+			if cqe.Status != ib.StatusSuccess {
+				e.err = fmt.Errorf("rdmachan(%s): wr %#x failed: %v", e.cfg.Design, cqe.WRID, cqe.Status)
+				continue
+			}
+			e.zcRecvDone = true
+			continue
+		}
+		if e.foreignCQE != nil {
+			e.foreignCQE(cqe)
+			continue
+		}
+		if cqe.Status != ib.StatusSuccess {
+			e.err = fmt.Errorf("rdmachan(%s): wr %#x failed: %v", e.cfg.Design, cqe.WRID, cqe.Status)
+		}
+	}
+}
+
+// slotBytes returns the staging slot for sequence seq.
+func (e *chunkEP) slotBytes(seq uint64) []byte {
+	i := int(seq % uint64(e.nChunks))
+	return e.staging[i*e.cfg.ChunkSize : (i+1)*e.cfg.ChunkSize]
+}
+
+// stageChunk fills the staging slot for seq with framing and payload.
+func (e *chunkEP) stageChunk(seq uint64, ctype byte, payload []byte) {
+	slot := e.slotBytes(seq)
+	putLE32(slot[0:4], uint32(seq+1))
+	slot[4] = ctype
+	putLE32(slot[8:12], uint32(len(payload)))
+	putLE32(slot[12:16], uint32(e.recvSeq)) // piggybacked credit (§4.3)
+	copy(slot[chunkHdrSize:], payload)
+	slot[chunkHdrSize+len(payload)] = byte(seq + 1)
+}
+
+// postChunk RDMA-writes the framed chunk into the peer's ring slot.
+// Unsignaled: the slot is reusable once its credit returns, which implies
+// delivery, so no completion is needed.
+func (e *chunkEP) postChunk(p *des.Proc, seq uint64, paylen int) {
+	i := uint64(seq % uint64(e.nChunks))
+	e.qp.PostSend(p, ib.SendWR{
+		Op: ib.OpRDMAWrite,
+		SGL: []ib.SGE{{
+			Addr: e.stagingVA + i*uint64(e.cfg.ChunkSize),
+			Len:  chunkOverhead + paylen,
+			LKey: e.stagingMR.LKey(),
+		}},
+		RemoteAddr: e.peerRing.va + i*uint64(e.cfg.ChunkSize),
+		RKey:       e.peerRing.rkey,
+	})
+	e.announced = e.recvSeq // the chunk carried our consumed count
+	e.stats.ChunksSent++
+}
+
+// Put implements the sender side of the piggyback (§4.3), pipeline (§4.4)
+// and zero-copy (§5) designs.
+func (e *chunkEP) Put(p *des.Proc, bufs []Buffer) (int, error) {
+	e.stats.PutCalls++
+	p.Sleep(e.prm.ChanOverhead)
+	if e.zc {
+		p.Sleep(e.prm.ZCCheckOverhead)
+	}
+	if e.err != nil {
+		return 0, e.err
+	}
+	e.drainCQ(p)
+	e.refreshCredits()
+
+	// An outstanding zero-copy send blocks the pipe until acknowledged;
+	// put then reports the whole transfer at once (§5: "subsequent calls
+	// to put also return 0 until all of the data has been transferred").
+	if e.zcSendActive {
+		if e.zcAckIn.value() >= e.zcStarted {
+			n := e.zcSendBuf.Len
+			if err := e.regc.Release(p, e.zcSendMR); err != nil {
+				return 0, fmt.Errorf("rdmachan(zerocopy): %w", err)
+			}
+			e.zcSendActive = false
+			e.stats.BytesPut += uint64(n)
+			return n, nil
+		}
+		return 0, nil
+	}
+
+	ws := Total(bufs) // working-set hint for the copy cost model
+	if ws == 0 {
+		return 0, nil
+	}
+	total := 0
+
+	// Staged plan for the non-pipelined design: all copies first, then all
+	// RDMA writes — the serialization the pipeline optimization removes.
+	type staged struct {
+		seq    uint64
+		paylen int
+	}
+	var plan []staged
+	copiedBytes := 0
+
+	flushPlan := func() {
+		if copiedBytes > 0 {
+			e.node.Bus.Memcpy(p, copiedBytes, ws)
+			copiedBytes = 0
+		}
+		for _, s := range plan {
+			e.postChunk(p, s.seq, s.paylen)
+		}
+		plan = plan[:0]
+	}
+
+	// zcEligible reports whether the bi-th buffer, taken from its start,
+	// should go zero-copy (§5: the put function checks the user buffer and
+	// decides based on the buffer size).
+	zcEligible := func(bi, off int) bool {
+		return e.zc && off == 0 && bufs[bi].Len >= e.cfg.ZCThreshold
+	}
+
+	bi, off := 0, 0
+	for bi < len(bufs) {
+		if zcEligible(bi, off) {
+			if e.freeCredits()-len(plan) < 1 {
+				break
+			}
+			flushPlan()
+			b := bufs[bi]
+			mr, _, err := e.regc.Register(p, b.Addr, b.Len)
+			if err != nil {
+				return total, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+			}
+			var rts [rtsPayloadLen]byte
+			putLE64(rts[0:8], b.Addr)
+			putLE64(rts[8:16], uint64(b.Len))
+			putLE32(rts[16:20], mr.RKey())
+			e.stageChunk(e.sendSeq, chunkRTS, rts[:])
+			e.postChunk(p, e.sendSeq, rtsPayloadLen)
+			e.sendSeq++
+			e.zcSendActive = true
+			e.zcSendBuf = b
+			e.zcSendMR = mr
+			e.zcStarted++
+			e.stats.ZCSends++
+			// The pipe is blocked behind the transfer; report what was
+			// accepted so far.
+			return total, nil
+		}
+
+		// Eager path: pack one chunk, spanning buffer boundaries (a CH3
+		// packet header shares its chunk with the payload it precedes).
+		if e.freeCredits()-len(plan) < 1 {
+			break
+		}
+		seq := e.sendSeq
+		e.sendSeq++
+		slot := e.slotBytes(seq)
+		n := 0
+		for bi < len(bufs) && n < e.maxPayload && !zcEligible(bi, off) {
+			src, err := e.resolve(bufs[bi])
+			if err != nil {
+				return total, fmt.Errorf("rdmachan(%s): put: %w", e.cfg.Design, err)
+			}
+			m := copy(slot[chunkHdrSize+n:chunkHdrSize+e.maxPayload], src[off:])
+			n += m
+			off += m
+			total += m
+			if off == bufs[bi].Len {
+				bi++
+				off = 0
+			}
+		}
+		putLE32(slot[0:4], uint32(seq+1))
+		slot[4] = chunkData
+		putLE32(slot[8:12], uint32(n))
+		putLE32(slot[12:16], uint32(e.recvSeq))
+		slot[chunkHdrSize+n] = byte(seq + 1)
+		copiedBytes += n
+		if e.pipelined {
+			// Overlap: charge this chunk's copy and launch its RDMA write
+			// before copying the next chunk (§4.4).
+			e.node.Bus.Memcpy(p, copiedBytes, ws)
+			copiedBytes = 0
+			e.postChunk(p, seq, n)
+		} else {
+			plan = append(plan, staged{seq: seq, paylen: n})
+		}
+	}
+	flushPlan()
+	e.stats.BytesPut += uint64(total)
+	return total, nil
+}
+
+// Get implements the receiver side: consume framed chunks in order,
+// copying data chunks into the user buffers and converting RTS chunks into
+// RDMA reads pulled straight into the user buffer (§5, Figure 10).
+func (e *chunkEP) Get(p *des.Proc, bufs []Buffer) (int, error) {
+	e.stats.GetCalls++
+	p.Sleep(e.prm.ChanOverhead)
+	if e.zc {
+		p.Sleep(e.prm.ZCCheckOverhead)
+	}
+	if e.err != nil {
+		return 0, e.err
+	}
+	e.drainCQ(p)
+
+	got := 0
+	ws := Total(bufs)
+
+	// Finish an in-flight zero-copy receive: the RDMA read scattered the
+	// payload directly into the user buffer; acknowledge and deliver.
+	if e.zcRecvActive {
+		if !e.zcRecvDone {
+			return 0, nil
+		}
+		if err := e.regc.Release(p, e.zcRecvMR); err != nil {
+			return 0, fmt.Errorf("rdmachan(zerocopy): %w", err)
+		}
+		e.zcCompleted++
+		e.zcAckOut.write(p, e.zcCompleted)
+		got += e.zcRecvSize
+		bufs = Advance(bufs, e.zcRecvSize)
+		e.zcRecvActive, e.zcRecvDone = false, false
+	}
+
+	copied := 0
+	for Total(bufs) > 0 {
+		slotIdx := int(e.recvSeq % uint64(e.nChunks))
+		slot := e.ring[slotIdx*e.cfg.ChunkSize : (slotIdx+1)*e.cfg.ChunkSize]
+		want := uint32(e.recvSeq + 1)
+		if le32(slot[0:4]) != want {
+			break
+		}
+		paylen := int(le32(slot[8:12]))
+		if paylen < 0 || paylen > e.maxPayload {
+			return got, fmt.Errorf("rdmachan(%s): corrupt chunk length %d", e.cfg.Design, paylen)
+		}
+		if slot[chunkHdrSize+paylen] != byte(want) {
+			break // trailing flag not yet written
+		}
+		// Merge the piggybacked credit (§4.3).
+		if c := uint64(le32(slot[12:16])); c > e.knownConsumed {
+			e.knownConsumed = c
+		}
+
+		switch slot[4] {
+		case chunkData:
+			pay := slot[chunkHdrSize+e.chunkOff : chunkHdrSize+paylen]
+			m := 0
+			for _, b := range bufs {
+				if m >= len(pay) {
+					break
+				}
+				dst, err := e.resolve(b)
+				if err != nil {
+					return got, fmt.Errorf("rdmachan(%s): get: %w", e.cfg.Design, err)
+				}
+				m += copy(dst, pay[m:])
+			}
+			copied += m
+			got += m
+			bufs = Advance(bufs, m)
+			e.chunkOff += m
+			if e.chunkOff == paylen {
+				e.chunkOff = 0
+				e.advanceChunk(p)
+			}
+		case chunkRTS:
+			if !e.zc {
+				return got, fmt.Errorf("rdmachan(%s): unexpected RTS chunk", e.cfg.Design)
+			}
+			addr := le64(slot[chunkHdrSize : chunkHdrSize+8])
+			size := int(le64(slot[chunkHdrSize+8 : chunkHdrSize+16]))
+			rkey := le32(slot[chunkHdrSize+16 : chunkHdrSize+20])
+			if len(bufs) == 0 || bufs[0].Len < size {
+				return got, fmt.Errorf("rdmachan(zerocopy): target buffer %d < message %d",
+					Total(bufs), size)
+			}
+			e.advanceChunk(p)
+			mr, _, err := e.regc.Register(p, bufs[0].Addr, size)
+			if err != nil {
+				return got, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+			}
+			e.qp.PostSend(p, ib.SendWR{
+				WRID: wridZCRead, Op: ib.OpRDMARead, Signaled: true,
+				SGL:        []ib.SGE{{Addr: bufs[0].Addr, Len: size, LKey: mr.LKey()}},
+				RemoteAddr: addr, RKey: rkey,
+			})
+			e.zcRecvActive = true
+			e.zcRecvSize = size
+			e.zcRecvMR = mr
+			e.stats.ZCRecvs++
+			// The read is in flight; deliver what preceded it.
+			if copied > 0 {
+				e.node.Bus.Memcpy(p, copied, ws)
+			}
+			e.stats.BytesGot += uint64(got)
+			return got, nil
+		default:
+			return got, fmt.Errorf("rdmachan(%s): corrupt chunk type %d", e.cfg.Design, slot[4])
+		}
+	}
+	if copied > 0 {
+		e.node.Bus.Memcpy(p, copied, ws)
+	}
+	e.stats.BytesGot += uint64(got)
+	return got, nil
+}
+
+// advanceChunk retires the current chunk and applies the delayed
+// tail-update policy (§4.3): an explicit credit message only after
+// CreditBatch chunks with no reverse traffic to piggyback on.
+func (e *chunkEP) advanceChunk(p *des.Proc) {
+	e.recvSeq++
+	if e.recvSeq-e.announced >= uint64(e.cfg.CreditBatch) {
+		e.creditOut.write(p, e.recvSeq)
+		e.announced = e.recvSeq
+		e.stats.CreditWrites++
+	}
+}

@@ -1,0 +1,176 @@
+// Package regcache implements the pin-down registration cache of §5 of the
+// paper (after Tezuka et al., IPPS 1998): deregistration of user buffers is
+// deferred and the registration is cached, so that a buffer reused for
+// communication pays the full pinning cost only once. Deregistration
+// happens lazily, when the cached pinned footprint exceeds a budget.
+//
+// The paper: "To reduce the number of registrations and deregistrations,
+// we have implemented a registration cache. ... Deregistration happens
+// only when there are too many registered user buffers." Its effectiveness
+// depends on the application's buffer-reuse rate, which the NAS benchmarks
+// satisfy (§5).
+package regcache
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+)
+
+// Cache is a pin-down cache over one HCA/PD pair. It is used from
+// simulated processes on the owning node only.
+type Cache struct {
+	hca      *ib.HCA
+	pd       *ib.PD
+	maxBytes int
+
+	entries map[uint64]*entry // by start address
+	lru     []*entry          // unreferenced entries, oldest first
+	pinned  int               // total cached pinned bytes
+
+	stats Stats
+}
+
+// Stats counts cache behaviour.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type entry struct {
+	addr uint64
+	len  int
+	mr   *ib.MR
+	refs int
+}
+
+// allAccess registers cached buffers with every right so any later use of
+// the same buffer (send source, read target, write target) can share the
+// entry, as real pin-down caches do.
+const allAccess = ib.AccessLocalWrite | ib.AccessRemoteWrite |
+	ib.AccessRemoteRead | ib.AccessRemoteAtomic
+
+// New creates a cache that keeps at most maxBytes of unreferenced pinned
+// memory before evicting (LRU). maxBytes <= 0 disables caching entirely:
+// every Register pins and every Release unpins, which is the paper's
+// no-cache baseline for the ablation benchmark.
+func New(hca *ib.HCA, pd *ib.PD, maxBytes int) *Cache {
+	return &Cache{
+		hca:      hca,
+		pd:       pd,
+		maxBytes: maxBytes,
+		entries:  make(map[uint64]*entry),
+	}
+}
+
+// Register returns a memory region covering [addr, addr+length). A cached
+// registration for a containing buffer is reused at lookup cost; otherwise
+// the buffer is pinned at full cost. The boolean reports a cache hit.
+func (c *Cache) Register(p *des.Proc, addr uint64, length int) (*ib.MR, bool, error) {
+	if c.maxBytes > 0 {
+		p.Sleep(c.hca.Params().RegCacheLookup)
+		if e, ok := c.entries[addr]; ok && e.len >= length && e.mr.Valid() {
+			if e.refs == 0 {
+				c.lruRemove(e)
+			}
+			e.refs++
+			c.stats.Hits++
+			return e.mr, true, nil
+		}
+	}
+	c.stats.Misses++
+	mr, err := c.hca.RegisterMR(p, c.pd, addr, length, allAccess)
+	if err != nil {
+		return nil, false, fmt.Errorf("regcache: %w", err)
+	}
+	if c.maxBytes <= 0 {
+		return mr, false, nil
+	}
+	// A stale, unreferenced entry at the same address (e.g. smaller buffer)
+	// is replaced.
+	if old, ok := c.entries[addr]; ok {
+		if old.refs > 0 {
+			// Same address registered twice while still in use: serve the
+			// new registration uncached rather than corrupt refcounts.
+			return mr, false, nil
+		}
+		c.lruRemove(old)
+		c.dropEntry(p, old)
+	}
+	e := &entry{addr: addr, len: length, mr: mr, refs: 1}
+	c.entries[addr] = e
+	c.pinned += length
+	c.evictOver(p)
+	return mr, false, nil
+}
+
+// Release returns a region obtained from Register. With caching enabled
+// the registration is retained for reuse; without, it is deregistered
+// immediately.
+func (c *Cache) Release(p *des.Proc, mr *ib.MR) error {
+	if c.maxBytes <= 0 {
+		return c.hca.DeregisterMR(p, mr)
+	}
+	e, ok := c.entries[mr.Addr()]
+	if !ok || e.mr != mr {
+		// Registered around the cache (refs-in-use collision above).
+		return c.hca.DeregisterMR(p, mr)
+	}
+	if e.refs <= 0 {
+		return fmt.Errorf("regcache: release of unreferenced entry %#x", mr.Addr())
+	}
+	e.refs--
+	if e.refs == 0 {
+		c.lru = append(c.lru, e)
+		c.evictOver(p)
+	}
+	return nil
+}
+
+// evictOver deregisters unreferenced entries, oldest first, until the
+// cached pinned footprint fits the budget.
+func (c *Cache) evictOver(p *des.Proc) {
+	for c.pinned > c.maxBytes && len(c.lru) > 0 {
+		e := c.lru[0]
+		c.lru = c.lru[1:]
+		c.dropEntry(p, e)
+		c.stats.Evictions++
+	}
+}
+
+func (c *Cache) dropEntry(p *des.Proc, e *entry) {
+	delete(c.entries, e.addr)
+	c.pinned -= e.len
+	if e.mr.Valid() {
+		// Deregistration cost is paid by whoever triggers the eviction,
+		// matching the lazy scheme's behaviour.
+		if err := c.hca.DeregisterMR(p, e.mr); err != nil {
+			panic(fmt.Sprintf("regcache: dereg: %v", err))
+		}
+	}
+}
+
+// Flush deregisters every unreferenced cached entry.
+func (c *Cache) Flush(p *des.Proc) {
+	for _, e := range c.lru {
+		c.dropEntry(p, e)
+	}
+	c.lru = c.lru[:0]
+}
+
+// PinnedBytes reports the cached pinned footprint.
+func (c *Cache) PinnedBytes() int { return c.pinned }
+
+// Stats returns a copy of the hit/miss/eviction counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) lruRemove(e *entry) {
+	for i, x := range c.lru {
+		if x == e {
+			c.lru = append(c.lru[:i], c.lru[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package regcache
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+)
+
+type fixture struct {
+	eng  *des.Engine
+	node *model.Node
+	hca  *ib.HCA
+	pd   *ib.PD
+}
+
+func newFixture() *fixture {
+	eng := des.NewEngine()
+	prm := model.Testbed()
+	f := ib.NewFabric(eng, prm)
+	node := model.NewNode(0, prm)
+	hca := f.NewHCA(node)
+	return &fixture{eng: eng, node: node, hca: hca, pd: hca.AllocPD()}
+}
+
+func (f *fixture) run(t *testing.T, body func(p *des.Proc)) {
+	t.Helper()
+	f.eng.Spawn("test", body)
+	f.eng.Run()
+}
+
+func TestReuseHitsCache(t *testing.T) {
+	f := newFixture()
+	c := New(f.hca, f.pd, 1<<20)
+	f.run(t, func(p *des.Proc) {
+		va, _ := f.node.Mem.Alloc(64 << 10)
+
+		mr1, hit, err := c.Register(p, va, 64<<10)
+		if err != nil || hit {
+			t.Fatalf("first register: hit=%v err=%v", hit, err)
+		}
+		if err := c.Release(p, mr1); err != nil {
+			t.Fatal(err)
+		}
+
+		start := p.Now()
+		mr2, hit, err := c.Register(p, va, 64<<10)
+		if err != nil || !hit {
+			t.Fatalf("second register: hit=%v err=%v", hit, err)
+		}
+		if mr2 != mr1 {
+			t.Error("cache hit should return the same MR")
+		}
+		cost := p.Now() - start
+		if cost > des.Microsecond {
+			t.Errorf("hit cost = %v, want lookup-only (≤1µs)", cost)
+		}
+		if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+			t.Errorf("stats = %+v", s)
+		}
+	})
+}
+
+func TestSmallerRangeHitsContainingEntry(t *testing.T) {
+	f := newFixture()
+	c := New(f.hca, f.pd, 1<<20)
+	f.run(t, func(p *des.Proc) {
+		va, _ := f.node.Mem.Alloc(128 << 10)
+		mr, _, _ := c.Register(p, va, 128<<10)
+		c.Release(p, mr)
+		_, hit, err := c.Register(p, va, 4<<10)
+		if err != nil || !hit {
+			t.Fatalf("contained range: hit=%v err=%v", hit, err)
+		}
+	})
+}
+
+func TestLRUEviction(t *testing.T) {
+	f := newFixture()
+	c := New(f.hca, f.pd, 100<<10) // budget: 100 KB
+	f.run(t, func(p *des.Proc) {
+		va1, _ := f.node.Mem.Alloc(64 << 10)
+		va2, _ := f.node.Mem.Alloc(64 << 10)
+		mr1, _, _ := c.Register(p, va1, 64<<10)
+		c.Release(p, mr1)
+		mr2, _, _ := c.Register(p, va2, 64<<10) // 128K pinned > 100K: evict mr1
+		c.Release(p, mr2)
+
+		if s := c.Stats(); s.Evictions != 1 {
+			t.Fatalf("evictions = %d, want 1", s.Evictions)
+		}
+		if mr1.Valid() {
+			t.Error("evicted MR should be deregistered")
+		}
+		if mr2.Valid() != true {
+			t.Error("resident MR should stay registered")
+		}
+		// Re-registering the evicted buffer is a miss.
+		_, hit, _ := c.Register(p, va1, 64<<10)
+		if hit {
+			t.Error("evicted entry should miss")
+		}
+	})
+}
+
+func TestInUseEntriesNotEvicted(t *testing.T) {
+	f := newFixture()
+	c := New(f.hca, f.pd, 10<<10) // tiny budget
+	f.run(t, func(p *des.Proc) {
+		va1, _ := f.node.Mem.Alloc(64 << 10)
+		mr1, _, _ := c.Register(p, va1, 64<<10)
+		// Over budget but referenced: must not be deregistered.
+		va2, _ := f.node.Mem.Alloc(64 << 10)
+		mr2, _, _ := c.Register(p, va2, 64<<10)
+		if !mr1.Valid() || !mr2.Valid() {
+			t.Fatal("in-use MRs must not be evicted")
+		}
+		c.Release(p, mr1) // now unreferenced and over budget: evicted
+		if mr1.Valid() {
+			t.Error("released over-budget MR should be evicted")
+		}
+		c.Release(p, mr2)
+	})
+}
+
+func TestDisabledCacheAlwaysPins(t *testing.T) {
+	f := newFixture()
+	c := New(f.hca, f.pd, 0)
+	f.run(t, func(p *des.Proc) {
+		va, _ := f.node.Mem.Alloc(4 << 10)
+		mr1, hit, _ := c.Register(p, va, 4<<10)
+		if hit {
+			t.Fatal("disabled cache reported a hit")
+		}
+		c.Release(p, mr1)
+		if mr1.Valid() {
+			t.Fatal("disabled cache should deregister on release")
+		}
+		mr2, hit, _ := c.Register(p, va, 4<<10)
+		if hit {
+			t.Fatal("disabled cache reported a hit on reuse")
+		}
+		c.Release(p, mr2)
+		if s := c.Stats(); s.Hits != 0 || s.Misses != 2 {
+			t.Errorf("stats = %+v", s)
+		}
+	})
+}
+
+func TestConcurrentHoldersRefcount(t *testing.T) {
+	f := newFixture()
+	c := New(f.hca, f.pd, 1<<20)
+	f.run(t, func(p *des.Proc) {
+		va, _ := f.node.Mem.Alloc(16 << 10)
+		a, _, _ := c.Register(p, va, 16<<10)
+		b, hit, _ := c.Register(p, va, 16<<10)
+		if !hit || a != b {
+			t.Fatal("second holder should share the entry")
+		}
+		c.Release(p, a)
+		if !b.Valid() {
+			t.Fatal("entry freed while still referenced")
+		}
+		c.Release(p, b)
+		if !b.Valid() {
+			t.Fatal("unreferenced within-budget entry should stay cached")
+		}
+	})
+}
+
+func TestFlush(t *testing.T) {
+	f := newFixture()
+	c := New(f.hca, f.pd, 1<<20)
+	f.run(t, func(p *des.Proc) {
+		va, _ := f.node.Mem.Alloc(16 << 10)
+		mr, _, _ := c.Register(p, va, 16<<10)
+		c.Release(p, mr)
+		c.Flush(p)
+		if mr.Valid() {
+			t.Error("flushed MR should be deregistered")
+		}
+		if c.PinnedBytes() != 0 {
+			t.Errorf("pinned = %d after flush", c.PinnedBytes())
+		}
+	})
+}
+
+func TestReleaseUnknownMRDeregisters(t *testing.T) {
+	f := newFixture()
+	c := New(f.hca, f.pd, 1<<20)
+	f.run(t, func(p *des.Proc) {
+		va, _ := f.node.Mem.Alloc(4 << 10)
+		mr, err := f.hca.RegisterMR(p, f.pd, va, 4<<10, ib.AccessLocalWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release(p, mr); err != nil {
+			t.Fatal(err)
+		}
+		if mr.Valid() {
+			t.Error("unknown MR should be deregistered on release")
+		}
+	})
+}
+
+func TestDoubleReleaseFails(t *testing.T) {
+	f := newFixture()
+	c := New(f.hca, f.pd, 1<<20)
+	f.run(t, func(p *des.Proc) {
+		va, _ := f.node.Mem.Alloc(4 << 10)
+		mr, _, _ := c.Register(p, va, 4<<10)
+		if err := c.Release(p, mr); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release(p, mr); err == nil {
+			t.Error("double release should error")
+		}
+	})
+}

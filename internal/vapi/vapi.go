@@ -1,0 +1,86 @@
+// Package vapi is a thin facade over the InfiniBand simulator with the
+// naming of Mellanox's VAPI — "the programming interface for our
+// InfiniBand cards" (§6 of the paper). The raw microbenchmarks of §4.2.1
+// and Figure 15 are VAPI-level programs; this package lets them read like
+// their originals while delegating to internal/ib.
+package vapi
+
+import (
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+)
+
+// HCA handles, VAPI style.
+type (
+	HndlHCA = *ib.HCA
+	HndlPD  = *ib.PD
+	HndlCQ  = *ib.CQ
+	HndlQP  = *ib.QP
+	HndlMR  = *ib.MR
+)
+
+// Work request and completion types.
+type (
+	SrDesc = ib.SendWR // send request descriptor
+	RrDesc = ib.RecvWR // receive request descriptor
+	WC     = ib.CQE    // work completion
+	SGE    = ib.SGE
+)
+
+// Opcodes (VAPI spelling).
+const (
+	SEND       = ib.OpSend
+	RDMA_WRITE = ib.OpRDMAWrite
+	RDMA_READ  = ib.OpRDMARead
+	CMP_SWAP   = ib.OpCmpSwap
+	FETCH_ADD  = ib.OpFetchAdd
+)
+
+// Access flags.
+const (
+	EN_LOCAL_WRITE   = ib.AccessLocalWrite
+	EN_REMOTE_WRITE  = ib.AccessRemoteWrite
+	EN_REMOTE_READ   = ib.AccessRemoteRead
+	EN_REMOTE_ATOMIC = ib.AccessRemoteAtomic
+)
+
+// OpenHCA attaches an adapter to a node on the fabric.
+func OpenHCA(f *ib.Fabric, node *model.Node) HndlHCA { return f.NewHCA(node) }
+
+// AllocPD allocates a protection domain.
+func AllocPD(hca HndlHCA) HndlPD { return hca.AllocPD() }
+
+// CreateCQ allocates a completion queue.
+func CreateCQ(hca HndlHCA) HndlCQ { return hca.CreateCQ() }
+
+// CreateQP allocates a reliable-connection queue pair.
+func CreateQP(hca HndlHCA, pd HndlPD, sq, rq HndlCQ) HndlQP {
+	return hca.CreateQP(pd, sq, rq)
+}
+
+// ModifyQP2RTS connects two queue pairs (the RESET→INIT→RTR→RTS ladder of
+// real VAPI collapsed into the one transition that matters here).
+func ModifyQP2RTS(a, b HndlQP) error { return ib.Connect(a, b) }
+
+// RegisterMR pins memory.
+func RegisterMR(p *des.Proc, hca HndlHCA, pd HndlPD, addr uint64, length int, acl ib.Access) (HndlMR, error) {
+	return hca.RegisterMR(p, pd, addr, length, acl)
+}
+
+// DeregisterMR unpins memory.
+func DeregisterMR(p *des.Proc, hca HndlHCA, mr HndlMR) error {
+	return hca.DeregisterMR(p, mr)
+}
+
+// PostSR posts a send request.
+func PostSR(p *des.Proc, qp HndlQP, sr SrDesc) { qp.PostSend(p, sr) }
+
+// PostRR posts a receive request.
+func PostRR(p *des.Proc, qp HndlQP, rr RrDesc) { qp.PostRecv(p, rr) }
+
+// PollCQ reaps one completion, non-blocking.
+func PollCQ(cq HndlCQ) (WC, bool) { return cq.TryPoll() }
+
+// WaitCQ blocks until a completion is available.
+func WaitCQ(p *des.Proc, cq HndlCQ) WC { return cq.Poll(p) }

@@ -1,0 +1,66 @@
+package vapi
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+)
+
+// TestVAPIStylePingPong writes the §4.2.1 raw benchmark the way a VAPI
+// program reads, end to end through the facade.
+func TestVAPIStylePingPong(t *testing.T) {
+	eng := des.NewEngine()
+	prm := model.Testbed()
+	fabric := ib.NewFabric(eng, prm)
+	n0, n1 := model.NewNode(0, prm), model.NewNode(1, prm)
+
+	hca0 := OpenHCA(fabric, n0)
+	hca1 := OpenHCA(fabric, n1)
+	pd0, pd1 := AllocPD(hca0), AllocPD(hca1)
+	cq0 := CreateCQ(hca0)
+	qp0 := CreateQP(hca0, pd0, cq0, CreateCQ(hca0))
+	qp1 := CreateQP(hca1, pd1, CreateCQ(hca1), CreateCQ(hca1))
+	if err := ModifyQP2RTS(qp0, qp1); err != nil {
+		t.Fatal(err)
+	}
+
+	eng.Spawn("driver", func(p *des.Proc) {
+		lva, lb := n0.Mem.Alloc(4096)
+		rva, rb := n1.Mem.Alloc(4096)
+		lmr, err := RegisterMR(p, hca0, pd0, lva, 4096, EN_LOCAL_WRITE)
+		if err != nil {
+			t.Errorf("RegisterMR: %v", err)
+			return
+		}
+		rmr, err := RegisterMR(p, hca1, pd1, rva, 4096, EN_LOCAL_WRITE|EN_REMOTE_WRITE)
+		if err != nil {
+			t.Errorf("RegisterMR: %v", err)
+			return
+		}
+		for i := range lb {
+			lb[i] = byte(i * 3)
+		}
+		PostSR(p, qp0, SrDesc{
+			WRID: 1, Op: RDMA_WRITE, Signaled: true,
+			SGL:        []SGE{{Addr: lva, Len: 4096, LKey: lmr.LKey()}},
+			RemoteAddr: rva, RKey: rmr.RKey(),
+		})
+		wc := WaitCQ(p, cq0)
+		if wc.Status != ib.StatusSuccess || wc.WRID != 1 {
+			t.Errorf("wc = %+v", wc)
+		}
+		if !bytes.Equal(lb, rb) {
+			t.Error("payload mismatch")
+		}
+		if _, ok := PollCQ(cq0); ok {
+			t.Error("spurious completion")
+		}
+		if err := DeregisterMR(p, hca0, lmr); err != nil {
+			t.Errorf("DeregisterMR: %v", err)
+		}
+	})
+	eng.Run()
+}
