@@ -20,6 +20,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/ib"
+	"repro/internal/mpi"
 	"repro/internal/nas"
 )
 
@@ -75,6 +76,32 @@ func BenchmarkHeadline(b *testing.B) {
 	}
 	b.ReportMetric(f.Series[0].Points[0].Value, "latency-µs")
 	b.ReportMetric(f.Series[1].Points[0].Value, "bandwidth-MB/s")
+}
+
+// BenchmarkFig3SMPLatency generates the repository's SMP extension figure
+// (DESIGN.md §6): intra-node shared-memory vs inter-node InfiniBand MPI
+// latency. Not a paper reproduction — the paper's Figure 3 is the
+// shared-memory scheme its RDMA designs emulate; this measures that
+// scheme natively.
+func BenchmarkFig3SMPLatency(b *testing.B) {
+	var f bench.Figure
+	for i := 0; i < b.N; i++ {
+		f = bench.Fig3Latency()
+	}
+	b.ReportMetric(f.Series[0].Points[0].Value, "shm-4B-µs")
+	b.ReportMetric(f.Series[1].Points[0].Value, "ib-4B-µs")
+	reportSeries(b, f)
+}
+
+// BenchmarkFig3SMPBandwidth is the bandwidth companion: the shm channel's
+// two bus crossings per byte cap large-message intra-node streaming below
+// the fabric rate.
+func BenchmarkFig3SMPBandwidth(b *testing.B) {
+	var f bench.Figure
+	for i := 0; i < b.N; i++ {
+		f = bench.Fig3Bandwidth()
+	}
+	reportSeries(b, f)
 }
 
 // BenchmarkFig04BasicLatency regenerates Figure 4.
@@ -264,6 +291,65 @@ func BenchmarkAblationRingSize(b *testing.B) {
 		f = bench.AblationRingSize()
 	}
 	reportSeries(b, f)
+}
+
+// BenchmarkAblationHierCollectives compares hierarchical against flat
+// collectives on a 4-node × 4-core layout (DESIGN.md §6).
+func BenchmarkAblationHierCollectives(b *testing.B) {
+	var f bench.Figure
+	for i := 0; i < b.N; i++ {
+		f = bench.AblationHierCollectives()
+	}
+	reportSeries(b, f)
+}
+
+// BenchmarkNASSMPSweep runs NAS class A at 8 ranks across 1-, 2-, 4- and
+// 8-core-per-node layouts (DESIGN.md §6).
+func BenchmarkNASSMPSweep(b *testing.B) {
+	var res nas.SMPResult
+	for i := 0; i < b.N; i++ {
+		res = nas.RunSMP(nas.ClassA, 8, []int{1, 2, 4, 8})
+	}
+	for _, r := range res.Rows {
+		if !r.Verified {
+			b.Fatalf("%s failed verification", r.Name)
+		}
+	}
+	base, packed := 0.0, 0.0
+	for _, r := range res.Rows {
+		base += r.Times[1]
+		packed += r.Times[8]
+	}
+	b.ReportMetric(packed/base, "8pernode/1pernode")
+	if testing.Verbose() {
+		b.Log("\n" + res.Format())
+	}
+}
+
+// TestSMPHeadline is the SMP scenario's acceptance gate in executable
+// form: the shared-memory channel must beat InfiniBand for small
+// messages, and on a 4-node × 4-core layout the hierarchical broadcast
+// must beat the flat binomial (rooted off the node boundary; see
+// bench.AblationHierCollectives for why the root matters).
+func TestSMPHeadline(t *testing.T) {
+	f := bench.Fig3Latency()
+	shm, ib := f.Series[0].Points[0].Value, f.Series[1].Points[0].Value
+	if shm <= 0 || ib <= 0 || shm >= ib {
+		t.Errorf("small-message latency: shm %.2f µs vs IB %.2f µs; shm must win", shm, ib)
+	}
+
+	o := bench.Options{Transport: cluster.TransportZeroCopy, CoresPerNode: 4}
+	for _, size := range []int{4, 16 << 10} {
+		hier := bench.CollectiveTime(o, 16, []int{size}, 10, func(comm *mpi.Comm, buf mpi.Buffer) {
+			comm.Bcast(buf, 5)
+		}).Points[0].Value
+		flat := bench.CollectiveTime(o, 16, []int{size}, 10, func(comm *mpi.Comm, buf mpi.Buffer) {
+			comm.FlatBcast(buf, 5)
+		}).Points[0].Value
+		if hier <= 0 || flat <= 0 || hier >= flat {
+			t.Errorf("%dB bcast on 4×4: hier %.2f µs vs flat %.2f µs; hier must win", size, hier, flat)
+		}
+	}
 }
 
 // TestHeadlineNumbers is the repository's single most important test: the

@@ -19,12 +19,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure id (fig4..fig15, baseline, headline, all, ablations)")
+	fig := flag.String("fig", "all", "figure id (fig4..fig15, fig3-lat, fig3-bw, baseline, headline, all, ablations)")
 	list := flag.Bool("list", false, "list available figures")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("baseline headline fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 ablations all")
+		fmt.Println("baseline headline fig3-lat fig3-bw fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 ablations all")
 		return
 	}
 

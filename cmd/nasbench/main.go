@@ -9,6 +9,13 @@
 //	nasbench -class B -np 8          # Figure 17
 //	nasbench -class S -np 4          # smoke-scale sweep
 //	nasbench -bench cg -class A -np 4 -transport zerocopy
+//
+// Beyond the paper, the SMP mode sweeps multi-core-node layouts
+// (DESIGN.md §6): the same ranks packed onto fewer nodes, co-located
+// pairs over shared memory, collectives hierarchical:
+//
+//	nasbench -smp -class A -np 8     # 1, 2, 4 and 8 ranks per node
+//	nasbench -bench cg -class A -np 8 -ppn 4 -transport zerocopy
 package main
 
 import (
@@ -25,6 +32,8 @@ func main() {
 	np := flag.Int("np", 4, "number of ranks")
 	benchName := flag.String("bench", "", "single benchmark (bt cg ep ft is lu mg sp); empty = full figure")
 	transport := flag.String("transport", "", "single transport (pipeline, zerocopy, ch3); empty = all three")
+	ppn := flag.Int("ppn", 1, "ranks per node (SMP layout; co-located pairs use shared memory)")
+	smp := flag.Bool("smp", false, "sweep ranks-per-node layouts instead of transports")
 	flag.Parse()
 
 	cl := nas.Class((*class)[0])
@@ -32,8 +41,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nasbench: class must be S, A or B")
 		os.Exit(1)
 	}
+	// The NPB decompositions constrain the rank count: SP and BT need a
+	// square process grid, everything else a power of two; other counts
+	// would panic deep in a kernel.
+	if nas.SquareOnly(*benchName) {
+		if !isSquare(*np) {
+			fmt.Fprintf(os.Stderr, "nasbench: %s needs a square rank count, got %d\n", *benchName, *np)
+			os.Exit(1)
+		}
+	} else if *np < 2 || *np&(*np-1) != 0 {
+		fmt.Fprintf(os.Stderr, "nasbench: -np must be a power of two ≥ 2, got %d\n", *np)
+		os.Exit(1)
+	}
+
+	if *smp {
+		if *transport != "" {
+			fmt.Fprintln(os.Stderr, "nasbench: -smp sweeps layouts on the zero-copy transport; drop -transport")
+			os.Exit(1)
+		}
+		var ppns []int
+		for p := 1; p <= *np; p *= 2 {
+			ppns = append(ppns, p)
+		}
+		fmt.Print(nas.RunSMP(cl, *np, ppns).Format())
+		return
+	}
 
 	if *benchName == "" {
+		if *ppn != 1 {
+			fmt.Fprintln(os.Stderr, "nasbench: the full figure runs one rank per node; use -smp for layout sweeps or -bench with -ppn")
+			os.Exit(1)
+		}
 		id := "fig16"
 		if cl == nas.ClassB {
 			id = "fig17"
@@ -51,7 +89,7 @@ func main() {
 		"ch3":       cluster.TransportCH3,
 	}
 	run := func(tr cluster.Transport) {
-		res := nas.Run(*benchName, cl, cluster.Config{NP: *np, Transport: tr})
+		res := nas.Run(*benchName, cl, cluster.Config{NP: *np, CoresPerNode: *ppn, Transport: tr})
 		fmt.Printf("%-22s %s\n", tr, res)
 	}
 	if *transport != "" {
@@ -68,4 +106,14 @@ func main() {
 	} {
 		run(tr)
 	}
+}
+
+// isSquare reports whether n is a perfect square ≥ 1 (SP/BT grids).
+func isSquare(n int) bool {
+	for i := 1; i*i <= n; i++ {
+		if i*i == n {
+			return true
+		}
+	}
+	return false
 }

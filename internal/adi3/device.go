@@ -68,7 +68,8 @@ type Device struct {
 	hca  *ib.HCA
 	prm  *model.Params
 
-	conns []ch3.Conn // by peer rank; nil for self
+	conns  []ch3.Conn // by peer rank; nil for self
+	nodeOf []int32    // node id per rank; nil = one rank per node
 
 	prq []*postedRecv
 	uq  []*uqEntry
@@ -94,6 +95,20 @@ func (d *Device) SetConn(peer int32, c ch3.Conn) { d.conns[peer] = c }
 
 // Conn returns the connection to a peer rank.
 func (d *Device) Conn(peer int32) ch3.Conn { return d.conns[peer] }
+
+// SetTopology installs the rank→node placement map. The cluster calls it
+// once at build time; collectives read it through NodeOf to pick
+// hierarchy-aware algorithms. nodeOf must have one entry per rank.
+func (d *Device) SetTopology(nodeOf []int32) { d.nodeOf = nodeOf }
+
+// NodeOf returns the node id hosting a rank. Without an installed
+// topology it reports the paper's testbed layout: one rank per node.
+func (d *Device) NodeOf(rank int32) int32 {
+	if d.nodeOf == nil {
+		return rank
+	}
+	return d.nodeOf[rank]
+}
 
 // Rank returns this device's rank.
 func (d *Device) Rank() int32 { return d.rank }

@@ -109,5 +109,6 @@ func Ablations() []Figure {
 		AblationZCThreshold(),
 		AblationOutstandingReads(),
 		AblationRingSize(),
+		AblationHierCollectives(),
 	}
 }

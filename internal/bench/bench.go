@@ -14,6 +14,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/rdmachan"
+	"repro/internal/shmchan"
 )
 
 // Point is one x/y sample of a series.
@@ -64,7 +65,9 @@ func windowFor(size int) int {
 // Options configures a measurement run.
 type Options struct {
 	Transport    cluster.Transport
+	CoresPerNode int // ranks per node; 0/1 = the paper's one-per-node testbed
 	Chan         rdmachan.Config
+	Shm          shmchan.Config
 	CH3Threshold int
 	Params       *model.Params
 }
@@ -72,8 +75,10 @@ type Options struct {
 func (o Options) cluster(np int) *cluster.Cluster {
 	return cluster.New(cluster.Config{
 		NP:           np,
+		CoresPerNode: o.CoresPerNode,
 		Transport:    o.Transport,
 		Chan:         o.Chan,
+		Shm:          o.Shm,
 		CH3Threshold: o.CH3Threshold,
 		Params:       o.Params,
 	})

@@ -179,20 +179,23 @@ func Headline() Figure {
 }
 
 // MicroFigures returns every microbenchmark figure (4–15; NAS figures 16
-// and 17 live in internal/nas).
+// and 17 live in internal/nas) plus the repository's SMP extensions
+// (fig3-lat, fig3-bw).
 func MicroFigures() []Figure {
 	return []Figure{
 		Baseline(), Headline(),
+		Fig3Latency(), Fig3Bandwidth(),
 		Fig4(), Fig5(), Fig6(), Fig7(), Fig8(), Fig9(),
 		Fig11(), Fig13(), Fig14(), Fig15(),
 	}
 }
 
 // FigureByID returns a single figure producer by id ("fig4" … "fig15",
-// "baseline", "headline").
+// "baseline", "headline", or the SMP extensions "fig3-lat"/"fig3-bw").
 func FigureByID(id string) (Figure, error) {
 	producers := map[string]func() Figure{
 		"baseline": Baseline, "headline": Headline,
+		"fig3-lat": Fig3Latency, "fig3-bw": Fig3Bandwidth,
 		"fig4": Fig4, "fig5": Fig5, "fig6": Fig6, "fig7": Fig7,
 		"fig8": Fig8, "fig9": Fig9, "fig11": Fig11, "fig13": Fig13,
 		"fig14": Fig14, "fig15": Fig15,

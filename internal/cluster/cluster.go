@@ -2,6 +2,12 @@
 // on a switched fabric, a chosen transport design wired between every rank
 // pair, ADI3 devices, and MPI process launch — the simulation counterpart
 // of the paper's 8-node testbed (§4.1).
+//
+// Beyond the testbed, CoresPerNode places multiple ranks per node
+// (node×core topology, DESIGN.md §6): co-located rank pairs are wired
+// over the shared-memory channel (internal/shmchan), remote pairs over
+// the selected InfiniBand transport, and ranks on one node share that
+// node's adapter and memory bus.
 package cluster
 
 import (
@@ -14,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/rdmachan"
+	"repro/internal/shmchan"
 )
 
 // Transport selects the MPI transport under test, matching the designs the
@@ -47,12 +54,23 @@ func (t Transport) String() string {
 
 // Config describes the cluster to build.
 type Config struct {
-	NP        int // number of ranks (one per node, as in the testbed)
+	NP        int // number of ranks
 	Transport Transport
+
+	// CoresPerNode places this many ranks on each node, in rank order
+	// (rank r runs on node r/CoresPerNode; the last node may be partially
+	// filled). Co-located pairs communicate over shared memory, remote
+	// pairs over the Transport. 0 or 1 reproduces the paper's testbed:
+	// one rank per node, all traffic on InfiniBand.
+	CoresPerNode int
 
 	// Chan overrides per-connection channel parameters (chunk size, ring
 	// size, thresholds, registration cache) for sweeps and ablations.
 	Chan rdmachan.Config
+
+	// Shm overrides the intra-node channel parameters (eager cutoff, ring
+	// depth, segment chunking).
+	Shm shmchan.Config
 
 	// CH3Threshold overrides the direct design's rendezvous threshold.
 	CH3Threshold int
@@ -61,7 +79,9 @@ type Config struct {
 	Params *model.Params
 }
 
-// Cluster is a built simulation.
+// Cluster is a built simulation. Nodes and HCAs are indexed by node id,
+// Devs by rank; with CoresPerNode > 1 there are fewer nodes than ranks
+// and co-located devices share their node's adapter.
 type Cluster struct {
 	Eng    *des.Engine
 	Prm    *model.Params
@@ -70,7 +90,8 @@ type Cluster struct {
 	HCAs   []*ib.HCA
 	Devs   []*adi3.Device
 
-	cfg Config
+	nodeOf []int32 // node id per rank
+	cfg    Config
 }
 
 // New builds the cluster and wires all rank-pair connections. Connection
@@ -85,17 +106,27 @@ func New(cfg Config) *Cluster {
 	if prm == nil {
 		prm = model.Testbed()
 	}
+	cpn := cfg.CoresPerNode
+	if cpn <= 0 {
+		cpn = 1
+	}
 	c := &Cluster{
 		Eng: des.NewEngine(),
 		Prm: prm,
 		cfg: cfg,
 	}
 	c.Fabric = ib.NewFabric(c.Eng, prm)
-	for i := 0; i < cfg.NP; i++ {
-		n := model.NewNode(i, prm)
-		c.Nodes = append(c.Nodes, n)
-		c.HCAs = append(c.HCAs, c.Fabric.NewHCA(n))
-		c.Devs = append(c.Devs, adi3.NewDevice(int32(i), cfg.NP, c.HCAs[i]))
+	nNodes := (cfg.NP + cpn - 1) / cpn
+	for n := 0; n < nNodes; n++ {
+		node := model.NewNode(n, prm)
+		c.Nodes = append(c.Nodes, node)
+		c.HCAs = append(c.HCAs, c.Fabric.NewHCA(node))
+	}
+	c.nodeOf = make([]int32, cfg.NP)
+	for r := 0; r < cfg.NP; r++ {
+		c.nodeOf[r] = int32(r / cpn)
+		c.Devs = append(c.Devs, adi3.NewDevice(int32(r), cfg.NP, c.HCAs[c.nodeOf[r]]))
+		c.Devs[r].SetTopology(c.nodeOf)
 	}
 
 	chanCfg := c.cfg.Chan
@@ -115,7 +146,13 @@ func New(cfg Config) *Cluster {
 	c.Eng.Spawn("setup", func(p *des.Proc) {
 		for i := 0; i < cfg.NP; i++ {
 			for j := i + 1; j < cfg.NP; j++ {
-				epi, epj, err := rdmachan.NewConnection(p, chanCfg, c.HCAs[i], c.HCAs[j])
+				if c.nodeOf[i] == c.nodeOf[j] {
+					ci, cj := shmchan.NewPair(c.HCAs[c.nodeOf[i]], cfg.Shm, c.Devs[i], c.Devs[j])
+					c.Devs[i].SetConn(int32(j), ci)
+					c.Devs[j].SetConn(int32(i), cj)
+					continue
+				}
+				epi, epj, err := rdmachan.NewConnection(p, chanCfg, c.HCAs[c.nodeOf[i]], c.HCAs[c.nodeOf[j]])
 				if err != nil {
 					panic(fmt.Sprintf("cluster: connect %d-%d: %v", i, j, err))
 				}
@@ -127,6 +164,9 @@ func New(cfg Config) *Cluster {
 	c.Eng.Run()
 	return c
 }
+
+// NodeOf returns the node id hosting a rank.
+func (c *Cluster) NodeOf(rank int) int { return int(c.nodeOf[rank]) }
 
 func (c *Cluster) newConn(ep rdmachan.Endpoint, dev *adi3.Device) ch3.Conn {
 	if c.cfg.Transport == TransportCH3 {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/mpi"
+	"repro/internal/shmchan"
 )
 
 func TestClusterConstruction(t *testing.T) {
@@ -88,5 +89,61 @@ func TestSimulatedTimeIndependentOfHost(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("nondeterministic cluster timing: %v vs %v", a, b)
+	}
+}
+
+func TestSMPWiring(t *testing.T) {
+	// 6 ranks at 2 per node: three nodes, co-located pairs over shared
+	// memory, remote pairs over the selected InfiniBand transport.
+	c := New(Config{NP: 6, CoresPerNode: 2, Transport: TransportZeroCopy})
+	defer c.Close()
+	if len(c.Nodes) != 3 || len(c.HCAs) != 3 || len(c.Devs) != 6 {
+		t.Fatalf("got %d nodes, %d HCAs, %d devs; want 3, 3, 6",
+			len(c.Nodes), len(c.HCAs), len(c.Devs))
+	}
+	for i := 0; i < 6; i++ {
+		if want := i / 2; c.NodeOf(i) != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", i, c.NodeOf(i), want)
+		}
+		for j := 0; j < 6; j++ {
+			if i == j {
+				continue
+			}
+			conn := c.Devs[i].Conn(int32(j))
+			if conn == nil {
+				t.Fatalf("rank %d missing connection to %d", i, j)
+			}
+			_, shm := conn.(*shmchan.Conn)
+			if sameNode := i/2 == j/2; shm != sameNode {
+				t.Errorf("conn %d->%d: shm=%v, same node=%v (%T)", i, j, shm, sameNode, conn)
+			}
+		}
+	}
+	// Co-located devices share their node's adapter.
+	if c.Devs[0].HCA() != c.Devs[1].HCA() || c.Devs[0].HCA() == c.Devs[2].HCA() {
+		t.Error("HCA sharing does not follow node placement")
+	}
+}
+
+func TestSMPEndToEnd(t *testing.T) {
+	// All transports must coexist with shared-memory pairs on an uneven
+	// layout (nodes of 3, 3, 1).
+	for _, tr := range []Transport{TransportBasic, TransportPiggyback,
+		TransportPipeline, TransportZeroCopy, TransportCH3} {
+		c := New(Config{NP: 7, CoresPerNode: 3, Transport: tr})
+		sum := 0
+		c.Launch(func(comm *mpi.Comm) {
+			send, sb := comm.Alloc(8)
+			recv, rb := comm.Alloc(8)
+			mpi.PutInt64(sb, 0, int64(comm.Rank()))
+			comm.Allreduce(send, recv, mpi.Int64, mpi.Sum)
+			if comm.Rank() == 0 {
+				sum = int(mpi.GetInt64(rb, 0))
+			}
+		})
+		c.Close()
+		if sum != 21 {
+			t.Errorf("%s: allreduce sum = %d, want 21", tr, sum)
+		}
 	}
 }

@@ -75,6 +75,14 @@ func (h *HCA) notifyMemWrite() {
 	h.memWatch.Broadcast()
 }
 
+// NotifyMemWrite records host-memory activity produced by an on-node agent
+// other than the fabric — another rank on the same SMP node storing into a
+// shared-memory ring (internal/shmchan) — and wakes pollers. To a polling
+// progress loop a flag flipped by a neighbouring core is indistinguishable
+// from one flipped by the HCA's DMA engine, so both feed the same event
+// counter.
+func (h *HCA) NotifyMemWrite() { h.notifyMemWrite() }
+
 // MemEventSeq returns a counter that advances on every remote write or
 // completion landing on this node. Progress loops snapshot it before a
 // polling pass; WaitMemEventSince then returns immediately if anything

@@ -46,6 +46,12 @@ type Params struct {
 	CacheKneeLow        int     // working set ≤ this: fully cached copy rate
 	CacheKneeHigh       int     // working set ≥ this: streaming copy rate
 
+	// Intra-node shared-memory channel (internal/shmchan).
+	ShmOverhead des.Time // per-message bookkeeping per side: enqueue or
+	// dequeue on the shared ring, flag store/load, cache-line transfer
+	// between cores. The copies themselves are charged through the node
+	// Bus at CopyRate, so co-located ranks contend for memory bandwidth.
+
 	// Memory registration (pinning) costs.
 	PageSize       int
 	RegBase        des.Time // fixed cost of a registration verb
@@ -81,6 +87,8 @@ func Testbed() *Params {
 		CopyBandwidthMem:    800.0,
 		CacheKneeLow:        256 << 10,
 		CacheKneeHigh:       1 << 20,
+
+		ShmOverhead: 200 * des.Nanosecond,
 
 		PageSize:       4096,
 		RegBase:        20 * des.Microsecond,

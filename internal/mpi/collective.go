@@ -3,7 +3,9 @@ package mpi
 import "fmt"
 
 // Collective tags (on the collective context, so they never collide with
-// user point-to-point traffic).
+// user point-to-point traffic). The hierarchical algorithms use distinct
+// tags per stage so leader-level and node-level traffic between the same
+// pair can never cross-match.
 const (
 	tagBarrier = 1000 + iota
 	tagBcast
@@ -12,11 +14,35 @@ const (
 	tagScatter
 	tagAllgather
 	tagAlltoall
+	tagHBcastInter
+	tagHBcastIntra
+	tagHReduceIntra
+	tagHReduceInter
+	tagHGatherUp
+	tagHGatherDown
+	tagHAllgatherRing
+	tagHBarrierUp
+	tagHBarrierDissem
+	tagHBarrierDown
 )
 
-// Barrier blocks until all ranks arrive (dissemination algorithm, correct
-// for any rank count).
+// Barrier blocks until all ranks arrive. On SMP layouts the exchange is
+// hierarchical (node fan-in, leader dissemination, node release);
+// otherwise it is the flat dissemination algorithm.
 func (c *Comm) Barrier() {
+	if c.Size() == 1 {
+		return
+	}
+	if c.smp() {
+		c.hierBarrier()
+		return
+	}
+	c.FlatBarrier()
+}
+
+// FlatBarrier is the topology-oblivious dissemination barrier, correct
+// for any rank count.
+func (c *Comm) FlatBarrier() {
 	size, rank := c.Size(), c.Rank()
 	if size == 1 {
 		return
@@ -33,44 +59,22 @@ func (c *Comm) Barrier() {
 	}
 }
 
-// Bcast broadcasts root's buffer to all ranks (binomial tree).
+// Bcast broadcasts root's buffer to all ranks: leader-based on SMP
+// layouts, one binomial tree otherwise.
 func (c *Comm) Bcast(buf Buffer, root int) {
-	size, rank := c.Size(), c.Rank()
-	if size == 1 {
+	if c.Size() == 1 {
 		return
 	}
-	vrank := (rank - root + size) % size
-	// Receive from parent.
-	if vrank != 0 {
-		mask := 1
-		for mask < size {
-			if vrank&mask != 0 {
-				parent := ((vrank - mask) + root) % size
-				c.Recv2(buf, parent, tagBcast)
-				break
-			}
-			mask <<= 1
-		}
-		// mask now has vrank's lowest set bit; children are below it.
-		c.bcastChildren(buf, vrank, mask, root)
+	if c.smp() {
+		c.hierBcast(buf, root)
 		return
 	}
-	// Root: children at all powers of two.
-	mask := 1
-	for mask < size {
-		mask <<= 1
-	}
-	c.bcastChildren(buf, 0, mask, root)
+	c.FlatBcast(buf, root)
 }
 
-func (c *Comm) bcastChildren(buf Buffer, vrank, mask, root int) {
-	size := c.Size()
-	for m := mask >> 1; m > 0; m >>= 1 {
-		child := vrank + m
-		if child < size {
-			c.Send2(buf, (child+root)%size, tagBcast)
-		}
-	}
+// FlatBcast is the topology-oblivious binomial broadcast.
+func (c *Comm) FlatBcast(buf Buffer, root int) {
+	c.groupBcast(buf, c.t.world, root, tagBcast)
 }
 
 // Send2/Recv2 are collective-context point-to-point helpers.
@@ -79,42 +83,31 @@ func (c *Comm) Recv2(buf Buffer, src, tag int) Status {
 	return c.dev.Wait(c.p, c.irecvCtx(buf, src, tag))
 }
 
-// Reduce combines send buffers elementwise into recv at root (binomial
-// tree). recv may be Buffer{} on non-root ranks.
+// hierReduceCutoff is the message size at and above which Reduce uses the
+// hierarchical algorithm on SMP layouts. Below it the flat binomial wins:
+// its subtrees combine in parallel, while the hierarchy serializes the
+// intra-node stage before any leader traffic starts. The crossover is
+// measured by bench.AblationHierCollectives (DESIGN.md §6).
+const hierReduceCutoff = 4 << 10
+
+// Reduce combines send buffers elementwise into recv at root: intra-node
+// then leader-level for large messages on SMP layouts, one binomial tree
+// otherwise. recv may be Buffer{} on non-root ranks.
 func (c *Comm) Reduce(send, recv Buffer, dt Datatype, op Op, root int) {
-	size, rank := c.Size(), c.Rank()
-	n := send.Len
-	if size == 1 {
+	if c.Size() == 1 {
 		copy(c.Bytes(recv), c.Bytes(send))
 		return
 	}
-	vrank := (rank - root + size) % size
-
-	// Accumulate into a scratch buffer so the caller's send buffer is
-	// untouched, as MPI requires.
-	acc, accBytes := c.Alloc(n)
-	copy(accBytes, c.Bytes(send))
-	tmp, tmpBytes := c.Alloc(n)
-
-	mask := 1
-	for mask < size {
-		if vrank&mask == 0 {
-			peer := vrank | mask
-			if peer < size {
-				c.Recv2(tmp, (peer+root)%size, tagReduce)
-				reduce(accBytes, tmpBytes, dt, op)
-				c.chargeReduceFlops(n, dt)
-			}
-		} else {
-			parent := ((vrank &^ mask) + root) % size
-			c.Send2(acc, parent, tagReduce)
-			break
-		}
-		mask <<= 1
+	if c.smp() && send.Len >= hierReduceCutoff {
+		c.HierReduce(send, recv, dt, op, root)
+		return
 	}
-	if rank == root {
-		copy(c.Bytes(recv), accBytes)
-	}
+	c.FlatReduce(send, recv, dt, op, root)
+}
+
+// FlatReduce is the topology-oblivious binomial reduce.
+func (c *Comm) FlatReduce(send, recv Buffer, dt Datatype, op Op, root int) {
+	c.groupReduce(send, recv, dt, op, c.t.world, root, tagReduce)
 }
 
 // chargeReduceFlops models the arithmetic of combining n bytes.
@@ -177,8 +170,22 @@ func (c *Comm) Scatter(send, recv Buffer, root int) {
 	c.Recv2(recv, root, tagScatter)
 }
 
-// Allgather shares equal-size contributions with everyone (ring algorithm).
+// Allgather shares equal-size contributions with everyone: on SMP layouts
+// with block placement, node-local gather + a leader ring over node
+// blocks + node-local broadcast; otherwise the flat ring algorithm.
 func (c *Comm) Allgather(send, recv Buffer) {
+	// The hierarchical path places node blocks contiguously, so it needs
+	// block-contiguous rank placement (cluster's layout); fall back on
+	// exotic topologies.
+	if c.smp() && c.t.contiguous {
+		c.hierAllgather(send, recv)
+		return
+	}
+	c.FlatAllgather(send, recv)
+}
+
+// FlatAllgather is the topology-oblivious ring algorithm.
+func (c *Comm) FlatAllgather(send, recv Buffer) {
 	size, rank := c.Size(), c.Rank()
 	n := send.Len
 	if recv.Len < n*size {

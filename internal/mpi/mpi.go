@@ -44,11 +44,12 @@ type Status = adi3.Status
 type Comm struct {
 	p   *des.Proc
 	dev *adi3.Device
+	t   *topo
 }
 
 // New binds a communicator handle to a device and its process.
 func New(p *des.Proc, dev *adi3.Device) *Comm {
-	return &Comm{p: p, dev: dev}
+	return &Comm{p: p, dev: dev, t: buildTopo(dev)}
 }
 
 // Rank returns the caller's rank.

@@ -139,3 +139,51 @@ func TestRunFigureSmoke(t *testing.T) {
 		t.Error("empty format output")
 	}
 }
+
+// TestClassSAllBenchmarksSMPLayouts: every kernel must verify when the
+// same ranks are packed onto multi-core nodes — co-located pairs over
+// shared memory, remote pairs over InfiniBand, collectives hierarchical.
+func TestClassSAllBenchmarksSMPLayouts(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			np := 8
+			if SquareOnly(name) {
+				np = 4
+			}
+			for _, ppn := range []int{2, 4, np} {
+				res := Run(name, ClassS, cluster.Config{
+					NP:           np,
+					CoresPerNode: ppn,
+					Transport:    cluster.TransportZeroCopy,
+				})
+				if !res.Verified {
+					t.Errorf("%s.S np=%d ppn=%d: verification failed", name, np, ppn)
+				}
+				if res.Time <= 0 {
+					t.Errorf("%s.S np=%d ppn=%d: nonpositive time %v", name, np, ppn, res.Time)
+				}
+			}
+		})
+	}
+}
+
+func TestRunSMPSmoke(t *testing.T) {
+	res := RunSMP(ClassS, 4, []int{1, 2, 4})
+	if len(res.Rows) != 8 {
+		t.Fatalf("expected 8 benchmarks, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !r.Verified {
+			t.Errorf("%s failed verification on an SMP layout", r.Name)
+		}
+		for _, ppn := range res.PPNs {
+			if r.Times[ppn] <= 0 {
+				t.Errorf("%s: missing time for %d/node", r.Name, ppn)
+			}
+		}
+	}
+	if s := res.Format(); len(s) == 0 {
+		t.Error("empty format output")
+	}
+}

@@ -1,0 +1,95 @@
+package nas
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// SMP sweep: the NAS kernels on multi-core nodes, the scenario the paper
+// leaves as future work (§9). The rank count is fixed and the layout
+// varies from one rank per node (the paper's testbed) to all ranks on one
+// node: fewer nodes mean cheaper shared-memory links for co-located
+// traffic but more ranks contending for each node's memory bus and
+// adapter. DESIGN.md §6 describes the experiment.
+
+// SMPRow is one benchmark's runtimes across layouts, in simulated seconds
+// indexed by cores per node.
+type SMPRow struct {
+	Name     string
+	Times    map[int]float64
+	Verified bool
+}
+
+// SMPResult is a complete sweep.
+type SMPResult struct {
+	Class     Class
+	NP        int
+	PPNs      []int // cores-per-node values, ascending
+	Transport cluster.Transport
+	Rows      []SMPRow
+}
+
+// RunSMP sweeps every NAS kernel over the given cores-per-node layouts at
+// a fixed rank count. The inter-node transport is the paper's best
+// RDMA-Channel design; intra-node pairs always use shared memory.
+func RunSMP(class Class, np int, ppns []int) SMPResult {
+	res := SMPResult{
+		Class:     class,
+		NP:        np,
+		PPNs:      ppns,
+		Transport: cluster.TransportZeroCopy,
+	}
+	for _, name := range Names() {
+		rowNP := np
+		if SquareOnly(name) && isqrt(np) == 0 {
+			rowNP = 4 // §7: SP/BT need a square process count
+		}
+		row := SMPRow{Name: name, Times: map[int]float64{}, Verified: true}
+		for _, ppn := range ppns {
+			r := Run(name, class, cluster.Config{
+				NP:           rowNP,
+				CoresPerNode: ppn,
+				Transport:    res.Transport,
+			})
+			row.Times[ppn] = r.Time
+			if !r.Verified {
+				row.Verified = false
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Format renders the sweep, one row per benchmark, one column per layout,
+// with each layout's runtime relative to one rank per node.
+func (r SMPResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NAS class %c, %d ranks, varying cores per node (simulated seconds; ratio vs 1/node)\n",
+		r.Class, r.NP)
+	fmt.Fprintf(&b, "  %-6s", "bench")
+	for _, ppn := range r.PPNs {
+		fmt.Fprintf(&b, " %13s", fmt.Sprintf("%d/node", ppn))
+	}
+	fmt.Fprintf(&b, " %s\n", "verified")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-6s", row.Name)
+		base := row.Times[r.PPNs[0]]
+		for _, ppn := range r.PPNs {
+			t := row.Times[ppn]
+			ratio := 0.0
+			if base > 0 {
+				ratio = t / base
+			}
+			fmt.Fprintf(&b, " %7.3f(%4.2f)", t, ratio)
+		}
+		v := "yes"
+		if !row.Verified {
+			v = "NO"
+		}
+		fmt.Fprintf(&b, " %s\n", v)
+	}
+	return b.String()
+}

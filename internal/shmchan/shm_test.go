@@ -1,0 +1,233 @@
+package shmchan_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/shmchan"
+)
+
+// shmPair builds a 2-rank single-node cluster: the only connection is the
+// shared-memory channel.
+func shmPair(shm shmchan.Config) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		NP:           2,
+		CoresPerNode: 2,
+		Transport:    cluster.TransportZeroCopy,
+		Shm:          shm,
+	})
+}
+
+func TestIntraNodeSendRecv(t *testing.T) {
+	// Sizes straddling the eager cutoff (8 KB default), chunk boundaries
+	// (32 KB default) and non-multiples of both.
+	sizes := []int{0, 1, 4, 1024, 8 << 10, 8<<10 + 1, 32 << 10, 100000, 1 << 20}
+	for _, size := range sizes {
+		c := shmPair(shmchan.Config{})
+		ok := false
+		c.Launch(func(comm *mpi.Comm) {
+			buf, b := comm.Alloc(size + 1)
+			switch comm.Rank() {
+			case 0:
+				for i := 0; i < size; i++ {
+					b[i] = byte(i*31 + 5)
+				}
+				comm.Send(mpi.Slice(buf, 0, size), 1, 7)
+			case 1:
+				st := comm.Recv(mpi.Slice(buf, 0, size), 0, 7)
+				if st.Source != 0 || st.Tag != 7 || st.Len != size {
+					t.Errorf("size %d: status = %+v", size, st)
+					return
+				}
+				for i := 0; i < size; i++ {
+					if b[i] != byte(i*31+5) {
+						t.Errorf("size %d: corrupt at %d", size, i)
+						return
+					}
+				}
+				ok = true
+			}
+		})
+		c.Close()
+		if !ok {
+			t.Fatalf("size %d: receive did not complete", size)
+		}
+	}
+}
+
+func TestIntraNodeOrderingMixedSizes(t *testing.T) {
+	// Eager and large messages interleaved on one pair must arrive in send
+	// order: the large path's ring descriptor keeps the FIFO intact.
+	sizes := []int{16, 64 << 10, 4, 9 << 10, 100, 128 << 10, 0, 1 << 10}
+	c := shmPair(shmchan.Config{})
+	defer c.Close()
+	ok := false
+	c.Launch(func(comm *mpi.Comm) {
+		if comm.Rank() == 0 {
+			for i, size := range sizes {
+				buf, b := comm.Alloc(size + 1)
+				for j := 0; j < size; j++ {
+					b[j] = byte(i + j)
+				}
+				comm.Send(mpi.Slice(buf, 0, size), 1, i)
+			}
+			return
+		}
+		for i, size := range sizes {
+			buf, b := comm.Alloc(size + 1)
+			// AnyTag: ordering must come from the channel, not matching.
+			st := comm.Recv(mpi.Slice(buf, 0, size), 0, mpi.AnyTag)
+			if st.Tag != int32(i) {
+				t.Errorf("message %d arrived with tag %d: order broken", i, st.Tag)
+				return
+			}
+			for j := 0; j < size; j++ {
+				if b[j] != byte(i+j) {
+					t.Errorf("message %d corrupt at %d", i, j)
+					return
+				}
+			}
+		}
+		ok = true
+	})
+	if !ok {
+		t.Fatal("receiver did not complete")
+	}
+}
+
+func TestIntraNodeUnexpectedMessages(t *testing.T) {
+	// Sends complete into the unexpected queue before any receive posts;
+	// late receives must still see data and order.
+	c := shmPair(shmchan.Config{})
+	defer c.Close()
+	ok := false
+	c.Launch(func(comm *mpi.Comm) {
+		const n = 6
+		if comm.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				buf, b := comm.Alloc(256)
+				b[0] = byte(i)
+				comm.Send(buf, 1, i)
+			}
+			return
+		}
+		// Let all sends land unexpectedly first.
+		comm.Compute(1e6)
+		for i := n - 1; i >= 0; i-- { // post in reverse tag order
+			buf, b := comm.Alloc(256)
+			comm.Recv(buf, 0, i)
+			if b[0] != byte(i) {
+				t.Errorf("tag %d: got payload %d", i, b[0])
+				return
+			}
+		}
+		ok = true
+	})
+	if !ok {
+		t.Fatal("receiver did not complete")
+	}
+}
+
+func TestTinyRingBackpressure(t *testing.T) {
+	// A 2-cell ring and single-chunk segment force the sender to stall and
+	// resume repeatedly; everything must still arrive intact.
+	c := shmPair(shmchan.Config{EagerMax: 512, Cells: 2, SegChunk: 1 << 10, SegChunks: 1})
+	defer c.Close()
+	ok := false
+	c.Launch(func(comm *mpi.Comm) {
+		const count = 20
+		size := 3 << 10 // large path, three chunks through one slot
+		if comm.Rank() == 0 {
+			buf, b := comm.Alloc(size)
+			for i := 0; i < count; i++ {
+				for j := range b {
+					b[j] = byte(i ^ j)
+				}
+				comm.Send(buf, 1, i)
+			}
+			return
+		}
+		for i := 0; i < count; i++ {
+			buf, b := comm.Alloc(size)
+			comm.Recv(buf, 0, i)
+			for j := range b {
+				if b[j] != byte(i^j) {
+					t.Errorf("message %d corrupt at %d", i, j)
+					return
+				}
+			}
+		}
+		ok = true
+	})
+	if !ok {
+		t.Fatal("receiver did not complete")
+	}
+}
+
+func TestIntraNodeFasterThanInterNode(t *testing.T) {
+	// The figure-3 claim in miniature: a small-message ping-pong between
+	// co-located ranks beats the same exchange over InfiniBand.
+	lat := func(cpn int) float64 {
+		c := cluster.New(cluster.Config{NP: 2, CoresPerNode: cpn, Transport: cluster.TransportZeroCopy})
+		defer c.Close()
+		var oneWay float64
+		c.Launch(func(comm *mpi.Comm) {
+			buf, _ := comm.Alloc(4)
+			const iters = 10
+			if comm.Rank() == 0 {
+				comm.Send(buf, 1, 0)
+				comm.Recv(buf, 1, 0)
+				start := comm.Wtime()
+				for i := 0; i < iters; i++ {
+					comm.Send(buf, 1, 0)
+					comm.Recv(buf, 1, 0)
+				}
+				oneWay = (comm.Wtime() - start) / float64(2*iters) * 1e6
+			} else {
+				for i := 0; i < iters+1; i++ {
+					comm.Recv(buf, 0, 0)
+					comm.Send(buf, 0, 0)
+				}
+			}
+		})
+		return oneWay
+	}
+	intra, inter := lat(2), lat(1)
+	if intra <= 0 || inter <= 0 {
+		t.Fatalf("degenerate latencies: intra=%.2f inter=%.2f", intra, inter)
+	}
+	if intra >= inter {
+		t.Errorf("intra-node latency %.2f µs not below inter-node %.2f µs", intra, inter)
+	}
+	if intra > 3.0 {
+		t.Errorf("intra-node small-message latency %.2f µs implausibly high", intra)
+	}
+}
+
+func TestStatsCountPaths(t *testing.T) {
+	c := shmPair(shmchan.Config{})
+	defer c.Close()
+	c.Launch(func(comm *mpi.Comm) {
+		small, _ := comm.Alloc(64)
+		big, _ := comm.Alloc(64 << 10)
+		if comm.Rank() == 0 {
+			comm.Send(small, 1, 0)
+			comm.Send(big, 1, 1)
+		} else {
+			comm.Recv(small, 0, 0)
+			comm.Recv(big, 0, 1)
+		}
+	})
+	conn, ok := c.Devs[0].Conn(1).(*shmchan.Conn)
+	if !ok {
+		t.Fatalf("co-located connection is %T, want *shmchan.Conn", c.Devs[0].Conn(1))
+	}
+	st := conn.Stats()
+	if st.EagerSends != 1 || st.LargeSends != 1 {
+		t.Errorf("stats = %+v, want 1 eager + 1 large", st)
+	}
+	if st.BytesSent != 64+64<<10 {
+		t.Errorf("BytesSent = %d", st.BytesSent)
+	}
+}

@@ -1,0 +1,364 @@
+// Package shmchan is the intra-node transport: a ch3.Conn implementation
+// over the node's shared memory, for rank pairs that the cluster places on
+// the same SMP node. The paper evaluates one process per node and flags
+// multi-process SMP nodes as the natural next scenario; this package opens
+// that axis (see DESIGN.md §6).
+//
+// The design is the classic shared-memory MPI channel — the very scheme
+// the paper's Figure 3 shows the RDMA designs emulating over the network,
+// here implemented natively:
+//
+//   - Eager path: small messages travel through a lock-free ring of
+//     fixed-size cells. The sender copies the payload into a free cell and
+//     flips its flag; the receiver polls the head cell, copies the payload
+//     out into the matched (or unexpected) buffer, and clears the flag.
+//     "Lock-free" is single-producer/single-consumer: each direction has
+//     exactly one writer and one reader, so head and tail never contend.
+//   - Large path: messages above EagerMax copy through a shared segment in
+//     chunks. A descriptor goes through the ring (preserving FIFO order
+//     with eager traffic), then the sender streams chunks into segment
+//     slots while the receiver drains them — a two-copy pipeline.
+//
+// Every copy crosses the node's memory bus (model.Bus.Memcpy), so
+// co-located ranks — and the HCA DMA of their inter-node traffic — contend
+// for memory bandwidth exactly as the paper observes for its pipelined
+// design ("the memory bus clearly becomes a performance bottleneck", §4.4).
+// That contention is the SMP trade-off the benchmarks measure: cores
+// sharing a node get ~1 µs latency but split one bus.
+//
+// Wakeups reuse the node HCA's memory-event counter (ib.NotifyMemWrite):
+// a flag flipped by a neighbouring core wakes a polling progress loop the
+// same way a flag written by the HCA's DMA engine does.
+package shmchan
+
+import (
+	"repro/internal/ch3"
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+	"repro/internal/rdmachan"
+)
+
+// Config tunes one intra-node connection. Zero values select defaults.
+type Config struct {
+	// EagerMax is the largest payload carried inline in a ring cell;
+	// larger messages take the segment path. Default 8 KB.
+	EagerMax int
+
+	// Cells is the eager ring depth per direction. Default 16.
+	Cells int
+
+	// SegChunk is the large-path chunk size. Default 32 KB: big enough to
+	// amortize per-chunk flag traffic, small enough that sender copy-in and
+	// receiver copy-out pipeline within one message.
+	SegChunk int
+
+	// SegChunks is the number of segment slots per direction. Default 8.
+	SegChunks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EagerMax == 0 {
+		c.EagerMax = 8 << 10
+	}
+	if c.Cells == 0 {
+		c.Cells = 16
+	}
+	if c.SegChunk == 0 {
+		c.SegChunk = 32 << 10
+	}
+	if c.SegChunks == 0 {
+		c.SegChunks = 8
+	}
+	return c
+}
+
+// Stats counts one connection's send-side activity.
+type Stats struct {
+	EagerSends uint64
+	LargeSends uint64
+	BytesSent  uint64
+}
+
+// cell is one eager ring entry: a descriptor plus inline payload storage.
+// large entries carry no payload; they announce a message that follows
+// through the segment slots.
+type cell struct {
+	mem   []byte
+	env   ch3.Envelope
+	large bool
+	full  bool
+}
+
+// segSlot is one large-path chunk slot.
+type segSlot struct {
+	mem  []byte
+	n    int
+	full bool
+}
+
+// dir is one direction of a connection: a cell ring and a chunk segment,
+// both allocated in the node's simulated memory. The sending Conn is the
+// only producer and the receiving Conn the only consumer.
+type dir struct {
+	cells      []cell
+	head, tail int // consumer / producer cursors (monotonic counts)
+
+	slots            []segSlot
+	segHead, segTail int
+}
+
+func newDir(mem *model.Memory, cfg Config) *dir {
+	d := &dir{
+		cells: make([]cell, cfg.Cells),
+		slots: make([]segSlot, cfg.SegChunks),
+	}
+	for i := range d.cells {
+		_, d.cells[i].mem = mem.Alloc(max(cfg.EagerMax, 1))
+	}
+	for i := range d.slots {
+		_, d.slots[i].mem = mem.Alloc(cfg.SegChunk)
+	}
+	return d
+}
+
+func (d *dir) freeCell() *cell {
+	if d.tail-d.head == len(d.cells) {
+		return nil
+	}
+	return &d.cells[d.tail%len(d.cells)]
+}
+
+func (d *dir) fullCell() *cell {
+	c := &d.cells[d.head%len(d.cells)]
+	if d.tail == d.head || !c.full {
+		return nil
+	}
+	return c
+}
+
+func (d *dir) freeSlot() *segSlot {
+	if d.segTail-d.segHead == len(d.slots) {
+		return nil
+	}
+	return &d.slots[d.segTail%len(d.slots)]
+}
+
+func (d *dir) fullSlot() *segSlot {
+	s := &d.slots[d.segHead%len(d.slots)]
+	if d.segTail == d.segHead || !s.full {
+		return nil
+	}
+	return s
+}
+
+// sendOp is one queued message operation.
+type sendOp struct {
+	env       ch3.Envelope
+	payload   rdmachan.Buffer
+	onDone    func(p *des.Proc)
+	announced bool // large: ring descriptor enqueued
+	off       int  // large: payload bytes copied into the segment
+}
+
+// Conn is one rank's endpoint of an intra-node connection. It implements
+// ch3.Conn; the cluster installs it for same-node rank pairs in place of
+// an InfiniBand-backed connection.
+type Conn struct {
+	dev  ch3.Matcher
+	hca  *ib.HCA
+	node *model.Node
+	prm  *model.Params
+	cfg  Config
+
+	out *dir // direction this side produces into
+	in  *dir // direction this side consumes from
+
+	sendq []*sendOp
+
+	// Large-message receive state: the message currently draining from the
+	// segment into its sink.
+	drain  bool
+	rsink  ch3.Sink
+	rtotal int
+	roff   int
+
+	stats Stats
+}
+
+// NewPair wires an intra-node connection between two ranks on the node of
+// h and returns their endpoints (a talks to b). Both ranks must run on
+// that node: the rings live in its memory and every copy crosses its bus.
+func NewPair(h *ib.HCA, cfg Config, a, b ch3.Matcher) (*Conn, *Conn) {
+	cfg = cfg.withDefaults()
+	node := h.Node()
+	ab := newDir(node.Mem, cfg)
+	ba := newDir(node.Mem, cfg)
+	mk := func(dev ch3.Matcher, out, in *dir) *Conn {
+		return &Conn{
+			dev: dev, hca: h, node: node, prm: h.Params(), cfg: cfg,
+			out: out, in: in,
+		}
+	}
+	return mk(a, ab, ba), mk(b, ba, ab)
+}
+
+// Stats returns the send-side counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// notify wakes progress loops blocked on the node's memory events — the
+// peer rank, and any other co-located rank that polls the same adapter.
+func (c *Conn) notify() { c.hca.NotifyMemWrite() }
+
+// Send implements ch3.Conn.
+func (c *Conn) Send(p *des.Proc, env ch3.Envelope, payload rdmachan.Buffer, onDone func(p *des.Proc)) {
+	c.sendq = append(c.sendq, &sendOp{env: env, payload: payload, onDone: onDone})
+	c.Progress(p)
+}
+
+// RendezvousAccept implements ch3.Conn; the shared-memory channel copies
+// through the segment and never raises RTS upcalls, so this is unreachable.
+func (c *Conn) RendezvousAccept(*des.Proc, uint64, rdmachan.Buffer, func(p *des.Proc)) {
+	panic("shmchan: RendezvousAccept on shared-memory connection")
+}
+
+// PendingSends implements ch3.Conn.
+func (c *Conn) PendingSends() int { return len(c.sendq) }
+
+// Progress implements ch3.Conn: advance the head send operation and drain
+// arrived messages, reporting whether anything moved.
+func (c *Conn) Progress(p *des.Proc) bool {
+	prog := c.progressSend(p)
+	if c.progressRecv(p) {
+		prog = true
+	}
+	return prog
+}
+
+// progressSend pushes queued operations into the outbound ring/segment in
+// strict FIFO order (MPI ordering between a rank pair).
+func (c *Conn) progressSend(p *des.Proc) bool {
+	prog := false
+	for len(c.sendq) > 0 {
+		op := c.sendq[0]
+		if op.env.Len <= c.cfg.EagerMax {
+			cl := c.out.freeCell()
+			if cl == nil {
+				break
+			}
+			p.Sleep(c.prm.ShmOverhead)
+			if n := op.env.Len; n > 0 {
+				src := c.node.Mem.MustResolve(op.payload.Addr, n)
+				copy(cl.mem, src)
+				c.node.Bus.Memcpy(p, n, n)
+			}
+			cl.env, cl.large, cl.full = op.env, false, true
+			c.out.tail++
+			c.notify()
+			c.completeHead(p, op)
+			prog = true
+			continue
+		}
+
+		// Large: announce through the ring, then stream chunks through the
+		// segment. The copy working set is the whole message, so large
+		// transfers run at the streaming (cache-miss) copy rate.
+		if !op.announced {
+			cl := c.out.freeCell()
+			if cl == nil {
+				break
+			}
+			p.Sleep(c.prm.ShmOverhead)
+			cl.env, cl.large, cl.full = op.env, true, true
+			c.out.tail++
+			op.announced = true
+			c.notify()
+			prog = true
+		}
+		for op.off < op.env.Len {
+			sl := c.out.freeSlot()
+			if sl == nil {
+				break
+			}
+			n := min(c.cfg.SegChunk, op.env.Len-op.off)
+			src := c.node.Mem.MustResolve(op.payload.Addr+uint64(op.off), n)
+			copy(sl.mem[:n], src)
+			c.node.Bus.Memcpy(p, n, op.env.Len)
+			sl.n, sl.full = n, true
+			c.out.segTail++
+			op.off += n
+			c.notify()
+			prog = true
+		}
+		if op.off < op.env.Len {
+			break // out of segment slots; retry when the receiver drains
+		}
+		c.completeHead(p, op)
+	}
+	return prog
+}
+
+func (c *Conn) completeHead(p *des.Proc, op *sendOp) {
+	c.sendq = c.sendq[1:]
+	if op.env.Len > c.cfg.EagerMax {
+		c.stats.LargeSends++
+	} else {
+		c.stats.EagerSends++
+	}
+	c.stats.BytesSent += uint64(op.env.Len)
+	if op.onDone != nil {
+		op.onDone(p)
+	}
+}
+
+// progressRecv consumes arrived ring entries in order; a large descriptor
+// switches the connection into draining mode until its last chunk lands.
+func (c *Conn) progressRecv(p *des.Proc) bool {
+	prog := false
+	for {
+		if c.drain {
+			sl := c.in.fullSlot()
+			if sl == nil {
+				return prog
+			}
+			dst := c.node.Mem.MustResolve(c.rsink.Buf.Addr+uint64(c.roff), sl.n)
+			copy(dst, sl.mem[:sl.n])
+			c.node.Bus.Memcpy(p, sl.n, c.rtotal)
+			c.roff += sl.n
+			sl.full = false
+			c.in.segHead++
+			c.notify() // a freed slot may unblock the sender
+			prog = true
+			if c.roff == c.rtotal {
+				done := c.rsink.Done
+				c.drain, c.rsink, c.rtotal, c.roff = false, ch3.Sink{}, 0, 0
+				if done != nil {
+					done(p)
+				}
+			}
+			continue
+		}
+
+		cl := c.in.fullCell()
+		if cl == nil {
+			return prog
+		}
+		env, large := cl.env, cl.large
+		p.Sleep(c.prm.ShmOverhead)
+		sink := c.dev.ArriveEager(p, env)
+		if large {
+			c.drain, c.rsink, c.rtotal, c.roff = true, sink, env.Len, 0
+		} else if env.Len > 0 {
+			dst := c.node.Mem.MustResolve(sink.Buf.Addr, env.Len)
+			copy(dst, cl.mem[:env.Len])
+			c.node.Bus.Memcpy(p, env.Len, env.Len)
+		}
+		cl.full = false
+		c.in.head++
+		c.notify() // a freed cell may unblock the sender
+		prog = true
+		if !large && sink.Done != nil {
+			sink.Done(p)
+		}
+	}
+}
