@@ -1,13 +1,21 @@
 // Command mpich2ib-bench regenerates the paper's microbenchmark figures
-// (Figures 4–15) and the design-choice ablations over the simulated
-// testbed.
+// (Figures 4–15), the design-choice ablations, and transport-matrix sweeps
+// over the simulated testbed.
 //
 // Usage:
 //
-//	mpich2ib-bench -fig all        # every microbenchmark figure
-//	mpich2ib-bench -fig fig11      # one figure
-//	mpich2ib-bench -fig ablations  # the ablation suite
-//	mpich2ib-bench -list           # available figure ids
+//	mpich2ib-bench -fig all                    # every microbenchmark figure
+//	mpich2ib-bench -fig fig11                  # one figure
+//	mpich2ib-bench -fig ablations              # the ablation suite
+//	mpich2ib-bench -list                       # available figure ids
+//	mpich2ib-bench -transport shm,ib           # latency+bandwidth matrix
+//	mpich2ib-bench -transport shm,ib -sizes 4K,64K
+//
+// The -transport flag sweeps any subset of the unified stack's transports
+// (basic, piggyback, pipeline, zerocopy/ib, ch3, shm, shm-rndv) on the
+// same latency and bandwidth microbenchmarks, one series per transport —
+// every transport sits behind the same progress engine, so the figures
+// are directly comparable.
 package main
 
 import (
@@ -21,10 +29,29 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure id (fig4..fig15, fig3-lat, fig3-bw, baseline, headline, all, ablations)")
 	list := flag.Bool("list", false, "list available figures")
+	transport := flag.String("transport", "", "comma-separated transport matrix sweep (e.g. shm,ib); overrides -fig")
+	sizes := flag.String("sizes", "4,1K,4K,64K,256K,1M", "message sizes for -transport sweeps (K/M suffixes)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("baseline headline fig3-lat fig3-bw fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 ablations all")
+		return
+	}
+
+	if *transport != "" {
+		specs, err := bench.ParseTransports(*transport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sz, err := bench.ParseSizes(*sizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, f := range bench.TransportMatrix(specs, sz) {
+			fmt.Println(bench.FormatFigure(f))
+		}
 		return
 	}
 

@@ -9,6 +9,7 @@
 //	nasbench -class B -np 8          # Figure 17
 //	nasbench -class S -np 4          # smoke-scale sweep
 //	nasbench -bench cg -class A -np 4 -transport zerocopy
+//	nasbench -bench cg -class A -np 4 -transport pipeline,zerocopy,ch3
 //
 // Beyond the paper, the SMP mode sweeps multi-core-node layouts
 // (DESIGN.md §6): the same ranks packed onto fewer nodes, co-located
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/nas"
@@ -31,7 +33,7 @@ func main() {
 	class := flag.String("class", "A", "problem class: S, A or B")
 	np := flag.Int("np", 4, "number of ranks")
 	benchName := flag.String("bench", "", "single benchmark (bt cg ep ft is lu mg sp); empty = full figure")
-	transport := flag.String("transport", "", "single transport (pipeline, zerocopy, ch3); empty = all three")
+	transport := flag.String("transport", "", "comma-separated transports (basic, piggyback, pipeline, zerocopy, ch3); empty = the figure's three")
 	ppn := flag.Int("ppn", 1, "ranks per node (SMP layout; co-located pairs use shared memory)")
 	smp := flag.Bool("smp", false, "sweep ranks-per-node layouts instead of transports")
 	flag.Parse()
@@ -93,12 +95,15 @@ func main() {
 		fmt.Printf("%-22s %s\n", tr, res)
 	}
 	if *transport != "" {
-		tr, ok := trs[*transport]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "nasbench: unknown transport %q\n", *transport)
-			os.Exit(1)
+		for _, name := range strings.Split(*transport, ",") {
+			name = strings.TrimSpace(name)
+			tr, ok := trs[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nasbench: unknown transport %q\n", name)
+				os.Exit(1)
+			}
+			run(tr)
 		}
-		run(tr)
 		return
 	}
 	for _, tr := range []cluster.Transport{

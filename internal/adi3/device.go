@@ -1,66 +1,31 @@
-// Package adi3 models the MPICH2 ADI3 device: MPI requests, the posted
-// and unexpected receive queues with (source, tag, context) matching, and
-// the polling progress engine that drives the CH3 connections (§3.1).
+// Package adi3 models the MPICH2 ADI3 device (§3.1): the rank-local handle
+// the MPI layer drives. Matching, queues and request lifecycle live in the
+// per-process progress engine (internal/transport); the device binds that
+// engine to a rank's node, adapter and topology, and charges the ADI3
+// per-call bookkeeping.
 package adi3
 
 import (
-	"fmt"
-
-	"repro/internal/ch3"
 	"repro/internal/des"
 	"repro/internal/ib"
 	"repro/internal/model"
-	"repro/internal/rdmachan"
+	"repro/internal/transport"
 )
 
 // Wildcards for receive matching.
 const (
-	AnySource int32 = -1
-	AnyTag    int32 = -2
+	AnySource = transport.AnySource
+	AnyTag    = transport.AnyTag
 )
 
 // Status describes a completed receive.
-type Status struct {
-	Source int32
-	Tag    int32
-	Len    int
-}
+type Status = transport.Status
 
 // Request is an MPI request handle.
-type Request struct {
-	done   bool
-	status Status
-}
+type Request = transport.Request
 
-// Done reports completion.
-func (r *Request) Done() bool { return r.done }
-
-// Status returns the receive status (valid once done).
-func (r *Request) Status() Status { return r.status }
-
-// postedRecv is an entry of the posted receive queue.
-type postedRecv struct {
-	src, tag, ctx int32
-	buf           rdmachan.Buffer
-	req           *Request
-}
-
-// uqEntry is an entry of the unexpected queue.
-type uqEntry struct {
-	env ch3.Envelope
-
-	// Eager: payload lands (or is landing) in tmp.
-	tmp      rdmachan.Buffer
-	complete bool
-	waiter   *postedRecv // receive matched while payload still arriving
-
-	// Rendezvous (direct CH3 design): accept when the receive posts.
-	rndvConn ch3.Conn
-	rndvID   uint64
-	isRndv   bool
-}
-
-// Device is one rank's ADI3 device.
+// Device is one rank's ADI3 device: topology and hardware accessors around
+// the rank's single progress engine.
 type Device struct {
 	rank int32
 	size int
@@ -68,33 +33,32 @@ type Device struct {
 	hca  *ib.HCA
 	prm  *model.Params
 
-	conns  []ch3.Conn // by peer rank; nil for self
-	nodeOf []int32    // node id per rank; nil = one rank per node
-
-	prq []*postedRecv
-	uq  []*uqEntry
-
-	err error
+	eng    *transport.Engine
+	nodeOf []int32 // node id per rank; nil = one rank per node
 }
 
 // NewDevice builds a device for rank of size ranks on the given adapter.
-// Connections are installed afterwards with SetConn.
+// Endpoints are installed afterwards with SetEndpoint.
 func NewDevice(rank int32, size int, hca *ib.HCA) *Device {
 	return &Device{
-		rank:  rank,
-		size:  size,
-		node:  hca.Node(),
-		hca:   hca,
-		prm:   hca.Params(),
-		conns: make([]ch3.Conn, size),
+		rank: rank,
+		size: size,
+		node: hca.Node(),
+		hca:  hca,
+		prm:  hca.Params(),
+		eng:  transport.NewEngine(rank, size, hca),
 	}
 }
 
-// SetConn installs the connection to a peer rank.
-func (d *Device) SetConn(peer int32, c ch3.Conn) { d.conns[peer] = c }
+// Engine returns the device's progress engine — the matching Handler
+// endpoints deliver arrivals to.
+func (d *Device) Engine() *transport.Engine { return d.eng }
 
-// Conn returns the connection to a peer rank.
-func (d *Device) Conn(peer int32) ch3.Conn { return d.conns[peer] }
+// SetEndpoint installs the transport endpoint to a peer rank.
+func (d *Device) SetEndpoint(peer int32, ep transport.Endpoint) { d.eng.SetEndpoint(peer, ep) }
+
+// Endpoint returns the transport endpoint to a peer rank.
+func (d *Device) Endpoint(peer int32) transport.Endpoint { return d.eng.Endpoint(peer) }
 
 // SetTopology installs the rank→node placement map. The cluster calls it
 // once at build time; collectives read it through NodeOf to pick
@@ -122,200 +86,34 @@ func (d *Device) Node() *model.Node { return d.node }
 // HCA returns the rank's adapter.
 func (d *Device) HCA() *ib.HCA { return d.hca }
 
-// fail records a fatal transport error; subsequent MPI calls panic with it
-// (a failed fabric is unrecoverable for MPI-1 semantics).
-func (d *Device) fail(err error) {
-	if d.err == nil {
-		d.err = err
-	}
-}
-
-func (d *Device) check() {
-	if d.err != nil {
-		panic(fmt.Sprintf("adi3: rank %d: %v", d.rank, d.err))
-	}
-}
-
-// OnErr returns the error callback for connections.
-func (d *Device) OnErr() func(error) { return d.fail }
+// OnErr returns the fatal-error callback endpoints are constructed with.
+func (d *Device) OnErr() func(error) { return d.eng.Fail }
 
 // Isend starts a non-blocking send of buf to dest with tag in context ctx.
-func (d *Device) Isend(p *des.Proc, dest, tag, ctx int32, buf rdmachan.Buffer) *Request {
-	d.check()
+func (d *Device) Isend(p *des.Proc, dest, tag, ctx int32, buf transport.Buffer) *Request {
 	p.Sleep(d.prm.MPIOverhead)
-	if dest == d.rank {
-		panic("adi3: self-send not supported; collectives avoid it")
-	}
-	req := &Request{}
-	env := ch3.Envelope{Src: d.rank, Tag: tag, Ctx: ctx, Len: buf.Len}
-	d.conns[dest].Send(p, env, buf, func(*des.Proc) {
-		req.done = true
-	})
-	return req
+	return d.eng.Isend(p, dest, tag, ctx, buf)
 }
 
-// Irecv starts a non-blocking receive into buf from src (or AnySource) with
-// tag (or AnyTag) in context ctx.
-func (d *Device) Irecv(p *des.Proc, src, tag, ctx int32, buf rdmachan.Buffer) *Request {
-	d.check()
+// Irecv starts a non-blocking receive into buf from src (or AnySource)
+// with tag (or AnyTag) in context ctx.
+func (d *Device) Irecv(p *des.Proc, src, tag, ctx int32, buf transport.Buffer) *Request {
 	p.Sleep(d.prm.MPIOverhead)
-	req := &Request{}
-	pr := &postedRecv{src: src, tag: tag, ctx: ctx, buf: buf, req: req}
-
-	// Check the unexpected queue first.
-	for i, ue := range d.uq {
-		if !matches(pr, ue.env) {
-			continue
-		}
-		d.uq = append(d.uq[:i], d.uq[i+1:]...)
-		if ue.isRndv {
-			// Direct CH3 design: answer the rendezvous now; the payload
-			// moves straight into the user buffer (no copy).
-			ue.rndvConn.RendezvousAccept(p, ue.rndvID, rdmachan.Buffer{Addr: buf.Addr, Len: ue.env.Len},
-				func(p *des.Proc) { completeRecv(req, ue.env) })
-			return req
-		}
-		if ue.complete {
-			d.copyUnexpected(p, ue, pr)
-			completeRecv(req, ue.env)
-			return req
-		}
-		// Payload still streaming into the unexpected buffer: hand over.
-		ue.waiter = pr
-		return req
-	}
-	d.prq = append(d.prq, pr)
-	return req
+	return d.eng.Irecv(p, src, tag, ctx, buf)
 }
 
-// copyUnexpected moves a buffered unexpected payload to the user buffer,
-// charging the extra copy the eager protocol pays for early senders.
-func (d *Device) copyUnexpected(p *des.Proc, ue *uqEntry, pr *postedRecv) {
-	n := ue.env.Len
-	if n == 0 {
-		return
-	}
-	if n > pr.buf.Len {
-		d.fail(fmt.Errorf("adi3: message of %d bytes truncated into %d-byte receive", n, pr.buf.Len))
-		d.check()
-	}
-	src := d.node.Mem.MustResolve(ue.tmp.Addr, n)
-	dst := d.node.Mem.MustResolve(pr.buf.Addr, n)
-	copy(dst, src)
-	d.node.Bus.Memcpy(p, n, n)
-}
-
-func completeRecv(req *Request, env ch3.Envelope) {
-	req.status = Status{Source: env.Src, Tag: env.Tag, Len: env.Len}
-	req.done = true
-}
-
-func matches(pr *postedRecv, env ch3.Envelope) bool {
-	if pr.ctx != env.Ctx {
-		return false
-	}
-	if pr.src != AnySource && pr.src != env.Src {
-		return false
-	}
-	if pr.tag != AnyTag && pr.tag != env.Tag {
-		return false
-	}
-	return true
-}
-
-// ArriveEager implements ch3.Matcher.
-func (d *Device) ArriveEager(p *des.Proc, env ch3.Envelope) ch3.Sink {
-	for i, pr := range d.prq {
-		if !matches(pr, env) {
-			continue
-		}
-		d.prq = append(d.prq[:i], d.prq[i+1:]...)
-		if env.Len > pr.buf.Len {
-			d.fail(fmt.Errorf("adi3: message of %d bytes truncated into %d-byte receive", env.Len, pr.buf.Len))
-			d.check()
-		}
-		req := pr.req
-		return ch3.Sink{
-			Buf:  pr.buf,
-			Done: func(*des.Proc) { completeRecv(req, env) },
-		}
-	}
-	// Unexpected: land in a scratch buffer; a later receive copies it out.
-	ue := &uqEntry{env: env}
-	if env.Len > 0 {
-		va, _ := d.node.Mem.Alloc(env.Len)
-		ue.tmp = rdmachan.Buffer{Addr: va, Len: env.Len}
-	}
-	d.uq = append(d.uq, ue)
-	dev := d
-	return ch3.Sink{
-		Buf: ue.tmp,
-		Done: func(p *des.Proc) {
-			ue.complete = true
-			if ue.waiter != nil {
-				dev.copyUnexpected(p, ue, ue.waiter)
-				completeRecv(ue.waiter.req, env)
-			}
-		},
-	}
-}
-
-// ArriveRTS implements ch3.Matcher for the direct CH3 design: a rendezvous
-// announcement matches a posted receive immediately or waits on the
-// unexpected queue — without moving any payload.
-func (d *Device) ArriveRTS(p *des.Proc, env ch3.Envelope, c ch3.Conn, reqID uint64) {
-	for i, pr := range d.prq {
-		if !matches(pr, env) {
-			continue
-		}
-		d.prq = append(d.prq[:i], d.prq[i+1:]...)
-		if env.Len > pr.buf.Len {
-			d.fail(fmt.Errorf("adi3: message of %d bytes truncated into %d-byte receive", env.Len, pr.buf.Len))
-			d.check()
-		}
-		req := pr.req
-		c.RendezvousAccept(p, reqID, rdmachan.Buffer{Addr: pr.buf.Addr, Len: env.Len},
-			func(*des.Proc) { completeRecv(req, env) })
-		return
-	}
-	d.uq = append(d.uq, &uqEntry{env: env, isRndv: true, rndvConn: c, rndvID: reqID})
-}
-
-// Progress makes one pass over all connections; with block set it sleeps
-// until fabric activity when nothing moved. The activity counter is read
-// before the pass so that a delivery racing with the polling of another
-// connection cannot be lost.
+// Progress makes one engine pass over all endpoints; with block set it
+// sleeps until fabric activity when nothing moved.
 func (d *Device) Progress(p *des.Proc, block bool) bool {
-	d.check()
-	seq := d.hca.MemEventSeq()
-	prog := false
-	for _, c := range d.conns {
-		if c == nil {
-			continue
-		}
-		if c.Progress(p) {
-			prog = true
-		}
-	}
-	d.check()
-	if !prog && block {
-		d.hca.WaitMemEventSince(p, seq)
-	}
-	return prog
+	return d.eng.Progress(p, block)
 }
 
 // Wait blocks until the request completes, driving progress.
 func (d *Device) Wait(p *des.Proc, req *Request) Status {
-	for !req.done {
-		d.Progress(p, true)
-	}
-	d.check()
-	return req.status
+	return d.eng.Wait(p, req)
 }
 
 // WaitAll blocks until every request completes.
 func (d *Device) WaitAll(p *des.Proc, reqs ...*Request) {
-	for _, r := range reqs {
-		d.Wait(p, r)
-	}
+	d.eng.WaitAll(p, reqs...)
 }

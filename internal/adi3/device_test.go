@@ -3,12 +3,15 @@ package adi3
 import (
 	"testing"
 
-	"repro/internal/ch3"
 	"repro/internal/des"
 	"repro/internal/ib"
 	"repro/internal/model"
-	"repro/internal/rdmachan"
+	"repro/internal/transport"
 )
+
+// Matching and rendezvous semantics are tested where they live now:
+// internal/transport. This file covers what remains the device's job —
+// hardware/topology accessors and delegation to its single engine.
 
 func newDevice() (*Device, *des.Engine, *model.Node) {
 	eng := des.NewEngine()
@@ -19,181 +22,28 @@ func newDevice() (*Device, *des.Engine, *model.Node) {
 	return NewDevice(0, 2, hca), eng, node
 }
 
-// fakeConn records rendezvous accepts for matcher tests.
-type fakeConn struct {
-	accepted []uint64
-	dst      rdmachan.Buffer
+// fakeEP records traffic for delegation tests.
+type fakeEP struct {
+	eager  []transport.Envelope
+	polled int
 }
 
-func (f *fakeConn) Send(*des.Proc, ch3.Envelope, rdmachan.Buffer, func(p *des.Proc)) {}
-func (f *fakeConn) RendezvousAccept(p *des.Proc, id uint64, dst rdmachan.Buffer, done func(p *des.Proc)) {
-	f.accepted = append(f.accepted, id)
-	f.dst = dst
-	if done != nil {
-		done(p)
+func (f *fakeEP) SendEager(p *des.Proc, env transport.Envelope, payload transport.Buffer,
+	onDone func(p *des.Proc)) {
+	f.eager = append(f.eager, env)
+	if onDone != nil {
+		onDone(p)
 	}
 }
-func (f *fakeConn) Progress(*des.Proc) bool { return false }
-func (f *fakeConn) PendingSends() int       { return 0 }
+func (f *fakeEP) SendRendezvous(*des.Proc, transport.Envelope, transport.Buffer, func(p *des.Proc)) {
+}
+func (f *fakeEP) AcceptRendezvous(*des.Proc, uint64, transport.Buffer, func(p *des.Proc)) {}
+func (f *fakeEP) RendezvousThreshold() int                                                { return 0 }
+func (f *fakeEP) Poll(*des.Proc) bool                                                     { f.polled++; return false }
 
 func run(eng *des.Engine, body func(p *des.Proc)) {
 	eng.Spawn("t", body)
 	eng.Run()
-}
-
-func TestPostedRecvMatchesInOrder(t *testing.T) {
-	d, eng, node := newDevice()
-	run(eng, func(p *des.Proc) {
-		va1, b1 := node.Mem.Alloc(16)
-		va2, b2 := node.Mem.Alloc(16)
-		r1 := d.Irecv(p, 1, 5, 0, rdmachan.Buffer{Addr: va1, Len: 16})
-		r2 := d.Irecv(p, 1, 5, 0, rdmachan.Buffer{Addr: va2, Len: 16})
-
-		// Same envelope twice: must match posted receives in order.
-		env := ch3.Envelope{Src: 1, Tag: 5, Ctx: 0, Len: 4}
-		s1 := d.ArriveEager(p, env)
-		if s1.Buf.Addr != va1 {
-			t.Fatalf("first arrival matched %#x, want first posted %#x", s1.Buf.Addr, va1)
-		}
-		copy(node.Mem.MustResolve(s1.Buf.Addr, 4), []byte{1, 2, 3, 4})
-		s1.Done(p)
-		if !r1.Done() || r2.Done() {
-			t.Fatal("completion order wrong")
-		}
-		s2 := d.ArriveEager(p, env)
-		if s2.Buf.Addr != va2 {
-			t.Fatalf("second arrival matched %#x, want %#x", s2.Buf.Addr, va2)
-		}
-		s2.Done(p)
-		if !r2.Done() {
-			t.Fatal("second receive incomplete")
-		}
-		if b1[0] != 1 || b2[0] != 0 {
-			t.Fatal("payload placement wrong")
-		}
-		if st := r1.Status(); st.Source != 1 || st.Tag != 5 || st.Len != 4 {
-			t.Fatalf("status = %+v", st)
-		}
-	})
-}
-
-func TestWildcardMatching(t *testing.T) {
-	d, eng, node := newDevice()
-	run(eng, func(p *des.Proc) {
-		va, _ := node.Mem.Alloc(16)
-		req := d.Irecv(p, AnySource, AnyTag, 0, rdmachan.Buffer{Addr: va, Len: 16})
-		sink := d.ArriveEager(p, ch3.Envelope{Src: 1, Tag: 77, Ctx: 0, Len: 0})
-		sink.Done(p)
-		if !req.Done() {
-			t.Fatal("wildcard receive did not complete")
-		}
-		if st := req.Status(); st.Source != 1 || st.Tag != 77 {
-			t.Fatalf("status = %+v", st)
-		}
-	})
-}
-
-func TestContextSeparation(t *testing.T) {
-	d, eng, node := newDevice()
-	run(eng, func(p *des.Proc) {
-		va, _ := node.Mem.Alloc(16)
-		req := d.Irecv(p, 1, 5, 0, rdmachan.Buffer{Addr: va, Len: 16})
-		// Same src/tag, different context: must go unexpected, not match.
-		sink := d.ArriveEager(p, ch3.Envelope{Src: 1, Tag: 5, Ctx: 1, Len: 0})
-		sink.Done(p)
-		if req.Done() {
-			t.Fatal("cross-context match")
-		}
-	})
-}
-
-func TestUnexpectedThenRecvCopies(t *testing.T) {
-	d, eng, node := newDevice()
-	run(eng, func(p *des.Proc) {
-		env := ch3.Envelope{Src: 1, Tag: 9, Ctx: 0, Len: 8}
-		sink := d.ArriveEager(p, env)
-		copy(node.Mem.MustResolve(sink.Buf.Addr, 8), []byte("abcdefgh"))
-		sink.Done(p)
-
-		va, b := node.Mem.Alloc(8)
-		req := d.Irecv(p, 1, 9, 0, rdmachan.Buffer{Addr: va, Len: 8})
-		if !req.Done() {
-			t.Fatal("unexpected message should complete the receive at post")
-		}
-		if string(b) != "abcdefgh" {
-			t.Fatalf("copied %q", b)
-		}
-	})
-}
-
-func TestUnexpectedStreamingHandover(t *testing.T) {
-	// Receive posted while the unexpected payload is still arriving: the
-	// completion copies it out when the stream finishes.
-	d, eng, node := newDevice()
-	run(eng, func(p *des.Proc) {
-		env := ch3.Envelope{Src: 1, Tag: 2, Ctx: 0, Len: 4}
-		sink := d.ArriveEager(p, env) // payload not complete yet
-
-		va, b := node.Mem.Alloc(4)
-		req := d.Irecv(p, 1, 2, 0, rdmachan.Buffer{Addr: va, Len: 4})
-		if req.Done() {
-			t.Fatal("receive completed before payload arrived")
-		}
-		copy(node.Mem.MustResolve(sink.Buf.Addr, 4), []byte{9, 8, 7, 6})
-		sink.Done(p)
-		if !req.Done() || b[0] != 9 {
-			t.Fatal("handover did not deliver the payload")
-		}
-	})
-}
-
-func TestRendezvousDeferredUntilPosted(t *testing.T) {
-	d, eng, node := newDevice()
-	run(eng, func(p *des.Proc) {
-		fc := &fakeConn{}
-		d.ArriveRTS(p, ch3.Envelope{Src: 1, Tag: 3, Ctx: 0, Len: 1000}, fc, 42)
-		if len(fc.accepted) != 0 {
-			t.Fatal("RTS accepted before a receive was posted")
-		}
-		va, _ := node.Mem.Alloc(1000)
-		req := d.Irecv(p, 1, 3, 0, rdmachan.Buffer{Addr: va, Len: 1000})
-		if len(fc.accepted) != 1 || fc.accepted[0] != 42 {
-			t.Fatalf("accepted = %v", fc.accepted)
-		}
-		if fc.dst.Addr != va || fc.dst.Len != 1000 {
-			t.Fatalf("rendezvous destination = %+v", fc.dst)
-		}
-		if !req.Done() {
-			t.Fatal("receive should complete via the accept callback")
-		}
-	})
-}
-
-func TestRendezvousMatchesPostedImmediately(t *testing.T) {
-	d, eng, node := newDevice()
-	run(eng, func(p *des.Proc) {
-		va, _ := node.Mem.Alloc(500)
-		d.Irecv(p, 1, 4, 0, rdmachan.Buffer{Addr: va, Len: 500})
-		fc := &fakeConn{}
-		d.ArriveRTS(p, ch3.Envelope{Src: 1, Tag: 4, Ctx: 0, Len: 500}, fc, 7)
-		if len(fc.accepted) != 1 {
-			t.Fatal("posted receive should accept the RTS immediately")
-		}
-	})
-}
-
-func TestTruncationIsFatal(t *testing.T) {
-	d, eng, node := newDevice()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("truncated receive should be fatal")
-		}
-	}()
-	run(eng, func(p *des.Proc) {
-		va, _ := node.Mem.Alloc(4)
-		d.Irecv(p, 1, 5, 0, rdmachan.Buffer{Addr: va, Len: 4})
-		d.ArriveEager(p, ch3.Envelope{Src: 1, Tag: 5, Ctx: 0, Len: 100})
-	})
 }
 
 func TestDeviceAccessors(t *testing.T) {
@@ -201,12 +51,46 @@ func TestDeviceAccessors(t *testing.T) {
 	if d.Rank() != 0 || d.Size() != 2 || d.Node() != node || d.HCA() == nil {
 		t.Fatal("accessors broken")
 	}
-	if d.Conn(1) != nil {
-		t.Fatal("conn should be unset")
+	if d.Engine() == nil {
+		t.Fatal("device has no engine")
 	}
-	fc := &fakeConn{}
-	d.SetConn(1, fc)
-	if d.Conn(1) != ch3.Conn(fc) {
-		t.Fatal("SetConn/Conn roundtrip failed")
+	if d.Endpoint(1) != nil {
+		t.Fatal("endpoint should be unset")
+	}
+	ep := &fakeEP{}
+	d.SetEndpoint(1, ep)
+	if d.Endpoint(1) != transport.Endpoint(ep) {
+		t.Fatal("SetEndpoint/Endpoint roundtrip failed")
+	}
+}
+
+func TestDeviceDelegatesToEngine(t *testing.T) {
+	d, eng, node := newDevice()
+	ep := &fakeEP{}
+	d.SetEndpoint(1, ep)
+	run(eng, func(p *des.Proc) {
+		va, _ := node.Mem.Alloc(16)
+		req := d.Isend(p, 1, 5, 0, transport.Buffer{Addr: va, Len: 16})
+		if len(ep.eager) != 1 || ep.eager[0].Tag != 5 || ep.eager[0].Src != 0 {
+			t.Fatalf("send not delegated: %+v", ep.eager)
+		}
+		if st := d.Wait(p, req); req == nil || !req.Done() {
+			t.Fatalf("wait did not complete the request: %+v", st)
+		}
+		d.Progress(p, false)
+		if ep.polled == 0 {
+			t.Fatal("progress not delegated to the engine")
+		}
+	})
+}
+
+func TestTopologyDefaultsToOneRankPerNode(t *testing.T) {
+	d, _, _ := newDevice()
+	if d.NodeOf(0) != 0 || d.NodeOf(1) != 1 {
+		t.Fatal("default topology should be one rank per node")
+	}
+	d.SetTopology([]int32{0, 0})
+	if d.NodeOf(1) != 0 {
+		t.Fatal("installed topology ignored")
 	}
 }

@@ -1,9 +1,13 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/rdmachan"
+	"repro/internal/regcache"
+	"repro/internal/shmchan"
 )
 
 // Ablations probe the design choices the paper calls out but does not
@@ -29,20 +33,71 @@ func AblationTailThreshold() Figure {
 }
 
 // AblationRegCache compares zero-copy bandwidth with and without the
-// pin-down cache (§5: registration/deregistration are expensive).
+// pin-down cache (§5: registration/deregistration are expensive), and
+// reports the cache's hit/miss/eviction totals across each sweep — the
+// buffer-reuse behaviour the paper says the cache's effectiveness depends
+// on.
 func AblationRegCache() Figure {
 	sizes := sizesPow4(16<<10, 1<<20)
-	with := MPIBandwidth(Options{Transport: cluster.TransportZeroCopy}, sizes)
+	observe := func(total *regcache.Stats) func(*cluster.Cluster) {
+		return func(c *cluster.Cluster) {
+			s := c.RegCacheStats()
+			total.Hits += s.Hits
+			total.Misses += s.Misses
+			total.Evictions += s.Evictions
+		}
+	}
+	var withStats, withoutStats regcache.Stats
+	with := MPIBandwidth(Options{
+		Transport: cluster.TransportZeroCopy,
+		Observe:   observe(&withStats),
+	}, sizes)
 	with.Name = "with cache"
 	without := MPIBandwidth(Options{
 		Transport: cluster.TransportZeroCopy,
 		Chan:      rdmachan.Config{RegCacheBytes: -1},
+		Observe:   observe(&withoutStats),
 	}, sizes)
 	without.Name = "no cache"
+	note := func(name string, s regcache.Stats) string {
+		return fmt.Sprintf("regcache %s: hits=%d misses=%d evictions=%d",
+			name, s.Hits, s.Misses, s.Evictions)
+	}
 	return Figure{
 		ID: "ablation-regcache", Title: "Zero-copy with and without the registration cache",
 		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
 		Series: []Series{with, without},
+		Notes:  []string{note("with cache", withStats), note("no cache", withoutStats)},
+	}
+}
+
+// AblationShmRndv compares the shared-memory channel's two-copy segment
+// path against its single-copy rendezvous path for large intra-node
+// messages: one bus crossing instead of two, with both user buffers
+// pinned through the registration cache like the InfiniBand rendezvous.
+func AblationShmRndv() Figure {
+	sizes := sizesPow4(32<<10, 1<<20)
+	var rndvStats regcache.Stats
+	seg := MPIBandwidth(Options{Transport: cluster.TransportZeroCopy, CoresPerNode: 2}, sizes)
+	seg.Name = "shm segment"
+	rndv := MPIBandwidth(Options{
+		Transport:    cluster.TransportZeroCopy,
+		CoresPerNode: 2,
+		Shm:          shmchan.Config{RndvThreshold: 32 << 10},
+		Observe: func(c *cluster.Cluster) {
+			s := c.RegCacheStats()
+			rndvStats.Hits += s.Hits
+			rndvStats.Misses += s.Misses
+			rndvStats.Evictions += s.Evictions
+		},
+	}, sizes)
+	rndv.Name = "shm rendezvous"
+	return Figure{
+		ID: "ablation-shm-rndv", Title: "Intra-node large messages: segment vs single-copy rendezvous",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: []Series{seg, rndv},
+		Notes: []string{fmt.Sprintf("rendezvous regcache: hits=%d misses=%d evictions=%d",
+			rndvStats.Hits, rndvStats.Misses, rndvStats.Evictions)},
 	}
 }
 
@@ -109,6 +164,7 @@ func Ablations() []Figure {
 		AblationZCThreshold(),
 		AblationOutstandingReads(),
 		AblationRingSize(),
+		AblationShmRndv(),
 		AblationHierCollectives(),
 	}
 }

@@ -30,13 +30,15 @@ type Series struct {
 }
 
 // Figure is a reproduced table/figure: the same rows/series the paper
-// plots.
+// plots. Notes carry side observations — counter totals, caveats — that
+// FormatFigure prints under the table.
 type Figure struct {
 	ID     string
 	Title  string
 	XLabel string
 	YLabel string
 	Series []Series
+	Notes  []string
 }
 
 // Paper-style size axes (powers of four, as on the figures' x-axes).
@@ -70,6 +72,11 @@ type Options struct {
 	Shm          shmchan.Config
 	CH3Threshold int
 	Params       *model.Params
+
+	// Observe, when set, runs against each measurement cluster after its
+	// launches finish and before it is torn down — the hook ablations use
+	// to read per-run counters (e.g. registration-cache statistics).
+	Observe func(*cluster.Cluster)
 }
 
 func (o Options) cluster(np int) *cluster.Cluster {
@@ -113,6 +120,9 @@ func MPILatency(o Options, sizes []int, iters int) Series {
 				}
 			}
 		})
+		if o.Observe != nil {
+			o.Observe(c)
+		}
 		c.Close()
 		s.Points = append(s.Points, Point{Size: size, Value: oneWay})
 	}
@@ -148,6 +158,9 @@ func MPIBandwidth(o Options, sizes []int) Series {
 				}
 			}
 		})
+		if o.Observe != nil {
+			o.Observe(c)
+		}
 		c.Close()
 		s.Points = append(s.Points, Point{Size: size, Value: rate})
 	}
@@ -339,6 +352,9 @@ func FormatFigure(f Figure) string {
 			}
 		}
 		out += row + "\n"
+	}
+	for _, n := range f.Notes {
+		out += "  note: " + n + "\n"
 	}
 	return out
 }

@@ -1,36 +1,34 @@
-// Package ch3 models MPICH2's CH3 layer (§3.1): the dozen-function porting
-// interface that sits between the ADI3 device and the transport. Two
-// implementations are provided, mirroring the paper's comparison in §6:
+// Package ch3 models MPICH2's CH3 layer (§3.1): the packet protocol that
+// sits between the transport abstraction (internal/transport) and an RDMA
+// Channel byte pipe (internal/rdmachan). One packet engine — Conn — frames
+// every MPI message as a 64-byte header plus payload and implements
+// transport.Endpoint in two modes, mirroring the paper's comparison in §6:
 //
-//   - OverChannel adapts any RDMA Channel endpoint (internal/rdmachan) to
-//     CH3 message semantics — this is the paper's main line of work, where
-//     the whole transport fits behind the five-function put/get pipe.
-//   - IBConn is a direct CH3-level InfiniBand design (Figure 12): the same
-//     eager chunk ring for small messages, but large messages negotiate a
-//     handshake (RTS → CTS) and move by RDMA *write* into the receiver's
-//     registered user buffer, finishing with a FIN packet. The extra
-//     flexibility — CH3 sees message boundaries, so the receiver can
-//     advertise its buffer — is exactly what the RDMA Channel interface
-//     hides.
+//   - Over-channel mode (NewOverChannel) adapts any RDMA Channel endpoint
+//     to message semantics — the paper's main line of work, where the whole
+//     transport fits behind the five-function put/get pipe. Rendezvous for
+//     large messages — when the endpoint is the zero-copy design — happens
+//     invisibly below the pipe abstraction (§5); the packet engine neither
+//     knows nor cares, and reports a rendezvous threshold of zero.
+//   - Direct mode (NewIBConn) is the CH3-level InfiniBand design
+//     (Figure 12): the same eager chunk ring for small messages, but large
+//     messages negotiate a handshake (RTS → CTS) and move by RDMA *write*
+//     into the receiver's registered user buffer, finishing with a FIN
+//     packet. The extra flexibility — CH3 sees message boundaries, so the
+//     receiver can advertise its buffer — is exactly what the RDMA Channel
+//     interface hides.
 //
-// Both implementations speak the same Conn interface to the device, so the
-// evaluation can swap transports under an unchanged MPI stack.
+// Both modes are one state machine: one send FIFO (control packets winning
+// at message boundaries), one header/payload receive loop. The matching
+// logic lives above, in the transport engine; this layer only moves
+// packets.
 package ch3
 
 import (
 	"fmt"
 
-	"repro/internal/des"
-	"repro/internal/rdmachan"
+	"repro/internal/transport"
 )
-
-// Envelope is the MPI matching tuple plus payload size.
-type Envelope struct {
-	Src int32 // sending rank
-	Tag int32
-	Ctx int32 // communicator context id
-	Len int   // payload bytes
-}
 
 // Packet kinds carried in CH3 packet headers.
 const (
@@ -46,7 +44,7 @@ const hdrSize = 64
 // header is the wire form of a CH3 packet.
 type header struct {
 	kind  byte
-	env   Envelope
+	env   transport.Envelope
 	reqID uint64
 	raddr uint64
 	rkey  uint32
@@ -66,7 +64,7 @@ func encodeHeader(dst []byte, h header) {
 func decodeHeader(src []byte) header {
 	return header{
 		kind: src[0],
-		env: Envelope{
+		env: transport.Envelope{
 			Src: int32(le32(src[4:8])),
 			Tag: int32(le32(src[8:12])),
 			Ctx: int32(le32(src[12:16])),
@@ -76,43 +74,6 @@ func decodeHeader(src []byte) header {
 		raddr: le64(src[32:40]),
 		rkey:  le32(src[40:44]),
 	}
-}
-
-// Sink tells a connection where an incoming payload lands and what to call
-// when it has fully arrived.
-type Sink struct {
-	Buf  rdmachan.Buffer
-	Done func(p *des.Proc)
-}
-
-// Matcher is the device-side matching logic a connection calls up into.
-type Matcher interface {
-	// ArriveEager resolves the destination for an eager payload: a matched
-	// user buffer or a freshly allocated unexpected buffer.
-	ArriveEager(p *des.Proc, env Envelope) Sink
-
-	// ArriveRTS announces a rendezvous send (direct CH3 design only). If a
-	// matching receive is posted, the device calls c.RendezvousAccept
-	// immediately; otherwise it records the announcement and accepts later.
-	ArriveRTS(p *des.Proc, env Envelope, c Conn, reqID uint64)
-}
-
-// Conn is one CH3 connection to a peer rank.
-type Conn interface {
-	// Send enqueues one MPI message; onDone runs when the local send
-	// completes (buffer reusable).
-	Send(p *des.Proc, env Envelope, payload rdmachan.Buffer, onDone func(p *des.Proc))
-
-	// RendezvousAccept answers a previously announced RTS: dst is the now
-	// posted receive buffer; done runs when the payload has arrived.
-	RendezvousAccept(p *des.Proc, reqID uint64, dst rdmachan.Buffer, done func(p *des.Proc))
-
-	// Progress advances send and receive state machines one pass,
-	// reporting whether anything moved.
-	Progress(p *des.Proc) bool
-
-	// PendingSends reports queued-but-incomplete send operations.
-	PendingSends() int
 }
 
 // --- little-endian helpers (header encoding) ---

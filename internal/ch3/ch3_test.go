@@ -9,13 +9,14 @@ import (
 	"repro/internal/ib"
 	"repro/internal/model"
 	"repro/internal/rdmachan"
+	"repro/internal/transport"
 )
 
 func TestHeaderRoundTrip(t *testing.T) {
 	f := func(kind byte, src, tag, ctx int32, ln uint32, reqID, raddr uint64, rkey uint32) bool {
 		h := header{
 			kind:  kind,
-			env:   Envelope{Src: src, Tag: tag, Ctx: ctx, Len: int(ln)},
+			env:   transport.Envelope{Src: src, Tag: tag, Ctx: ctx, Len: int(ln)},
 			reqID: reqID, raddr: raddr, rkey: rkey,
 		}
 		var buf [hdrSize]byte
@@ -28,31 +29,32 @@ func TestHeaderRoundTrip(t *testing.T) {
 	}
 }
 
-// matcher is a minimal device standing in for ADI3 in conn tests.
+// matcher is a minimal progress engine standing in for the transport
+// engine in conn tests.
 type matcher struct {
 	node     *model.Node
-	arrived  []Envelope
+	arrived  []transport.Envelope
 	rts      []uint64
 	deferRTS bool
-	sinkBufs []rdmachan.Buffer
+	sinkBufs []transport.Buffer
 	done     int
 }
 
-func (m *matcher) ArriveEager(p *des.Proc, env Envelope) Sink {
+func (m *matcher) ArriveEager(p *des.Proc, env transport.Envelope) transport.Sink {
 	m.arrived = append(m.arrived, env)
 	va, _ := m.node.Mem.Alloc(maxInt(env.Len, 1))
-	buf := rdmachan.Buffer{Addr: va, Len: env.Len}
+	buf := transport.Buffer{Addr: va, Len: env.Len}
 	m.sinkBufs = append(m.sinkBufs, buf)
-	return Sink{Buf: buf, Done: func(*des.Proc) { m.done++ }}
+	return transport.Sink{Buf: buf, Done: func(*des.Proc) { m.done++ }}
 }
 
-func (m *matcher) ArriveRTS(p *des.Proc, env Envelope, c Conn, reqID uint64) {
+func (m *matcher) ArriveRTS(p *des.Proc, env transport.Envelope, ep transport.Endpoint, reqID uint64) {
 	m.rts = append(m.rts, reqID)
 	if m.deferRTS {
 		return
 	}
 	va, _ := m.node.Mem.Alloc(env.Len)
-	c.RendezvousAccept(p, reqID, rdmachan.Buffer{Addr: va, Len: env.Len},
+	ep.AcceptRendezvous(p, reqID, transport.Buffer{Addr: va, Len: env.Len},
 		func(*des.Proc) { m.done++ })
 }
 
@@ -97,13 +99,13 @@ func fatalErr(t *testing.T) func(error) {
 	return func(err error) { t.Errorf("conn error: %v", err) }
 }
 
-// drive runs both conns' progress until pred holds or the sim stalls.
-func drive(p *des.Proc, conns []Conn, ep rdmachan.Endpoint, pred func() bool) {
+// drive runs both conns' polling until pred holds or the sim stalls.
+func drive(p *des.Proc, conns []*Conn, ep rdmachan.Endpoint, pred func() bool) {
 	for !pred() {
 		seq := ep.EventSeq()
 		prog := false
 		for _, c := range conns {
-			if c.Progress(p) {
+			if c.Poll(p) {
 				prog = true
 			}
 		}
@@ -128,12 +130,12 @@ func TestOverChannelEagerDelivery(t *testing.T) {
 	}
 	sent := false
 	r.eng.Spawn("rank0", func(p *des.Proc) {
-		c0.Send(p, Envelope{Src: 0, Tag: 42, Ctx: 0, Len: n},
-			rdmachan.Buffer{Addr: payVA, Len: n}, func(*des.Proc) { sent = true })
-		drive(p, []Conn{c0}, r.eps[0], func() bool { return sent })
+		c0.SendEager(p, transport.Envelope{Src: 0, Tag: 42, Ctx: 0, Len: n},
+			transport.Buffer{Addr: payVA, Len: n}, func(*des.Proc) { sent = true })
+		drive(p, []*Conn{c0}, r.eps[0], func() bool { return sent })
 	})
 	r.eng.Spawn("rank1", func(p *des.Proc) {
-		drive(p, []Conn{c1}, r.eps[1], func() bool { return r.match[1].done == 1 })
+		drive(p, []*Conn{c1}, r.eps[1], func() bool { return r.match[1].done == 1 })
 	})
 	r.eng.Run()
 	if !sent || r.match[1].done != 1 {
@@ -147,8 +149,11 @@ func TestOverChannelEagerDelivery(t *testing.T) {
 	if !bytes.Equal(got, pay) {
 		t.Fatal("payload corrupted")
 	}
-	if c0.PendingSends() != 0 {
+	if c0.Pending() != 0 {
 		t.Fatal("send queue not drained")
+	}
+	if c0.RendezvousThreshold() != 0 {
+		t.Fatal("over-channel mode must report a zero rendezvous threshold")
 	}
 }
 
@@ -157,6 +162,9 @@ func TestIBConnRendezvousNoUnexpectedCopy(t *testing.T) {
 	c0 := NewIBConn(r.eps[0], r.match[0], 0, fatalErr(t))
 	c1 := NewIBConn(r.eps[1], r.match[1], 0, fatalErr(t))
 
+	if c0.RendezvousThreshold() != 32<<10 {
+		t.Fatalf("default threshold = %d, want 32K", c0.RendezvousThreshold())
+	}
 	const n = 256 << 10 // above the 32K default threshold
 	payVA, pay := r.nodes[0].Mem.Alloc(n)
 	for i := range pay {
@@ -164,12 +172,12 @@ func TestIBConnRendezvousNoUnexpectedCopy(t *testing.T) {
 	}
 	sent := false
 	r.eng.Spawn("rank0", func(p *des.Proc) {
-		c0.Send(p, Envelope{Src: 0, Tag: 1, Ctx: 0, Len: n},
-			rdmachan.Buffer{Addr: payVA, Len: n}, func(*des.Proc) { sent = true })
-		drive(p, []Conn{c0}, r.eps[0], func() bool { return sent })
+		c0.SendRendezvous(p, transport.Envelope{Src: 0, Tag: 1, Ctx: 0, Len: n},
+			transport.Buffer{Addr: payVA, Len: n}, func(*des.Proc) { sent = true })
+		drive(p, []*Conn{c0}, r.eps[0], func() bool { return sent })
 	})
 	r.eng.Spawn("rank1", func(p *des.Proc) {
-		drive(p, []Conn{c1}, r.eps[1], func() bool { return r.match[1].done == 1 })
+		drive(p, []*Conn{c1}, r.eps[1], func() bool { return r.match[1].done == 1 })
 	})
 	r.eng.Run()
 	if !sent {
@@ -195,12 +203,12 @@ func TestIBConnEagerBelowThreshold(t *testing.T) {
 	payVA, _ := r.nodes[0].Mem.Alloc(n)
 	sent := false
 	r.eng.Spawn("rank0", func(p *des.Proc) {
-		c0.Send(p, Envelope{Src: 0, Tag: 1, Ctx: 0, Len: n},
-			rdmachan.Buffer{Addr: payVA, Len: n}, func(*des.Proc) { sent = true })
-		drive(p, []Conn{c0}, r.eps[0], func() bool { return sent })
+		c0.SendEager(p, transport.Envelope{Src: 0, Tag: 1, Ctx: 0, Len: n},
+			transport.Buffer{Addr: payVA, Len: n}, func(*des.Proc) { sent = true })
+		drive(p, []*Conn{c0}, r.eps[0], func() bool { return sent })
 	})
 	r.eng.Spawn("rank1", func(p *des.Proc) {
-		drive(p, []Conn{c1}, r.eps[1], func() bool { return r.match[1].done == 1 })
+		drive(p, []*Conn{c1}, r.eps[1], func() bool { return r.match[1].done == 1 })
 	})
 	r.eng.Run()
 	if s := c0.Stats(); s.EagerSends != 1 || s.RndvSends != 0 {
@@ -211,15 +219,15 @@ func TestIBConnEagerBelowThreshold(t *testing.T) {
 	}
 }
 
-func TestOverChannelRejectsRendezvousAccept(t *testing.T) {
+func TestOverChannelRejectsRendezvous(t *testing.T) {
 	r := newRig(t, rdmachan.DesignPipeline)
 	c0 := NewOverChannel(r.eps[0], r.match[0], fatalErr(t))
 	defer func() {
 		if recover() == nil {
-			t.Fatal("RendezvousAccept on OverChannel should panic")
+			t.Fatal("AcceptRendezvous on an over-channel conn should panic")
 		}
 	}()
-	c0.RendezvousAccept(nil, 0, rdmachan.Buffer{}, nil)
+	c0.AcceptRendezvous(nil, 0, transport.Buffer{}, nil)
 }
 
 func TestIBConnRequiresChunkEndpoint(t *testing.T) {

@@ -1,0 +1,354 @@
+package ch3
+
+import (
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/rdmachan"
+	"repro/internal/transport"
+)
+
+// Conn is the CH3 packet engine over an RDMA Channel endpoint. It is the
+// only send/receive loop in this package; over-channel and direct modes
+// share it (see the package comment). It implements transport.Endpoint.
+type Conn struct {
+	ep    rdmachan.Endpoint
+	raw   rdmachan.RawAccess // non-nil only in direct mode
+	h     transport.Handler
+	onErr func(error)
+
+	threshold int // rendezvous switch; 0 = over-channel mode
+	reqSeq    uint64
+
+	// Send side: strict FIFO per queue, control packets win at message
+	// boundaries (rendezvous answers must not starve behind bulk data).
+	ctrlq  []*conOp
+	dataq  []*conOp
+	active *conOp
+
+	sendRndv map[uint64]*rndvSend
+	recvRndv map[uint64]*rndvRecv
+
+	hdrPool []hdrSlot // free header staging slots
+
+	// Receive state machine: header, then payload.
+	rstate   int
+	rhdrBuf  transport.Buffer
+	rhdrMem  []byte
+	rhdrRem  []transport.Buffer
+	rsink    transport.Sink
+	rpayload []transport.Buffer
+
+	stats Stats
+}
+
+// Stats counts packet-engine activity.
+type Stats struct {
+	EagerSends uint64
+	RndvSends  uint64
+	RndvRecvs  uint64
+}
+
+type conOp struct {
+	hdr    hdrSlot // staging slot; recycled when the op drains
+	rem    []transport.Buffer
+	onDone func(p *des.Proc)
+}
+
+// hdrSlot is a reusable 64-byte header staging buffer. Slots return to the
+// pool once their packet is fully accepted by the pipe (Put reports bytes
+// only after consuming them), so the pool stays as small as the op queue
+// ever gets — a real implementation's preallocated packet pool.
+type hdrSlot struct {
+	va  uint64
+	mem []byte
+}
+
+type rndvSend struct {
+	payload transport.Buffer
+	onDone  func(p *des.Proc)
+}
+
+type rndvRecv struct {
+	mr   *ib.MR
+	done func(p *des.Proc)
+}
+
+// NewOverChannel builds the packet engine in over-channel mode: every MPI
+// message is framed eagerly through the endpoint's byte pipe, and large
+// messages are the pipe's own business (the zero-copy design handles them
+// below the abstraction). onErr receives any transport error (the
+// simulation treats these as fatal protocol bugs).
+func NewOverChannel(ep rdmachan.Endpoint, h transport.Handler, onErr func(error)) *Conn {
+	return newConn(ep, nil, h, 0, onErr)
+}
+
+// NewIBConn builds the packet engine in direct mode over a pipelined chunk
+// endpoint created with rdmachan.DesignPipeline (zero-copy must be off:
+// rendezvous is handled here, at the CH3 level). threshold is the
+// eager/rendezvous switch, 0 meaning the default 32 KB (matching the
+// zero-copy design).
+func NewIBConn(ep rdmachan.Endpoint, h transport.Handler, threshold int, onErr func(error)) *Conn {
+	raw, ok := ep.(rdmachan.RawAccess)
+	if !ok {
+		panic("ch3: IBConn requires a chunk-ring endpoint")
+	}
+	if threshold == 0 {
+		threshold = 32 << 10
+	}
+	return newConn(ep, raw, h, threshold, onErr)
+}
+
+func newConn(ep rdmachan.Endpoint, raw rdmachan.RawAccess, h transport.Handler,
+	threshold int, onErr func(error)) *Conn {
+	c := &Conn{
+		ep: ep, raw: raw, h: h, onErr: onErr,
+		threshold: threshold,
+		sendRndv:  make(map[uint64]*rndvSend),
+		recvRndv:  make(map[uint64]*rndvRecv),
+	}
+	mem := ep.HCA().Node().Mem
+	va, b := mem.Alloc(hdrSize)
+	c.rhdrBuf, c.rhdrMem = transport.Buffer{Addr: va, Len: hdrSize}, b
+	c.rhdrRem = []transport.Buffer{c.rhdrBuf}
+	return c
+}
+
+// Endpoint returns the underlying channel endpoint (for statistics and the
+// one-sided extension's raw-verbs access).
+func (c *Conn) Endpoint() rdmachan.Endpoint { return c.ep }
+
+// Stats returns packet-engine counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// RendezvousThreshold implements transport.Endpoint.
+func (c *Conn) RendezvousThreshold() int { return c.threshold }
+
+// newHdrOp stages a packet in a pooled header slot.
+func (c *Conn) newHdrOp(h header, payload *transport.Buffer, onDone func(p *des.Proc)) *conOp {
+	var slot hdrSlot
+	if n := len(c.hdrPool); n > 0 {
+		slot = c.hdrPool[n-1]
+		c.hdrPool = c.hdrPool[:n-1]
+	} else {
+		va, b := c.ep.HCA().Node().Mem.Alloc(hdrSize)
+		slot = hdrSlot{va: va, mem: b}
+	}
+	encodeHeader(slot.mem, h)
+	rem := []transport.Buffer{{Addr: slot.va, Len: hdrSize}}
+	if payload != nil && payload.Len > 0 {
+		rem = append(rem, *payload)
+	}
+	return &conOp{hdr: slot, rem: rem, onDone: onDone}
+}
+
+// SendEager implements transport.Endpoint.
+func (c *Conn) SendEager(p *des.Proc, env transport.Envelope, payload transport.Buffer,
+	onDone func(p *des.Proc)) {
+	c.stats.EagerSends++
+	op := c.newHdrOp(header{kind: pktEager, env: env}, &payload, onDone)
+	c.dataq = append(c.dataq, op)
+	c.Poll(p)
+}
+
+// SendRendezvous implements transport.Endpoint: announce with RTS; the
+// payload moves after the peer's CTS.
+func (c *Conn) SendRendezvous(p *des.Proc, env transport.Envelope, payload transport.Buffer,
+	onDone func(p *des.Proc)) {
+	if c.threshold == 0 {
+		panic("ch3: SendRendezvous in over-channel mode")
+	}
+	c.stats.RndvSends++
+	c.reqSeq++
+	id := c.reqSeq
+	c.sendRndv[id] = &rndvSend{payload: payload, onDone: onDone}
+	op := c.newHdrOp(header{kind: pktRTS, env: env, reqID: id}, nil, nil)
+	c.dataq = append(c.dataq, op)
+	c.Poll(p)
+}
+
+// AcceptRendezvous implements transport.Endpoint: the receive matching an
+// announced RTS is now posted. Register the user buffer through the
+// pin-down cache and advertise it with a CTS control packet.
+func (c *Conn) AcceptRendezvous(p *des.Proc, reqID uint64, dst transport.Buffer,
+	done func(p *des.Proc)) {
+	if c.threshold == 0 {
+		panic("ch3: AcceptRendezvous in over-channel mode")
+	}
+	cache := c.raw.RegCache()
+	mr, _, err := cache.Register(p, dst.Addr, dst.Len)
+	if err != nil {
+		c.onErr(errf("rendezvous register: %w", err))
+		return
+	}
+	c.recvRndv[reqID] = &rndvRecv{mr: mr, done: done}
+	c.stats.RndvRecvs++
+	op := c.newHdrOp(header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, rkey: mr.RKey()}, nil, nil)
+	c.ctrlq = append(c.ctrlq, op)
+	c.Poll(p)
+}
+
+// handleCTS fires the RDMA write of the payload and queues the FIN.
+func (c *Conn) handleCTS(p *des.Proc, h header) {
+	rs, ok := c.sendRndv[h.reqID]
+	if !ok {
+		c.onErr(errf("CTS for unknown rendezvous %d", h.reqID))
+		return
+	}
+	delete(c.sendRndv, h.reqID)
+	cache := c.raw.RegCache()
+	mr, _, err := cache.Register(p, rs.payload.Addr, rs.payload.Len)
+	if err != nil {
+		c.onErr(errf("rendezvous source register: %w", err))
+		return
+	}
+	c.raw.RawQP().PostSend(p, ib.SendWR{
+		Op:         ib.OpRDMAWrite,
+		SGL:        []ib.SGE{{Addr: rs.payload.Addr, Len: rs.payload.Len, LKey: mr.LKey()}},
+		RemoteAddr: h.raddr,
+		RKey:       h.rkey,
+	})
+	// The registration stays cached; RC ordering puts the FIN behind the
+	// payload on the wire.
+	if err := cache.Release(p, mr); err != nil {
+		c.onErr(errf("rendezvous source release: %w", err))
+		return
+	}
+	onDone := rs.onDone
+	fin := c.newHdrOp(header{kind: pktFIN, reqID: h.reqID}, nil, onDone)
+	c.ctrlq = append(c.ctrlq, fin)
+}
+
+// handleFIN completes a rendezvous receive: the payload is already in the
+// user buffer (it preceded the FIN on the wire).
+func (c *Conn) handleFIN(p *des.Proc, h header) {
+	rr, ok := c.recvRndv[h.reqID]
+	if !ok {
+		c.onErr(errf("FIN for unknown rendezvous %d", h.reqID))
+		return
+	}
+	delete(c.recvRndv, h.reqID)
+	if err := c.raw.RegCache().Release(p, rr.mr); err != nil {
+		c.onErr(errf("rendezvous dest release: %w", err))
+		return
+	}
+	if rr.done != nil {
+		rr.done(p)
+	}
+}
+
+// Pending reports queued-but-incomplete send operations (diagnostics).
+func (c *Conn) Pending() int {
+	n := len(c.ctrlq) + len(c.dataq) + len(c.sendRndv)
+	if c.active != nil {
+		n++
+	}
+	return n
+}
+
+// Poll implements transport.Endpoint: advance the head send operation and
+// drain the receive pipe.
+func (c *Conn) Poll(p *des.Proc) bool {
+	prog := false
+
+	// Sends: control packets win at message boundaries.
+	for {
+		if c.active == nil {
+			if len(c.ctrlq) > 0 {
+				c.active = c.ctrlq[0]
+				c.ctrlq = c.ctrlq[1:]
+			} else if len(c.dataq) > 0 {
+				c.active = c.dataq[0]
+				c.dataq = c.dataq[1:]
+			} else {
+				break
+			}
+		}
+		n, err := c.ep.Put(p, c.active.rem)
+		if err != nil {
+			c.onErr(errf("send: %w", err))
+			return prog
+		}
+		if n == 0 {
+			break
+		}
+		prog = true
+		c.active.rem = rdmachan.Advance(c.active.rem, n)
+		if len(c.active.rem) > 0 {
+			break
+		}
+		done := c.active.onDone
+		c.hdrPool = append(c.hdrPool, c.active.hdr)
+		c.active = nil
+		if done != nil {
+			done(p)
+		}
+	}
+
+	// Receives.
+	for {
+		switch c.rstate {
+		case 0: // header
+			n, err := c.ep.Get(p, c.rhdrRem)
+			if err != nil {
+				c.onErr(errf("recv header: %w", err))
+				return prog
+			}
+			if n == 0 {
+				return prog
+			}
+			prog = true
+			c.rhdrRem = rdmachan.Advance(c.rhdrRem, n)
+			if len(c.rhdrRem) > 0 {
+				continue
+			}
+			h := decodeHeader(c.rhdrMem)
+			c.rhdrRem = []transport.Buffer{c.rhdrBuf}
+			if c.threshold == 0 && h.kind != pktEager {
+				c.onErr(errf("unexpected packet kind %d on channel pipe", h.kind))
+				return prog
+			}
+			switch h.kind {
+			case pktEager:
+				sink := c.h.ArriveEager(p, h.env)
+				if h.env.Len == 0 {
+					if sink.Done != nil {
+						sink.Done(p)
+					}
+					continue
+				}
+				c.rsink = sink
+				c.rpayload = []transport.Buffer{{Addr: sink.Buf.Addr, Len: h.env.Len}}
+				c.rstate = 1
+			case pktRTS:
+				c.h.ArriveRTS(p, h.env, c, h.reqID)
+			case pktCTS:
+				c.handleCTS(p, h)
+			case pktFIN:
+				c.handleFIN(p, h)
+			default:
+				c.onErr(errf("bad packet kind %d", h.kind))
+				return prog
+			}
+		case 1: // payload
+			n, err := c.ep.Get(p, c.rpayload)
+			if err != nil {
+				c.onErr(errf("recv payload: %w", err))
+				return prog
+			}
+			if n == 0 {
+				return prog
+			}
+			prog = true
+			c.rpayload = rdmachan.Advance(c.rpayload, n)
+			if len(c.rpayload) > 0 {
+				continue
+			}
+			done := c.rsink.Done
+			c.rsink = transport.Sink{}
+			c.rstate = 0
+			if done != nil {
+				done(p)
+			}
+		}
+	}
+}

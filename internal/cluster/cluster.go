@@ -7,7 +7,8 @@
 // (node×core topology, DESIGN.md §6): co-located rank pairs are wired
 // over the shared-memory channel (internal/shmchan), remote pairs over
 // the selected InfiniBand transport, and ranks on one node share that
-// node's adapter and memory bus.
+// node's adapter and memory bus. Every pair speaks transport.Endpoint to
+// its rank's progress engine, so any transport sits behind any slot.
 package cluster
 
 import (
@@ -20,7 +21,9 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/rdmachan"
+	"repro/internal/regcache"
 	"repro/internal/shmchan"
+	"repro/internal/transport"
 )
 
 // Transport selects the MPI transport under test, matching the designs the
@@ -69,7 +72,7 @@ type Config struct {
 	Chan rdmachan.Config
 
 	// Shm overrides the intra-node channel parameters (eager cutoff, ring
-	// depth, segment chunking).
+	// depth, segment chunking, rendezvous threshold).
 	Shm shmchan.Config
 
 	// CH3Threshold overrides the direct design's rendezvous threshold.
@@ -147,17 +150,18 @@ func New(cfg Config) *Cluster {
 		for i := 0; i < cfg.NP; i++ {
 			for j := i + 1; j < cfg.NP; j++ {
 				if c.nodeOf[i] == c.nodeOf[j] {
-					ci, cj := shmchan.NewPair(c.HCAs[c.nodeOf[i]], cfg.Shm, c.Devs[i], c.Devs[j])
-					c.Devs[i].SetConn(int32(j), ci)
-					c.Devs[j].SetConn(int32(i), cj)
+					ci, cj := shmchan.NewPair(c.HCAs[c.nodeOf[i]], cfg.Shm,
+						c.Devs[i].Engine(), c.Devs[j].Engine())
+					c.Devs[i].SetEndpoint(int32(j), ci)
+					c.Devs[j].SetEndpoint(int32(i), cj)
 					continue
 				}
 				epi, epj, err := rdmachan.NewConnection(p, chanCfg, c.HCAs[c.nodeOf[i]], c.HCAs[c.nodeOf[j]])
 				if err != nil {
 					panic(fmt.Sprintf("cluster: connect %d-%d: %v", i, j, err))
 				}
-				c.Devs[i].SetConn(int32(j), c.newConn(epi, c.Devs[i]))
-				c.Devs[j].SetConn(int32(i), c.newConn(epj, c.Devs[j]))
+				c.Devs[i].SetEndpoint(int32(j), c.newEndpoint(epi, c.Devs[i]))
+				c.Devs[j].SetEndpoint(int32(i), c.newEndpoint(epj, c.Devs[j]))
 			}
 		}
 	})
@@ -168,11 +172,43 @@ func New(cfg Config) *Cluster {
 // NodeOf returns the node id hosting a rank.
 func (c *Cluster) NodeOf(rank int) int { return int(c.nodeOf[rank]) }
 
-func (c *Cluster) newConn(ep rdmachan.Endpoint, dev *adi3.Device) ch3.Conn {
+func (c *Cluster) newEndpoint(ep rdmachan.Endpoint, dev *adi3.Device) transport.Endpoint {
 	if c.cfg.Transport == TransportCH3 {
-		return ch3.NewIBConn(ep, dev, c.cfg.CH3Threshold, dev.OnErr())
+		return ch3.NewIBConn(ep, dev.Engine(), c.cfg.CH3Threshold, dev.OnErr())
 	}
-	return ch3.NewOverChannel(ep, dev, dev.OnErr())
+	return ch3.NewOverChannel(ep, dev.Engine(), dev.OnErr())
+}
+
+// RegCacheStats aggregates pin-down cache counters across every
+// connection in the cluster — the rdmachan endpoints' per-side caches and
+// the shared-memory pairs' shared caches, each counted once.
+func (c *Cluster) RegCacheStats() regcache.Stats {
+	var total regcache.Stats
+	seen := make(map[*regcache.Cache]bool)
+	addCache := func(rc *regcache.Cache) {
+		if rc == nil || seen[rc] {
+			return
+		}
+		seen[rc] = true
+		s := rc.Stats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Evictions += s.Evictions
+	}
+	for _, d := range c.Devs {
+		for peer := 0; peer < c.cfg.NP; peer++ {
+			ep := d.Endpoint(int32(peer))
+			switch e := ep.(type) {
+			case *ch3.Conn:
+				if raw, ok := e.Endpoint().(rdmachan.RawAccess); ok {
+					addCache(raw.RegCache())
+				}
+			case *shmchan.Conn:
+				addCache(e.RegCache())
+			}
+		}
+	}
+	return total
 }
 
 // Launch runs body on every rank as a simulated process and returns when

@@ -15,12 +15,12 @@ func TestClusterConstruction(t *testing.T) {
 	for i, d := range c.Devs {
 		for j := 0; j < 4; j++ {
 			if i == j {
-				if d.Conn(int32(j)) != nil {
+				if d.Endpoint(int32(j)) != nil {
 					t.Errorf("rank %d has a self connection", i)
 				}
 				continue
 			}
-			if d.Conn(int32(j)) == nil {
+			if d.Endpoint(int32(j)) == nil {
 				t.Errorf("rank %d missing connection to %d", i, j)
 			}
 		}
@@ -109,7 +109,7 @@ func TestSMPWiring(t *testing.T) {
 			if i == j {
 				continue
 			}
-			conn := c.Devs[i].Conn(int32(j))
+			conn := c.Devs[i].Endpoint(int32(j))
 			if conn == nil {
 				t.Fatalf("rank %d missing connection to %d", i, j)
 			}

@@ -3,9 +3,9 @@ package mpi
 import (
 	"fmt"
 
-	"repro/internal/ch3"
 	"repro/internal/ib"
 	"repro/internal/rdmachan"
+	"repro/internal/transport"
 )
 
 // This file implements the MPI-2 one-sided extension the paper flags as
@@ -40,10 +40,10 @@ type winPeer struct {
 	scrMR   *ib.MR
 }
 
-// rawOf digs the verbs-level access out of a CH3 connection.
-func rawOf(c ch3.Conn) (rdmachan.RawAccess, error) {
+// rawOf digs the verbs-level access out of a transport endpoint.
+func rawOf(ep transport.Endpoint) (rdmachan.RawAccess, error) {
 	type hasEndpoint interface{ Endpoint() rdmachan.Endpoint }
-	he, ok := c.(hasEndpoint)
+	he, ok := ep.(hasEndpoint)
 	if !ok {
 		return nil, fmt.Errorf("mpi: connection exposes no endpoint")
 	}
@@ -66,7 +66,7 @@ func (c *Comm) WinCreate(base Buffer) (*Win, error) {
 		if peer == rank {
 			continue
 		}
-		raw, err := rawOf(c.dev.Conn(int32(peer)))
+		raw, err := rawOf(c.dev.Endpoint(int32(peer)))
 		if err != nil {
 			return nil, err
 		}

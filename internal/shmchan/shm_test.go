@@ -219,9 +219,9 @@ func TestStatsCountPaths(t *testing.T) {
 			comm.Recv(big, 0, 1)
 		}
 	})
-	conn, ok := c.Devs[0].Conn(1).(*shmchan.Conn)
+	conn, ok := c.Devs[0].Endpoint(1).(*shmchan.Conn)
 	if !ok {
-		t.Fatalf("co-located connection is %T, want *shmchan.Conn", c.Devs[0].Conn(1))
+		t.Fatalf("co-located connection is %T, want *shmchan.Conn", c.Devs[0].Endpoint(1))
 	}
 	st := conn.Stats()
 	if st.EagerSends != 1 || st.LargeSends != 1 {
@@ -229,5 +229,129 @@ func TestStatsCountPaths(t *testing.T) {
 	}
 	if st.BytesSent != 64+64<<10 {
 		t.Errorf("BytesSent = %d", st.BytesSent)
+	}
+}
+
+func TestShmRendezvousDelivers(t *testing.T) {
+	// With a rendezvous threshold set, messages at or above it take the
+	// single-copy path: content intact, counted as RndvSends, and the pair's
+	// registration cache sees the pinned buffers (hit on reuse).
+	const th = 32 << 10
+	sizes := []int{th, th + 1, 256 << 10, 1 << 20}
+	for _, size := range sizes {
+		c := shmPair(shmchan.Config{RndvThreshold: th})
+		ok := false
+		c.Launch(func(comm *mpi.Comm) {
+			buf, b := comm.Alloc(size)
+			switch comm.Rank() {
+			case 0:
+				for i := range b {
+					b[i] = byte(i*13 + 1)
+				}
+				comm.Send(buf, 1, 3)
+				comm.Send(buf, 1, 4) // reuse: second rendezvous hits the cache
+			case 1:
+				st := comm.Recv(buf, 0, 3)
+				if st.Source != 0 || st.Tag != 3 || st.Len != size {
+					t.Errorf("size %d: status = %+v", size, st)
+					return
+				}
+				comm.Recv(buf, 0, 4)
+				for i := range b {
+					if b[i] != byte(i*13+1) {
+						t.Errorf("size %d: corrupt at %d", size, i)
+						return
+					}
+				}
+				ok = true
+			}
+		})
+		conn := c.Devs[0].Endpoint(1).(*shmchan.Conn)
+		if st := conn.Stats(); st.RndvSends != 2 || st.LargeSends != 0 {
+			t.Errorf("size %d: stats = %+v, want 2 rendezvous sends", size, st)
+		}
+		if cs := conn.RegCache().Stats(); cs.Hits == 0 || cs.Misses == 0 {
+			t.Errorf("size %d: regcache stats = %+v, want misses then hits on reuse", size, cs)
+		}
+		c.Close()
+		if !ok {
+			t.Fatalf("size %d: receive did not complete", size)
+		}
+	}
+}
+
+func TestShmRendezvousUnexpectedAndWildcard(t *testing.T) {
+	// An RTS landing before the receive posts must wait without moving the
+	// payload, then resolve when a wildcard receive posts — on the right
+	// endpoint, with the right source.
+	const th, size = 16 << 10, 64 << 10
+	c := shmPair(shmchan.Config{RndvThreshold: th})
+	defer c.Close()
+	ok := false
+	c.Launch(func(comm *mpi.Comm) {
+		buf, b := comm.Alloc(size)
+		if comm.Rank() == 0 {
+			for i := range b {
+				b[i] = byte(i ^ 0x5a)
+			}
+			comm.Send(buf, 1, 9)
+			return
+		}
+		comm.Compute(1e6) // let the RTS land unexpectedly
+		st := comm.Recv(buf, mpi.AnySource, mpi.AnyTag)
+		if st.Source != 0 || st.Tag != 9 || st.Len != size {
+			t.Errorf("status = %+v", st)
+			return
+		}
+		for i := range b {
+			if b[i] != byte(i^0x5a) {
+				t.Errorf("corrupt at %d", i)
+				return
+			}
+		}
+		ok = true
+	})
+	if !ok {
+		t.Fatal("receiver did not complete")
+	}
+}
+
+func TestShmRendezvousOrderingWithEager(t *testing.T) {
+	// Rendezvous descriptors ride the same ring as eager cells, so matching
+	// order across the threshold is preserved.
+	const th = 8 << 10
+	sizes := []int{64, 32 << 10, 128, 16 << 10, 0, 64 << 10}
+	c := shmPair(shmchan.Config{RndvThreshold: th})
+	defer c.Close()
+	ok := false
+	c.Launch(func(comm *mpi.Comm) {
+		if comm.Rank() == 0 {
+			for i, size := range sizes {
+				buf, b := comm.Alloc(size + 1)
+				for j := 0; j < size; j++ {
+					b[j] = byte(i + 2*j)
+				}
+				comm.Send(mpi.Slice(buf, 0, size), 1, i)
+			}
+			return
+		}
+		for i, size := range sizes {
+			buf, b := comm.Alloc(size + 1)
+			st := comm.Recv(mpi.Slice(buf, 0, size), 0, mpi.AnyTag)
+			if st.Tag != int32(i) {
+				t.Errorf("message %d arrived with tag %d: order broken", i, st.Tag)
+				return
+			}
+			for j := 0; j < size; j++ {
+				if b[j] != byte(i+2*j) {
+					t.Errorf("message %d corrupt at %d", i, j)
+					return
+				}
+			}
+		}
+		ok = true
+	})
+	if !ok {
+		t.Fatal("receiver did not complete")
 	}
 }

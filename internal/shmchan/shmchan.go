@@ -1,6 +1,6 @@
-// Package shmchan is the intra-node transport: a ch3.Conn implementation
-// over the node's shared memory, for rank pairs that the cluster places on
-// the same SMP node. The paper evaluates one process per node and flags
+// Package shmchan is the intra-node transport: a transport.Endpoint over
+// the node's shared memory, for rank pairs that the cluster places on the
+// same SMP node. The paper evaluates one process per node and flags
 // multi-process SMP nodes as the natural next scenario; this package opens
 // that axis (see DESIGN.md §6).
 //
@@ -14,10 +14,19 @@
 //     out into the matched (or unexpected) buffer, and clears the flag.
 //     "Lock-free" is single-producer/single-consumer: each direction has
 //     exactly one writer and one reader, so head and tail never contend.
-//   - Large path: messages above EagerMax copy through a shared segment in
-//     chunks. A descriptor goes through the ring (preserving FIFO order
+//   - Segment path: messages above EagerMax copy through a shared segment
+//     in chunks. A descriptor goes through the ring (preserving FIFO order
 //     with eager traffic), then the sender streams chunks into segment
 //     slots while the receiver drains them — a two-copy pipeline.
+//   - Rendezvous path (RndvThreshold > 0): messages at or above the
+//     threshold announce an RTS descriptor through the ring and wait for
+//     the progress engine to post the receive; the payload then moves with
+//     a single kernel-assisted copy straight from the sender's user buffer
+//     into the receiver's — one bus crossing instead of the segment path's
+//     two. Both user buffers are pinned through the same pin-down
+//     registration cache the InfiniBand rendezvous uses (§5), so repeated
+//     buffer reuse pays the pinning cost once. This mirrors CMA/LiMIC-style
+//     single-copy large-message transfer in real SMP channels.
 //
 // Every copy crosses the node's memory bus (model.Bus.Memcpy), so
 // co-located ranks — and the HCA DMA of their inter-node traffic — contend
@@ -32,11 +41,13 @@
 package shmchan
 
 import (
-	"repro/internal/ch3"
+	"fmt"
+
 	"repro/internal/des"
 	"repro/internal/ib"
 	"repro/internal/model"
-	"repro/internal/rdmachan"
+	"repro/internal/regcache"
+	"repro/internal/transport"
 )
 
 // Config tunes one intra-node connection. Zero values select defaults.
@@ -55,6 +66,17 @@ type Config struct {
 
 	// SegChunks is the number of segment slots per direction. Default 8.
 	SegChunks int
+
+	// RndvThreshold is the payload size at and above which messages take
+	// the single-copy rendezvous path instead of the two-copy segment.
+	// 0 disables rendezvous (every large message copies through the
+	// segment, the behaviour of the original channel).
+	RndvThreshold int
+
+	// RegCacheBytes bounds the pin-down cache backing the rendezvous path.
+	// Default 64 MB; negative disables caching (every rendezvous pays full
+	// pinning cost).
+	RegCacheBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.SegChunks == 0 {
 		c.SegChunks = 8
 	}
+	if c.RegCacheBytes == 0 {
+		c.RegCacheBytes = 64 << 20
+	}
 	return c
 }
 
@@ -77,17 +102,26 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	EagerSends uint64
 	LargeSends uint64
+	RndvSends  uint64
 	BytesSent  uint64
 }
 
+// Cell kinds carried through the eager ring.
+const (
+	cellEager byte = iota
+	cellLarge      // announces a message streaming through the segment
+	cellRTS        // announces a rendezvous message (payload stays put)
+)
+
 // cell is one eager ring entry: a descriptor plus inline payload storage.
-// large entries carry no payload; they announce a message that follows
-// through the segment slots.
+// Large and RTS entries carry no payload; they announce a message that
+// follows through the segment slots or a rendezvous handshake.
 type cell struct {
-	mem   []byte
-	env   ch3.Envelope
-	large bool
-	full  bool
+	mem  []byte
+	env  transport.Envelope
+	kind byte
+	id   uint64 // rendezvous id (cellRTS only)
+	full bool
 }
 
 // segSlot is one large-path chunk slot.
@@ -154,18 +188,29 @@ func (d *dir) fullSlot() *segSlot {
 
 // sendOp is one queued message operation.
 type sendOp struct {
-	env       ch3.Envelope
-	payload   rdmachan.Buffer
+	env       transport.Envelope
+	payload   transport.Buffer
 	onDone    func(p *des.Proc)
-	announced bool // large: ring descriptor enqueued
+	rndv      bool // announce an RTS instead of moving the payload
+	announced bool // large/rndv: ring descriptor enqueued
 	off       int  // large: payload bytes copied into the segment
 }
 
+// rndvOp is an announced-but-unaccepted rendezvous send, keyed by id in
+// the sender's pending map. The receiving side reads it through the peer
+// pointer — the shared-memory analogue of the RTS carrying the source
+// buffer's address.
+type rndvOp struct {
+	payload transport.Buffer
+	onDone  func(p *des.Proc)
+}
+
 // Conn is one rank's endpoint of an intra-node connection. It implements
-// ch3.Conn; the cluster installs it for same-node rank pairs in place of
-// an InfiniBand-backed connection.
+// transport.Endpoint; the cluster installs it for same-node rank pairs in
+// place of an InfiniBand-backed connection.
 type Conn struct {
-	dev  ch3.Matcher
+	h    transport.Handler
+	peer *Conn
 	hca  *ib.HCA
 	node *model.Node
 	prm  *model.Params
@@ -174,60 +219,130 @@ type Conn struct {
 	out *dir // direction this side produces into
 	in  *dir // direction this side consumes from
 
-	sendq []*sendOp
+	sendq   []*sendOp
+	rndvSeq uint64
+	pending map[uint64]*rndvOp // announced rendezvous sends by id
 
 	// Large-message receive state: the message currently draining from the
 	// segment into its sink.
 	drain  bool
-	rsink  ch3.Sink
+	rsink  transport.Sink
 	rtotal int
 	roff   int
 
+	regc  *regcache.Cache // shared with the peer conn
 	stats Stats
 }
 
 // NewPair wires an intra-node connection between two ranks on the node of
 // h and returns their endpoints (a talks to b). Both ranks must run on
 // that node: the rings live in its memory and every copy crosses its bus.
-func NewPair(h *ib.HCA, cfg Config, a, b ch3.Matcher) (*Conn, *Conn) {
+// The pair shares one pin-down registration cache for the rendezvous path.
+func NewPair(h *ib.HCA, cfg Config, a, b transport.Handler) (*Conn, *Conn) {
 	cfg = cfg.withDefaults()
 	node := h.Node()
 	ab := newDir(node.Mem, cfg)
 	ba := newDir(node.Mem, cfg)
-	mk := func(dev ch3.Matcher, out, in *dir) *Conn {
+	cacheBytes := cfg.RegCacheBytes
+	if cacheBytes < 0 {
+		cacheBytes = 0
+	}
+	regc := regcache.New(h, h.AllocPD(), cacheBytes)
+	mk := func(hd transport.Handler, out, in *dir) *Conn {
 		return &Conn{
-			dev: dev, hca: h, node: node, prm: h.Params(), cfg: cfg,
+			h: hd, hca: h, node: node, prm: h.Params(), cfg: cfg,
 			out: out, in: in,
+			pending: make(map[uint64]*rndvOp),
+			regc:    regc,
 		}
 	}
-	return mk(a, ab, ba), mk(b, ba, ab)
+	ca, cb := mk(a, ab, ba), mk(b, ba, ab)
+	ca.peer, cb.peer = cb, ca
+	return ca, cb
 }
 
 // Stats returns the send-side counters.
 func (c *Conn) Stats() Stats { return c.stats }
 
+// RegCache returns the pair's shared pin-down cache (for statistics).
+func (c *Conn) RegCache() *regcache.Cache { return c.regc }
+
+// RendezvousThreshold implements transport.Endpoint.
+func (c *Conn) RendezvousThreshold() int { return c.cfg.RndvThreshold }
+
 // notify wakes progress loops blocked on the node's memory events — the
 // peer rank, and any other co-located rank that polls the same adapter.
 func (c *Conn) notify() { c.hca.NotifyMemWrite() }
 
-// Send implements ch3.Conn.
-func (c *Conn) Send(p *des.Proc, env ch3.Envelope, payload rdmachan.Buffer, onDone func(p *des.Proc)) {
+// SendEager implements transport.Endpoint. Despite the name, payloads
+// above EagerMax still move — through the chunked segment path — because
+// an over-threshold message only reaches here when rendezvous is disabled.
+func (c *Conn) SendEager(p *des.Proc, env transport.Envelope, payload transport.Buffer,
+	onDone func(p *des.Proc)) {
 	c.sendq = append(c.sendq, &sendOp{env: env, payload: payload, onDone: onDone})
-	c.Progress(p)
+	c.Poll(p)
 }
 
-// RendezvousAccept implements ch3.Conn; the shared-memory channel copies
-// through the segment and never raises RTS upcalls, so this is unreachable.
-func (c *Conn) RendezvousAccept(*des.Proc, uint64, rdmachan.Buffer, func(p *des.Proc)) {
-	panic("shmchan: RendezvousAccept on shared-memory connection")
+// SendRendezvous implements transport.Endpoint: queue an RTS descriptor;
+// the payload stays in the user buffer until the peer accepts.
+func (c *Conn) SendRendezvous(p *des.Proc, env transport.Envelope, payload transport.Buffer,
+	onDone func(p *des.Proc)) {
+	if c.cfg.RndvThreshold == 0 {
+		panic("shmchan: SendRendezvous with rendezvous disabled")
+	}
+	c.sendq = append(c.sendq, &sendOp{env: env, payload: payload, onDone: onDone, rndv: true})
+	c.Poll(p)
 }
 
-// PendingSends implements ch3.Conn.
-func (c *Conn) PendingSends() int { return len(c.sendq) }
+// AcceptRendezvous implements transport.Endpoint: the receive matching an
+// announced RTS is now posted. Pin both user buffers through the shared
+// registration cache and move the payload with one kernel-assisted copy —
+// a single bus crossing, straight into the receiver's buffer.
+func (c *Conn) AcceptRendezvous(p *des.Proc, id uint64, dst transport.Buffer,
+	done func(p *des.Proc)) {
+	rs, ok := c.peer.pending[id]
+	if !ok {
+		panic(fmt.Sprintf("shmchan: accept of unknown rendezvous %d", id))
+	}
+	delete(c.peer.pending, id)
+	n := dst.Len
+	p.Sleep(c.prm.ShmOverhead) // handshake bookkeeping
+	srcMR, _, err := c.regc.Register(p, rs.payload.Addr, n)
+	if err != nil {
+		panic(fmt.Sprintf("shmchan: rendezvous source pin: %v", err))
+	}
+	dstMR, _, err := c.regc.Register(p, dst.Addr, n)
+	if err != nil {
+		panic(fmt.Sprintf("shmchan: rendezvous dest pin: %v", err))
+	}
+	if n > 0 {
+		src := c.node.Mem.MustResolve(rs.payload.Addr, n)
+		out := c.node.Mem.MustResolve(dst.Addr, n)
+		copy(out, src)
+		c.node.Bus.Memcpy(p, n, n)
+	}
+	if err := c.regc.Release(p, srcMR); err != nil {
+		panic(fmt.Sprintf("shmchan: rendezvous source unpin: %v", err))
+	}
+	if err := c.regc.Release(p, dstMR); err != nil {
+		panic(fmt.Sprintf("shmchan: rendezvous dest unpin: %v", err))
+	}
+	c.peer.stats.BytesSent += uint64(n)
+	c.notify() // the sender may be blocked waiting for the FIN
+	if done != nil {
+		done(p)
+	}
+	if rs.onDone != nil {
+		rs.onDone(p)
+	}
+}
 
-// Progress implements ch3.Conn: advance the head send operation and drain
-// arrived messages, reporting whether anything moved.
-func (c *Conn) Progress(p *des.Proc) bool {
+// Pending reports queued-but-incomplete send operations (diagnostics).
+func (c *Conn) Pending() int { return len(c.sendq) + len(c.pending) }
+
+// Poll implements transport.Endpoint: advance the head send operation and
+// drain arrived messages, reporting whether anything moved.
+func (c *Conn) Poll(p *des.Proc) bool {
 	prog := c.progressSend(p)
 	if c.progressRecv(p) {
 		prog = true
@@ -241,6 +356,24 @@ func (c *Conn) progressSend(p *des.Proc) bool {
 	prog := false
 	for len(c.sendq) > 0 {
 		op := c.sendq[0]
+		if op.rndv {
+			// Rendezvous: one RTS descriptor through the ring, then the
+			// operation parks in the pending map until accepted.
+			cl := c.out.freeCell()
+			if cl == nil {
+				break
+			}
+			p.Sleep(c.prm.ShmOverhead)
+			c.rndvSeq++
+			cl.env, cl.kind, cl.id, cl.full = op.env, cellRTS, c.rndvSeq, true
+			c.out.tail++
+			c.pending[c.rndvSeq] = &rndvOp{payload: op.payload, onDone: op.onDone}
+			c.sendq = c.sendq[1:]
+			c.stats.RndvSends++
+			c.notify()
+			prog = true
+			continue
+		}
 		if op.env.Len <= c.cfg.EagerMax {
 			cl := c.out.freeCell()
 			if cl == nil {
@@ -252,7 +385,7 @@ func (c *Conn) progressSend(p *des.Proc) bool {
 				copy(cl.mem, src)
 				c.node.Bus.Memcpy(p, n, n)
 			}
-			cl.env, cl.large, cl.full = op.env, false, true
+			cl.env, cl.kind, cl.full = op.env, cellEager, true
 			c.out.tail++
 			c.notify()
 			c.completeHead(p, op)
@@ -269,7 +402,7 @@ func (c *Conn) progressSend(p *des.Proc) bool {
 				break
 			}
 			p.Sleep(c.prm.ShmOverhead)
-			cl.env, cl.large, cl.full = op.env, true, true
+			cl.env, cl.kind, cl.full = op.env, cellLarge, true
 			c.out.tail++
 			op.announced = true
 			c.notify()
@@ -312,7 +445,9 @@ func (c *Conn) completeHead(p *des.Proc, op *sendOp) {
 }
 
 // progressRecv consumes arrived ring entries in order; a large descriptor
-// switches the connection into draining mode until its last chunk lands.
+// switches the connection into draining mode until its last chunk lands,
+// an RTS descriptor is announced to the progress engine without moving
+// any payload.
 func (c *Conn) progressRecv(p *des.Proc) bool {
 	prog := false
 	for {
@@ -331,7 +466,7 @@ func (c *Conn) progressRecv(p *des.Proc) bool {
 			prog = true
 			if c.roff == c.rtotal {
 				done := c.rsink.Done
-				c.drain, c.rsink, c.rtotal, c.roff = false, ch3.Sink{}, 0, 0
+				c.drain, c.rsink, c.rtotal, c.roff = false, transport.Sink{}, 0, 0
 				if done != nil {
 					done(p)
 				}
@@ -343,10 +478,21 @@ func (c *Conn) progressRecv(p *des.Proc) bool {
 		if cl == nil {
 			return prog
 		}
-		env, large := cl.env, cl.large
+		env, kind, id := cl.env, cl.kind, cl.id
 		p.Sleep(c.prm.ShmOverhead)
-		sink := c.dev.ArriveEager(p, env)
-		if large {
+		if kind == cellRTS {
+			// Free the cell before announcing: the engine may accept the
+			// rendezvous synchronously, and the handshake must not hold the
+			// ring.
+			cl.full = false
+			c.in.head++
+			c.notify()
+			prog = true
+			c.h.ArriveRTS(p, env, c, id)
+			continue
+		}
+		sink := c.h.ArriveEager(p, env)
+		if kind == cellLarge {
 			c.drain, c.rsink, c.rtotal, c.roff = true, sink, env.Len, 0
 		} else if env.Len > 0 {
 			dst := c.node.Mem.MustResolve(sink.Buf.Addr, env.Len)
@@ -357,7 +503,7 @@ func (c *Conn) progressRecv(p *des.Proc) bool {
 		c.in.head++
 		c.notify() // a freed cell may unblock the sender
 		prog = true
-		if !large && sink.Done != nil {
+		if kind == cellEager && sink.Done != nil {
 			sink.Done(p)
 		}
 	}

@@ -1,0 +1,302 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+)
+
+// Wildcards for receive matching.
+const (
+	AnySource int32 = -1
+	AnyTag    int32 = -2
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int32
+	Tag    int32
+	Len    int
+}
+
+// Request is an MPI request handle.
+type Request struct {
+	done   bool
+	status Status
+}
+
+// Done reports completion.
+func (r *Request) Done() bool { return r.done }
+
+// Status returns the receive status (valid once done).
+func (r *Request) Status() Status { return r.status }
+
+// postedRecv is an entry of the posted receive queue.
+type postedRecv struct {
+	src, tag, ctx int32
+	buf           Buffer
+	req           *Request
+}
+
+// uqEntry is an entry of the unexpected queue.
+type uqEntry struct {
+	env Envelope
+
+	// Eager: payload lands (or is landing) in tmp.
+	tmp      Buffer
+	complete bool
+	waiter   *postedRecv // receive matched while payload still arriving
+
+	// Rendezvous: accept when the receive posts — on the endpoint the RTS
+	// arrived on, which with wildcards is the only record of the peer.
+	rndvEP Endpoint
+	rndvID uint64
+	isRndv bool
+}
+
+// Engine is one rank's progress engine: the single posted/unexpected queue
+// pair, the request lifecycle, and the polling loop over every peer
+// endpoint. The ADI3 device owns exactly one.
+type Engine struct {
+	rank int32
+	size int
+	node *model.Node
+	hca  *ib.HCA
+
+	eps []Endpoint // by peer rank; nil for self
+	rr  int        // round-robin polling cursor
+
+	prq []*postedRecv
+	uq  []*uqEntry
+
+	err error
+}
+
+// NewEngine builds the progress engine for rank of size ranks on the given
+// adapter. Endpoints are installed afterwards with SetEndpoint.
+func NewEngine(rank int32, size int, hca *ib.HCA) *Engine {
+	return &Engine{
+		rank: rank,
+		size: size,
+		node: hca.Node(),
+		hca:  hca,
+		eps:  make([]Endpoint, size),
+	}
+}
+
+// SetEndpoint installs the endpoint to a peer rank.
+func (e *Engine) SetEndpoint(peer int32, ep Endpoint) { e.eps[peer] = ep }
+
+// Endpoint returns the endpoint to a peer rank.
+func (e *Engine) Endpoint(peer int32) Endpoint { return e.eps[peer] }
+
+// Fail records a fatal transport error; subsequent calls panic with it (a
+// failed fabric is unrecoverable for MPI-1 semantics). It is the error
+// callback endpoints are constructed with.
+func (e *Engine) Fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *Engine) check() {
+	if e.err != nil {
+		panic(fmt.Sprintf("transport: rank %d: %v", e.rank, e.err))
+	}
+}
+
+// Isend starts a non-blocking send of buf to dest with tag in context ctx.
+// The engine — not the endpoint — picks the protocol: payloads at or above
+// the endpoint's rendezvous threshold are announced, everything else moves
+// eagerly.
+func (e *Engine) Isend(p *des.Proc, dest, tag, ctx int32, buf Buffer) *Request {
+	e.check()
+	if dest == e.rank {
+		panic("transport: self-send not supported; collectives avoid it")
+	}
+	req := &Request{}
+	env := Envelope{Src: e.rank, Tag: tag, Ctx: ctx, Len: buf.Len}
+	ep := e.eps[dest]
+	done := func(*des.Proc) { req.done = true }
+	if th := ep.RendezvousThreshold(); th > 0 && buf.Len >= th {
+		ep.SendRendezvous(p, env, buf, done)
+	} else {
+		ep.SendEager(p, env, buf, done)
+	}
+	return req
+}
+
+// Irecv starts a non-blocking receive into buf from src (or AnySource)
+// with tag (or AnyTag) in context ctx.
+func (e *Engine) Irecv(p *des.Proc, src, tag, ctx int32, buf Buffer) *Request {
+	e.check()
+	req := &Request{}
+	pr := &postedRecv{src: src, tag: tag, ctx: ctx, buf: buf, req: req}
+
+	// Check the unexpected queue first.
+	for i, ue := range e.uq {
+		if !matches(pr, ue.env) {
+			continue
+		}
+		e.uq = append(e.uq[:i], e.uq[i+1:]...)
+		if ue.isRndv {
+			// Answer the rendezvous now; the payload moves straight into
+			// the user buffer (no copy) over the endpoint that announced it.
+			e.checkFit(ue.env, pr)
+			ue.rndvEP.AcceptRendezvous(p, ue.rndvID, Buffer{Addr: buf.Addr, Len: ue.env.Len},
+				func(p *des.Proc) { completeRecv(req, ue.env) })
+			return req
+		}
+		if ue.complete {
+			e.copyUnexpected(p, ue, pr)
+			completeRecv(req, ue.env)
+			return req
+		}
+		// Payload still streaming into the unexpected buffer: hand over.
+		ue.waiter = pr
+		return req
+	}
+	e.prq = append(e.prq, pr)
+	return req
+}
+
+// copyUnexpected moves a buffered unexpected payload to the user buffer,
+// charging the extra copy the eager protocol pays for early senders.
+func (e *Engine) copyUnexpected(p *des.Proc, ue *uqEntry, pr *postedRecv) {
+	n := ue.env.Len
+	if n == 0 {
+		return
+	}
+	e.checkFit(ue.env, pr)
+	src := e.node.Mem.MustResolve(ue.tmp.Addr, n)
+	dst := e.node.Mem.MustResolve(pr.buf.Addr, n)
+	copy(dst, src)
+	e.node.Bus.Memcpy(p, n, n)
+}
+
+// checkFit fails the engine when a message would truncate into its
+// receive buffer.
+func (e *Engine) checkFit(env Envelope, pr *postedRecv) {
+	if env.Len > pr.buf.Len {
+		e.Fail(fmt.Errorf("transport: message of %d bytes truncated into %d-byte receive",
+			env.Len, pr.buf.Len))
+		e.check()
+	}
+}
+
+func completeRecv(req *Request, env Envelope) {
+	req.status = Status{Source: env.Src, Tag: env.Tag, Len: env.Len}
+	req.done = true
+}
+
+func matches(pr *postedRecv, env Envelope) bool {
+	if pr.ctx != env.Ctx {
+		return false
+	}
+	if pr.src != AnySource && pr.src != env.Src {
+		return false
+	}
+	if pr.tag != AnyTag && pr.tag != env.Tag {
+		return false
+	}
+	return true
+}
+
+// ArriveEager implements Handler.
+func (e *Engine) ArriveEager(p *des.Proc, env Envelope) Sink {
+	for i, pr := range e.prq {
+		if !matches(pr, env) {
+			continue
+		}
+		e.prq = append(e.prq[:i], e.prq[i+1:]...)
+		e.checkFit(env, pr)
+		req := pr.req
+		return Sink{
+			Buf:  pr.buf,
+			Done: func(*des.Proc) { completeRecv(req, env) },
+		}
+	}
+	// Unexpected: land in a scratch buffer; a later receive copies it out.
+	ue := &uqEntry{env: env}
+	if env.Len > 0 {
+		va, _ := e.node.Mem.Alloc(env.Len)
+		ue.tmp = Buffer{Addr: va, Len: env.Len}
+	}
+	e.uq = append(e.uq, ue)
+	eng := e
+	return Sink{
+		Buf: ue.tmp,
+		Done: func(p *des.Proc) {
+			ue.complete = true
+			if ue.waiter != nil {
+				eng.copyUnexpected(p, ue, ue.waiter)
+				completeRecv(ue.waiter.req, env)
+			}
+		},
+	}
+}
+
+// ArriveRTS implements Handler: a rendezvous announcement matches a posted
+// receive immediately or waits on the unexpected queue — without moving
+// any payload. The accepting call always goes back to ep, the endpoint the
+// announcement arrived on.
+func (e *Engine) ArriveRTS(p *des.Proc, env Envelope, ep Endpoint, id uint64) {
+	for i, pr := range e.prq {
+		if !matches(pr, env) {
+			continue
+		}
+		e.prq = append(e.prq[:i], e.prq[i+1:]...)
+		e.checkFit(env, pr)
+		req := pr.req
+		ep.AcceptRendezvous(p, id, Buffer{Addr: pr.buf.Addr, Len: env.Len},
+			func(*des.Proc) { completeRecv(req, env) })
+		return
+	}
+	e.uq = append(e.uq, &uqEntry{env: env, isRndv: true, rndvEP: ep, rndvID: id})
+}
+
+// Progress makes one round-robin pass over all endpoints; with block set
+// it sleeps until fabric activity when nothing moved. The rotation cursor
+// advances every pass so no peer is structurally favoured when many
+// endpoints compete. The activity counter is read before the pass so that
+// a delivery racing with the polling of another endpoint cannot be lost.
+func (e *Engine) Progress(p *des.Proc, block bool) bool {
+	e.check()
+	seq := e.hca.MemEventSeq()
+	prog := false
+	n := len(e.eps)
+	start := e.rr
+	e.rr = (e.rr + 1) % n
+	for i := 0; i < n; i++ {
+		ep := e.eps[(start+i)%n]
+		if ep == nil {
+			continue
+		}
+		if ep.Poll(p) {
+			prog = true
+		}
+	}
+	e.check()
+	if !prog && block {
+		e.hca.WaitMemEventSince(p, seq)
+	}
+	return prog
+}
+
+// Wait blocks until the request completes, driving progress.
+func (e *Engine) Wait(p *des.Proc, req *Request) Status {
+	for !req.done {
+		e.Progress(p, true)
+	}
+	e.check()
+	return req.status
+}
+
+// WaitAll blocks until every request completes.
+func (e *Engine) WaitAll(p *des.Proc, reqs ...*Request) {
+	for _, r := range reqs {
+		e.Wait(p, r)
+	}
+}

@@ -1,0 +1,296 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+)
+
+func newEngine(size int) (*Engine, *des.Engine, *model.Node) {
+	eng := des.NewEngine()
+	prm := model.Testbed()
+	fab := ib.NewFabric(eng, prm)
+	node := model.NewNode(0, prm)
+	hca := fab.NewHCA(node)
+	return NewEngine(0, size, hca), eng, node
+}
+
+// fakeEP records sends and rendezvous accepts for engine tests.
+type fakeEP struct {
+	threshold int
+	eager     []Envelope
+	rndv      []Envelope
+	accepted  []uint64
+	dst       Buffer
+	polled    int
+}
+
+func (f *fakeEP) SendEager(p *des.Proc, env Envelope, payload Buffer, onDone func(p *des.Proc)) {
+	f.eager = append(f.eager, env)
+	if onDone != nil {
+		onDone(p)
+	}
+}
+
+func (f *fakeEP) SendRendezvous(p *des.Proc, env Envelope, payload Buffer, onDone func(p *des.Proc)) {
+	f.rndv = append(f.rndv, env)
+	if onDone != nil {
+		onDone(p)
+	}
+}
+
+func (f *fakeEP) AcceptRendezvous(p *des.Proc, id uint64, dst Buffer, done func(p *des.Proc)) {
+	f.accepted = append(f.accepted, id)
+	f.dst = dst
+	if done != nil {
+		done(p)
+	}
+}
+
+func (f *fakeEP) RendezvousThreshold() int { return f.threshold }
+func (f *fakeEP) Poll(*des.Proc) bool      { f.polled++; return false }
+
+func run(eng *des.Engine, body func(p *des.Proc)) {
+	eng.Spawn("t", body)
+	eng.Run()
+}
+
+func TestPostedRecvMatchesInOrder(t *testing.T) {
+	e, eng, node := newEngine(2)
+	run(eng, func(p *des.Proc) {
+		va1, b1 := node.Mem.Alloc(16)
+		va2, b2 := node.Mem.Alloc(16)
+		r1 := e.Irecv(p, 1, 5, 0, Buffer{Addr: va1, Len: 16})
+		r2 := e.Irecv(p, 1, 5, 0, Buffer{Addr: va2, Len: 16})
+
+		// Same envelope twice: must match posted receives in order.
+		env := Envelope{Src: 1, Tag: 5, Ctx: 0, Len: 4}
+		s1 := e.ArriveEager(p, env)
+		if s1.Buf.Addr != va1 {
+			t.Fatalf("first arrival matched %#x, want first posted %#x", s1.Buf.Addr, va1)
+		}
+		copy(node.Mem.MustResolve(s1.Buf.Addr, 4), []byte{1, 2, 3, 4})
+		s1.Done(p)
+		if !r1.Done() || r2.Done() {
+			t.Fatal("completion order wrong")
+		}
+		s2 := e.ArriveEager(p, env)
+		if s2.Buf.Addr != va2 {
+			t.Fatalf("second arrival matched %#x, want %#x", s2.Buf.Addr, va2)
+		}
+		s2.Done(p)
+		if !r2.Done() {
+			t.Fatal("second receive incomplete")
+		}
+		if b1[0] != 1 || b2[0] != 0 {
+			t.Fatal("payload placement wrong")
+		}
+		if st := r1.Status(); st.Source != 1 || st.Tag != 5 || st.Len != 4 {
+			t.Fatalf("status = %+v", st)
+		}
+	})
+}
+
+func TestWildcardMatching(t *testing.T) {
+	e, eng, node := newEngine(2)
+	run(eng, func(p *des.Proc) {
+		va, _ := node.Mem.Alloc(16)
+		req := e.Irecv(p, AnySource, AnyTag, 0, Buffer{Addr: va, Len: 16})
+		sink := e.ArriveEager(p, Envelope{Src: 1, Tag: 77, Ctx: 0, Len: 0})
+		sink.Done(p)
+		if !req.Done() {
+			t.Fatal("wildcard receive did not complete")
+		}
+		if st := req.Status(); st.Source != 1 || st.Tag != 77 {
+			t.Fatalf("status = %+v", st)
+		}
+	})
+}
+
+func TestContextSeparation(t *testing.T) {
+	e, eng, node := newEngine(2)
+	run(eng, func(p *des.Proc) {
+		va, _ := node.Mem.Alloc(16)
+		req := e.Irecv(p, 1, 5, 0, Buffer{Addr: va, Len: 16})
+		// Same src/tag, different context: must go unexpected, not match.
+		sink := e.ArriveEager(p, Envelope{Src: 1, Tag: 5, Ctx: 1, Len: 0})
+		sink.Done(p)
+		if req.Done() {
+			t.Fatal("cross-context match")
+		}
+	})
+}
+
+func TestUnexpectedThenRecvCopies(t *testing.T) {
+	e, eng, node := newEngine(2)
+	run(eng, func(p *des.Proc) {
+		env := Envelope{Src: 1, Tag: 9, Ctx: 0, Len: 8}
+		sink := e.ArriveEager(p, env)
+		copy(node.Mem.MustResolve(sink.Buf.Addr, 8), []byte("abcdefgh"))
+		sink.Done(p)
+
+		va, b := node.Mem.Alloc(8)
+		req := e.Irecv(p, 1, 9, 0, Buffer{Addr: va, Len: 8})
+		if !req.Done() {
+			t.Fatal("unexpected message should complete the receive at post")
+		}
+		if string(b) != "abcdefgh" {
+			t.Fatalf("copied %q", b)
+		}
+	})
+}
+
+func TestUnexpectedStreamingHandover(t *testing.T) {
+	// Receive posted while the unexpected payload is still arriving: the
+	// completion copies it out when the stream finishes.
+	e, eng, node := newEngine(2)
+	run(eng, func(p *des.Proc) {
+		env := Envelope{Src: 1, Tag: 2, Ctx: 0, Len: 4}
+		sink := e.ArriveEager(p, env) // payload not complete yet
+
+		va, b := node.Mem.Alloc(4)
+		req := e.Irecv(p, 1, 2, 0, Buffer{Addr: va, Len: 4})
+		if req.Done() {
+			t.Fatal("receive completed before payload arrived")
+		}
+		copy(node.Mem.MustResolve(sink.Buf.Addr, 4), []byte{9, 8, 7, 6})
+		sink.Done(p)
+		if !req.Done() || b[0] != 9 {
+			t.Fatal("handover did not deliver the payload")
+		}
+	})
+}
+
+func TestRendezvousDeferredUntilPosted(t *testing.T) {
+	e, eng, node := newEngine(2)
+	run(eng, func(p *des.Proc) {
+		ep := &fakeEP{}
+		e.ArriveRTS(p, Envelope{Src: 1, Tag: 3, Ctx: 0, Len: 1000}, ep, 42)
+		if len(ep.accepted) != 0 {
+			t.Fatal("RTS accepted before a receive was posted")
+		}
+		va, _ := node.Mem.Alloc(1000)
+		req := e.Irecv(p, 1, 3, 0, Buffer{Addr: va, Len: 1000})
+		if len(ep.accepted) != 1 || ep.accepted[0] != 42 {
+			t.Fatalf("accepted = %v", ep.accepted)
+		}
+		if ep.dst.Addr != va || ep.dst.Len != 1000 {
+			t.Fatalf("rendezvous destination = %+v", ep.dst)
+		}
+		if !req.Done() {
+			t.Fatal("receive should complete via the accept callback")
+		}
+	})
+}
+
+func TestRendezvousMatchesPostedImmediately(t *testing.T) {
+	e, eng, node := newEngine(2)
+	run(eng, func(p *des.Proc) {
+		va, _ := node.Mem.Alloc(500)
+		e.Irecv(p, 1, 4, 0, Buffer{Addr: va, Len: 500})
+		ep := &fakeEP{}
+		e.ArriveRTS(p, Envelope{Src: 1, Tag: 4, Ctx: 0, Len: 500}, ep, 7)
+		if len(ep.accepted) != 1 {
+			t.Fatal("posted receive should accept the RTS immediately")
+		}
+	})
+}
+
+func TestWildcardRendezvousResolvesArrivalEndpoint(t *testing.T) {
+	// Regression: a rendezvous matched through AnySource/AnyTag must be
+	// accepted on the endpoint the RTS arrived on. An engine that resolves
+	// the endpoint from the posted source rank instead would answer the
+	// wrong peer (or none at all, the posted source being -1).
+	e, eng, node := newEngine(3)
+	ep1, ep2 := &fakeEP{}, &fakeEP{}
+	e.SetEndpoint(1, ep1)
+	e.SetEndpoint(2, ep2)
+
+	run(eng, func(p *des.Proc) {
+		// RTS queued unexpectedly from rank 2, then a wildcard receive.
+		e.ArriveRTS(p, Envelope{Src: 2, Tag: 6, Ctx: 0, Len: 4096}, ep2, 11)
+		va, _ := node.Mem.Alloc(4096)
+		req := e.Irecv(p, AnySource, AnyTag, 0, Buffer{Addr: va, Len: 4096})
+		if len(ep1.accepted) != 0 {
+			t.Fatal("rendezvous answered on the wrong peer's endpoint")
+		}
+		if len(ep2.accepted) != 1 || ep2.accepted[0] != 11 {
+			t.Fatalf("arrival endpoint accepts = %v, want [11]", ep2.accepted)
+		}
+		if st := req.Status(); st.Source != 2 || st.Tag != 6 || st.Len != 4096 {
+			t.Fatalf("status = %+v", st)
+		}
+
+		// Posted wildcard first, RTS second: same invariant.
+		vb, _ := node.Mem.Alloc(4096)
+		req2 := e.Irecv(p, AnySource, 8, 0, Buffer{Addr: vb, Len: 4096})
+		e.ArriveRTS(p, Envelope{Src: 2, Tag: 8, Ctx: 0, Len: 4096}, ep2, 12)
+		if len(ep2.accepted) != 2 || ep2.accepted[1] != 12 {
+			t.Fatalf("arrival endpoint accepts = %v, want [11 12]", ep2.accepted)
+		}
+		if !req2.Done() || req2.Status().Source != 2 {
+			t.Fatalf("wildcard rendezvous receive incomplete or missourced: %+v", req2.Status())
+		}
+	})
+}
+
+func TestIsendPicksProtocolByThreshold(t *testing.T) {
+	e, eng, node := newEngine(2)
+	ep := &fakeEP{threshold: 1 << 10}
+	e.SetEndpoint(1, ep)
+	run(eng, func(p *des.Proc) {
+		va, _ := node.Mem.Alloc(2 << 10)
+		e.Isend(p, 1, 0, 0, Buffer{Addr: va, Len: 64})
+		e.Isend(p, 1, 1, 0, Buffer{Addr: va, Len: 1 << 10}) // at threshold: rendezvous
+		e.Isend(p, 1, 2, 0, Buffer{Addr: va, Len: 2 << 10})
+		if len(ep.eager) != 1 || ep.eager[0].Tag != 0 {
+			t.Fatalf("eager sends = %+v", ep.eager)
+		}
+		if len(ep.rndv) != 2 || ep.rndv[0].Tag != 1 || ep.rndv[1].Tag != 2 {
+			t.Fatalf("rendezvous sends = %+v", ep.rndv)
+		}
+
+		// Threshold 0: everything is the endpoint's own business.
+		ep0 := &fakeEP{}
+		e.SetEndpoint(1, ep0)
+		e.Isend(p, 1, 3, 0, Buffer{Addr: va, Len: 2 << 10})
+		if len(ep0.eager) != 1 || len(ep0.rndv) != 0 {
+			t.Fatalf("threshold-0 endpoint saw eager=%d rndv=%d, want 1/0",
+				len(ep0.eager), len(ep0.rndv))
+		}
+	})
+}
+
+func TestProgressRoundRobinPollsEveryEndpoint(t *testing.T) {
+	e, eng, _ := newEngine(4)
+	eps := []*fakeEP{{}, {}, {}}
+	for i, ep := range eps {
+		e.SetEndpoint(int32(i+1), ep)
+	}
+	run(eng, func(p *des.Proc) {
+		for pass := 0; pass < 5; pass++ {
+			e.Progress(p, false)
+		}
+		for i, ep := range eps {
+			if ep.polled != 5 {
+				t.Errorf("endpoint %d polled %d times, want 5", i+1, ep.polled)
+			}
+		}
+	})
+}
+
+func TestTruncationIsFatal(t *testing.T) {
+	e, eng, node := newEngine(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("truncated receive should be fatal")
+		}
+	}()
+	run(eng, func(p *des.Proc) {
+		va, _ := node.Mem.Alloc(4)
+		e.Irecv(p, 1, 5, 0, Buffer{Addr: va, Len: 4})
+		e.ArriveEager(p, Envelope{Src: 1, Tag: 5, Ctx: 0, Len: 100})
+	})
+}

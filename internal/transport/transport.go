@@ -1,0 +1,95 @@
+// Package transport is the unified transport abstraction of the MPI stack
+// (DESIGN.md, "Layering"). It defines the one Endpoint interface every
+// transport implements — the four RDMA Channel designs framed by the CH3
+// packet engine (internal/ch3), the direct CH3 InfiniBand design with its
+// RDMA-write rendezvous (also internal/ch3), and the intra-node
+// shared-memory channel (internal/shmchan) — plus the per-process progress
+// Engine that owns the posted/unexpected queues, request lifecycle and
+// round-robin polling on top of them.
+//
+// The split mirrors the MPICH2 layering argument of the paper (§3): the
+// device above sees messages and matching; the endpoint below sees only
+// how bytes move. An endpoint carries three responsibilities:
+//
+//   - Eager sends: the payload moves immediately, landing in a matched or
+//     unexpected buffer chosen by the engine's upcall (ArriveEager).
+//   - Rendezvous: SendRendezvous announces the message (RTS); the engine
+//     answers with AcceptRendezvous once a receive is posted (CTS), and the
+//     transport moves the payload straight into the user buffer (FIN).
+//     Transports that handle large messages below the pipe abstraction —
+//     the RDMA Channel designs — report RendezvousThreshold 0 and never
+//     see these calls.
+//   - Completion polling: Poll advances the endpoint's state machines one
+//     pass, delivering arrivals to the engine.
+//
+// Exactly one matching loop exists in the whole stack: the Engine's. The
+// per-connection matching that PR 1 duplicated across OverChannel, IBConn
+// and the ADI3 device is gone.
+package transport
+
+import (
+	"repro/internal/des"
+	"repro/internal/rdmachan"
+)
+
+// Buffer names a span of a node's simulated address space (the channel
+// layer's descriptor, reused unchanged up the stack).
+type Buffer = rdmachan.Buffer
+
+// Envelope is the MPI matching tuple plus payload size.
+type Envelope struct {
+	Src int32 // sending rank
+	Tag int32
+	Ctx int32 // communicator context id
+	Len int   // payload bytes
+}
+
+// Sink tells an endpoint where an incoming eager payload lands and what to
+// call when it has fully arrived.
+type Sink struct {
+	Buf  Buffer
+	Done func(p *des.Proc)
+}
+
+// Handler is the engine-side logic an endpoint delivers arrivals to.
+type Handler interface {
+	// ArriveEager resolves the destination for an eager payload: a matched
+	// user buffer or a freshly allocated unexpected buffer.
+	ArriveEager(p *des.Proc, env Envelope) Sink
+
+	// ArriveRTS announces a rendezvous send. ep is the endpoint the RTS
+	// arrived on; the handler must answer on that same endpoint — with a
+	// wildcard receive the matching engine cannot reconstruct it from the
+	// posted source rank. If a matching receive is posted the handler calls
+	// ep.AcceptRendezvous immediately; otherwise it records the
+	// announcement and accepts later.
+	ArriveRTS(p *des.Proc, env Envelope, ep Endpoint, id uint64)
+}
+
+// Endpoint is one rank's connection to one peer, behind any transport.
+type Endpoint interface {
+	// SendEager moves one message eagerly; onDone runs when the local send
+	// buffer is reusable.
+	SendEager(p *des.Proc, env Envelope, payload Buffer, onDone func(p *des.Proc))
+
+	// SendRendezvous announces one large message (RTS). The payload moves
+	// only after the peer's engine calls AcceptRendezvous; onDone runs when
+	// the local buffer is reusable. Only called for payloads at or above
+	// RendezvousThreshold.
+	SendRendezvous(p *des.Proc, env Envelope, payload Buffer, onDone func(p *des.Proc))
+
+	// AcceptRendezvous answers a previously announced RTS (by its id): dst
+	// is the now-posted receive buffer; done runs when the payload has
+	// fully arrived in it.
+	AcceptRendezvous(p *des.Proc, id uint64, dst Buffer, done func(p *des.Proc))
+
+	// RendezvousThreshold is the payload size at and above which the engine
+	// must use SendRendezvous. Zero means the transport never takes
+	// engine-level rendezvous (large messages are the endpoint's own
+	// business, as in the RDMA Channel designs' hidden zero-copy path).
+	RendezvousThreshold() int
+
+	// Poll advances the endpoint's send and receive state machines one
+	// pass, reporting whether anything moved.
+	Poll(p *des.Proc) bool
+}
