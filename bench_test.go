@@ -303,6 +303,35 @@ func BenchmarkAblationHierCollectives(b *testing.B) {
 	reportSeries(b, f)
 }
 
+// BenchmarkAblationCollAlg sweeps every registered collective algorithm
+// per message size on the 4-node × 4-core layout — the data behind the
+// per-communicator tuning table (internal/mpi/algorithms.go).
+func BenchmarkAblationCollAlg(b *testing.B) {
+	var f bench.Figure
+	for i := 0; i < b.N; i++ {
+		f = bench.AblationCollAlg()
+	}
+	reportSeries(b, f)
+}
+
+// BenchmarkNASCG runs the CG kernel (class S) over the basic, zero-copy
+// and CH3 transports: the sub-communicator code path — Comm_split row and
+// transpose-pair communicators — in CI-smoke form, checksum-verified.
+func BenchmarkNASCG(b *testing.B) {
+	transports := []cluster.Transport{
+		cluster.TransportBasic, cluster.TransportZeroCopy, cluster.TransportCH3,
+	}
+	for i := 0; i < b.N; i++ {
+		for _, tr := range transports {
+			res := nas.Run("cg", nas.ClassS, cluster.Config{NP: 4, Transport: tr})
+			if !res.Verified {
+				b.Fatalf("cg.S on %v failed checksum verification", tr)
+			}
+			b.ReportMetric(res.Time, tr.String()+"-s")
+		}
+	}
+}
+
 // BenchmarkNASSMPSweep runs NAS class A at 8 ranks across 1-, 2-, 4- and
 // 8-core-per-node layouts (DESIGN.md §6).
 func BenchmarkNASSMPSweep(b *testing.B) {

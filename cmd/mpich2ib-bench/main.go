@@ -10,31 +10,82 @@
 //	mpich2ib-bench -list                       # available figure ids
 //	mpich2ib-bench -transport shm,ib           # latency+bandwidth matrix
 //	mpich2ib-bench -transport shm,ib -sizes 4K,64K
+//	mpich2ib-bench -coll bcast,reduce -np 16 -ppn 4     # algorithm sweep
+//	mpich2ib-bench -coll bcast -coll-alg bcast=binomial # one algorithm
 //
 // The -transport flag sweeps any subset of the unified stack's transports
 // (basic, piggyback, pipeline, zerocopy/ib, ch3, shm, shm-rndv) on the
 // same latency and bandwidth microbenchmarks, one series per transport —
 // every transport sits behind the same progress engine, so the figures
 // are directly comparable.
+//
+// The -coll flag sweeps the collective algorithm registry
+// (internal/mpi/algorithms.go): every registered algorithm of the listed
+// collectives on one np × ppn layout, one series per algorithm. -coll-alg
+// restricts a collective to one forced algorithm (the same override
+// cluster.Config.Tuning threads into any run).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/mpi"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure id (fig4..fig15, fig3-lat, fig3-bw, baseline, headline, all, ablations)")
 	list := flag.Bool("list", false, "list available figures")
 	transport := flag.String("transport", "", "comma-separated transport matrix sweep (e.g. shm,ib); overrides -fig")
-	sizes := flag.String("sizes", "4,1K,4K,64K,256K,1M", "message sizes for -transport sweeps (K/M suffixes)")
+	sizes := flag.String("sizes", "4,1K,4K,64K,256K,1M", "message sizes for -transport and -coll sweeps (K/M suffixes)")
+	coll := flag.String("coll", "", "collective algorithm sweep: comma list of "+strings.Join(mpi.Collectives(), ", ")+"; overrides -fig")
+	collAlg := flag.String("coll-alg", "", "force collective algorithms for -coll sweeps, e.g. bcast=hier-leader,reduce=binomial")
+	np := flag.Int("np", 16, "ranks for -coll sweeps")
+	ppn := flag.Int("ppn", 4, "ranks per node for -coll sweeps")
+	iters := flag.Int("iters", 10, "measured calls per point for -coll sweeps")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("baseline headline fig3-lat fig3-bw fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 ablations all")
+		fmt.Println("collective algorithms:", strings.Join(mpi.Algorithms(), " "))
+		return
+	}
+
+	if *coll != "" {
+		tun, err := mpi.ParseTuning(*collAlg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sz, err := bench.ParseSizes(*sizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		known := map[string]bool{}
+		for _, c := range mpi.Collectives() {
+			known[c] = true
+		}
+		for _, name := range strings.Split(*coll, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "mpich2ib-bench: unknown collective %q (have %s)\n",
+					name, strings.Join(mpi.Collectives(), ", "))
+				os.Exit(1)
+			}
+			f, err := bench.CollAlgSweep(name, *np, *ppn, sz, *iters, tun)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(bench.FormatFigure(f))
+		}
 		return
 	}
 

@@ -166,5 +166,6 @@ func Ablations() []Figure {
 		AblationRingSize(),
 		AblationShmRndv(),
 		AblationHierCollectives(),
+		AblationCollAlg(),
 	}
 }

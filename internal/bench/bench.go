@@ -71,6 +71,7 @@ type Options struct {
 	Chan         rdmachan.Config
 	Shm          shmchan.Config
 	CH3Threshold int
+	Tuning       *mpi.Tuning // collective algorithm overrides (nil = default table)
 	Params       *model.Params
 
 	// Observe, when set, runs against each measurement cluster after its
@@ -87,6 +88,7 @@ func (o Options) cluster(np int) *cluster.Cluster {
 		Chan:         o.Chan,
 		Shm:          o.Shm,
 		CH3Threshold: o.CH3Threshold,
+		Tuning:       o.Tuning,
 		Params:       o.Params,
 	})
 }
@@ -326,12 +328,20 @@ func maxInt(a, b int) int {
 
 // FormatFigure renders a figure as an aligned text table, one row per
 // message size, one column per series — the rows behind the paper's plot.
+// Columns widen to the longest series name (registry series like
+// "barrier/dissemination" overflow the historical 16 characters).
 func FormatFigure(f Figure) string {
+	w := 16
+	for _, s := range f.Series {
+		if len(s.Name)+2 > w {
+			w = len(s.Name) + 2
+		}
+	}
 	out := fmt.Sprintf("%s: %s\n", f.ID, f.Title)
 	out += fmt.Sprintf("  (%s vs %s)\n", f.YLabel, f.XLabel)
 	header := fmt.Sprintf("  %-10s", "size")
 	for _, s := range f.Series {
-		header += fmt.Sprintf("%16s", s.Name)
+		header += fmt.Sprintf("%*s", w, s.Name)
 	}
 	out += header + "\n"
 	rows := 0
@@ -346,9 +356,9 @@ func FormatFigure(f Figure) string {
 		row := fmt.Sprintf("  %-10s", fmtSize(f.Series[longest].Points[i].Size))
 		for _, s := range f.Series {
 			if i < len(s.Points) {
-				row += fmt.Sprintf("%16.1f", s.Points[i].Value)
+				row += fmt.Sprintf("%*.1f", w, s.Points[i].Value)
 			} else {
-				row += fmt.Sprintf("%16s", "-")
+				row += fmt.Sprintf("%*s", w, "-")
 			}
 		}
 		out += row + "\n"

@@ -78,6 +78,11 @@ type Config struct {
 	// CH3Threshold overrides the direct design's rendezvous threshold.
 	CH3Threshold int
 
+	// Tuning overrides collective algorithm selection for every
+	// communicator of every launched job (nil = the default
+	// topology/size table; see mpi.Tuning).
+	Tuning *mpi.Tuning
+
 	// Params overrides the testbed cost model (nil = calibrated defaults).
 	Params *model.Params
 }
@@ -217,7 +222,7 @@ func (c *Cluster) Launch(body func(comm *mpi.Comm)) {
 	for i := 0; i < c.cfg.NP; i++ {
 		dev := c.Devs[i]
 		c.Eng.Spawn(fmt.Sprintf("rank%d", i), func(p *des.Proc) {
-			body(mpi.New(p, dev))
+			body(mpi.NewWithTuning(p, dev, c.cfg.Tuning))
 		})
 	}
 	c.Eng.Run()

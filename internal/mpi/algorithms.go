@@ -1,0 +1,345 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Pluggable collective algorithms. Every collective is a named algorithm
+// in a registry; each call selects one through the communicator's tuning
+// table, keyed by the communicator's topology and the message size. The
+// default table reproduces the dispatch the SMP ablations measured —
+// hierarchical algorithms on multi-rank-per-node layouts, flat otherwise,
+// with Reduce going hierarchical only at and above the measured 4 KB
+// crossover — so default-tuned runs are bit-identical to the hardwired
+// dispatch this registry replaced. A Tuning override (threaded through
+// cluster.Config and `mpich2ib-bench -coll-alg`) forces an algorithm by
+// name; a forced algorithm that is inapplicable on the communicator's
+// topology (e.g. hier on one rank per node) falls back to the flat
+// default so forced runs stay correct on every layout.
+
+// Algorithm function shapes, one per collective.
+type (
+	bcastFn     func(c *Comm, buf Buffer, root int)
+	reduceFn    func(c *Comm, send, recv Buffer, dt Datatype, op Op, root int)
+	allgatherFn func(c *Comm, send, recv Buffer)
+	barrierFn   func(c *Comm)
+)
+
+// applicable predicates: whether an algorithm can run on this
+// communicator's topology at all.
+func alwaysOK(*Comm) bool { return true }
+func smpOK(c *Comm) bool  { return c.t.multi }
+func hierAllgatherOK(c *Comm) bool {
+	// The hierarchical path places node blocks contiguously, so it needs
+	// block-contiguous rank placement within the communicator.
+	return c.t.multi && c.t.contiguous
+}
+
+type bcastEntry struct {
+	run bcastFn
+	ok  func(*Comm) bool
+}
+type reduceEntry struct {
+	run reduceFn
+	ok  func(*Comm) bool
+}
+type allgatherEntry struct {
+	run allgatherFn
+	ok  func(*Comm) bool
+}
+type barrierEntry struct {
+	run barrierFn
+	ok  func(*Comm) bool
+}
+
+// The registries. Flat algorithms are the topology-oblivious defaults;
+// hierarchical ones split the collective into a leader level (one rank
+// per node, over the network) and a node level (over shared memory).
+var (
+	bcastAlgs = map[string]bcastEntry{
+		"binomial":    {run: (*Comm).FlatBcast, ok: alwaysOK},
+		"hier-leader": {run: (*Comm).hierBcast, ok: smpOK},
+	}
+	reduceAlgs = map[string]reduceEntry{
+		"binomial": {run: (*Comm).FlatReduce, ok: alwaysOK},
+		"hier":     {run: (*Comm).HierReduce, ok: smpOK},
+	}
+	allgatherAlgs = map[string]allgatherEntry{
+		"ring": {run: (*Comm).FlatAllgather, ok: alwaysOK},
+		"hier": {run: (*Comm).hierAllgather, ok: hierAllgatherOK},
+	}
+	barrierAlgs = map[string]barrierEntry{
+		"dissemination": {run: (*Comm).FlatBarrier, ok: alwaysOK},
+		"hier":          {run: (*Comm).hierBarrier, ok: smpOK},
+	}
+)
+
+// Flat algorithm names, the fallbacks when a forced algorithm is
+// inapplicable on a communicator's topology.
+const (
+	flatBcast     = "binomial"
+	flatReduce    = "binomial"
+	flatAllgather = "ring"
+	flatBarrier   = "dissemination"
+)
+
+// Collectives lists the collectives with registered algorithms.
+func Collectives() []string { return []string{"allgather", "barrier", "bcast", "reduce"} }
+
+// AlgorithmNames lists the registered algorithms of one collective,
+// sorted. It panics on an unknown collective.
+func AlgorithmNames(coll string) []string {
+	var names []string
+	switch coll {
+	case "bcast":
+		for n := range bcastAlgs {
+			names = append(names, n)
+		}
+	case "reduce":
+		for n := range reduceAlgs {
+			names = append(names, n)
+		}
+	case "allgather":
+		for n := range allgatherAlgs {
+			names = append(names, n)
+		}
+	case "barrier":
+		for n := range barrierAlgs {
+			names = append(names, n)
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown collective %q (have %s)",
+			coll, strings.Join(Collectives(), ", ")))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Algorithms lists every registered algorithm as "collective/name".
+func Algorithms() []string {
+	var out []string
+	for _, coll := range Collectives() {
+		for _, n := range AlgorithmNames(coll) {
+			out = append(out, coll+"/"+n)
+		}
+	}
+	return out
+}
+
+// Tuning is a communicator's collective algorithm selection. Empty fields
+// use the default topology/size table; a named algorithm forces that
+// choice for every call (falling back to the flat default where the
+// algorithm is inapplicable on the communicator's topology). Derived
+// communicators inherit their parent's tuning.
+type Tuning struct {
+	Bcast     string // "" | "binomial" | "hier-leader"
+	Reduce    string // "" | "binomial" | "hier"
+	Allgather string // "" | "ring" | "hier"
+	Barrier   string // "" | "dissemination" | "hier"
+
+	// ReduceHierCutoff is the message size in bytes at and above which the
+	// default table picks reduce/hier on SMP layouts; below it the flat
+	// binomial wins because its subtrees combine in parallel while the
+	// hierarchy serializes the intra-node stage. 0 means the measured
+	// default (hierReduceCutoff, DESIGN.md §6).
+	ReduceHierCutoff int
+}
+
+// DefaultTuning is the table that reproduces the measured dispatch.
+func DefaultTuning() Tuning { return Tuning{ReduceHierCutoff: hierReduceCutoff} }
+
+// Forced returns the algorithm forced for one collective ("" = the
+// table). It panics on an unknown collective.
+func (t Tuning) Forced(coll string) string {
+	switch coll {
+	case "bcast":
+		return t.Bcast
+	case "reduce":
+		return t.Reduce
+	case "allgather":
+		return t.Allgather
+	case "barrier":
+		return t.Barrier
+	}
+	panic(fmt.Sprintf("mpi: unknown collective %q (have %s)",
+		coll, strings.Join(Collectives(), ", ")))
+}
+
+// Force pins one collective to a named algorithm. It panics on an
+// unknown collective.
+func (t *Tuning) Force(coll, alg string) {
+	switch coll {
+	case "bcast":
+		t.Bcast = alg
+	case "reduce":
+		t.Reduce = alg
+	case "allgather":
+		t.Allgather = alg
+	case "barrier":
+		t.Barrier = alg
+	default:
+		panic(fmt.Sprintf("mpi: unknown collective %q (have %s)",
+			coll, strings.Join(Collectives(), ", ")))
+	}
+}
+
+// withDefaults fills zero fields and validates forced algorithm names.
+func (t Tuning) withDefaults() Tuning {
+	if t.ReduceHierCutoff == 0 {
+		t.ReduceHierCutoff = hierReduceCutoff
+	}
+	check := func(coll, name string) {
+		if name == "" {
+			return
+		}
+		for _, n := range AlgorithmNames(coll) {
+			if n == name {
+				return
+			}
+		}
+		panic(fmt.Sprintf("mpi: unknown %s algorithm %q (have %s)",
+			coll, name, strings.Join(AlgorithmNames(coll), ", ")))
+	}
+	check("bcast", t.Bcast)
+	check("reduce", t.Reduce)
+	check("allgather", t.Allgather)
+	check("barrier", t.Barrier)
+	return t
+}
+
+// ParseTuning builds a Tuning from a comma-separated override list, e.g.
+// "bcast=hier-leader,reduce=binomial,reduce-cutoff=8192". Keys are the
+// collective names plus "reduce-cutoff" (bytes).
+func ParseTuning(s string) (Tuning, error) {
+	t := DefaultTuning()
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return t, fmt.Errorf("mpi: tuning %q is not key=value", tok)
+		}
+		if k == "reduce-cutoff" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return t, fmt.Errorf("mpi: bad reduce-cutoff %q", v)
+			}
+			t.ReduceHierCutoff = n
+			continue
+		}
+		valid := false
+		switch k {
+		case "bcast":
+			_, valid = bcastAlgs[v]
+			t.Bcast = v
+		case "reduce":
+			_, valid = reduceAlgs[v]
+			t.Reduce = v
+		case "allgather":
+			_, valid = allgatherAlgs[v]
+			t.Allgather = v
+		case "barrier":
+			_, valid = barrierAlgs[v]
+			t.Barrier = v
+		default:
+			return t, fmt.Errorf("mpi: unknown collective %q (have %s)",
+				k, strings.Join(Collectives(), ", "))
+		}
+		if !valid {
+			return t, fmt.Errorf("mpi: unknown %s algorithm %q (have %s)",
+				k, v, strings.Join(AlgorithmNames(k), ", "))
+		}
+	}
+	return t, nil
+}
+
+// AlgorithmApplicable reports whether a named algorithm can run on this
+// communicator's topology (the registry's applicability predicate). It
+// panics on an unknown collective or algorithm.
+func (c *Comm) AlgorithmApplicable(coll, alg string) bool {
+	var ok func(*Comm) bool
+	var found bool
+	switch coll {
+	case "bcast":
+		var e bcastEntry
+		e, found = bcastAlgs[alg]
+		ok = e.ok
+	case "reduce":
+		var e reduceEntry
+		e, found = reduceAlgs[alg]
+		ok = e.ok
+	case "allgather":
+		var e allgatherEntry
+		e, found = allgatherAlgs[alg]
+		ok = e.ok
+	case "barrier":
+		var e barrierEntry
+		e, found = barrierAlgs[alg]
+		ok = e.ok
+	default:
+		panic(fmt.Sprintf("mpi: unknown collective %q (have %s)",
+			coll, strings.Join(Collectives(), ", ")))
+	}
+	if !found {
+		panic(fmt.Sprintf("mpi: unknown %s algorithm %q (have %s)",
+			coll, alg, strings.Join(AlgorithmNames(coll), ", ")))
+	}
+	return ok(c)
+}
+
+// --- per-call selection ---
+// Each pick resolves a preferred name — the forced one, or the table's
+// choice — and gates it on the registry entry's own applicability
+// predicate, falling back to the flat default; the predicates live only
+// in the registry.
+
+func (c *Comm) pickBcast() bcastFn {
+	name := c.tuning.Bcast
+	if name == "" {
+		name = "hier-leader"
+	}
+	if e := bcastAlgs[name]; e.ok(c) {
+		return e.run
+	}
+	return bcastAlgs[flatBcast].run
+}
+
+func (c *Comm) pickReduce(n int) reduceFn {
+	name := c.tuning.Reduce
+	if name == "" && n >= c.tuning.ReduceHierCutoff {
+		name = "hier"
+	}
+	if name != "" {
+		if e := reduceAlgs[name]; e.ok(c) {
+			return e.run
+		}
+	}
+	return reduceAlgs[flatReduce].run
+}
+
+func (c *Comm) pickAllgather() allgatherFn {
+	name := c.tuning.Allgather
+	if name == "" {
+		name = "hier"
+	}
+	if e := allgatherAlgs[name]; e.ok(c) {
+		return e.run
+	}
+	return allgatherAlgs[flatAllgather].run
+}
+
+func (c *Comm) pickBarrier() barrierFn {
+	name := c.tuning.Barrier
+	if name == "" {
+		name = "hier"
+	}
+	if e := barrierAlgs[name]; e.ok(c) {
+		return e.run
+	}
+	return barrierAlgs[flatBarrier].run
+}

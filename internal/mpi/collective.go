@@ -26,29 +26,45 @@ const (
 	tagHBarrierDown
 )
 
-// Barrier blocks until all ranks arrive. On SMP layouts the exchange is
-// hierarchical (node fan-in, leader dissemination, node release);
-// otherwise it is the flat dissemination algorithm.
+// scratch holds the reusable per-comm buffers the collective algorithms
+// work in, so steady-state collective calls allocate nothing (grow-only;
+// an allocation-count test asserts the reuse). Slots that are live at the
+// same time within one call must be distinct.
+type scratch struct {
+	token Buffer // 1-byte barrier token
+	in    Buffer // barrier fan-in/dissemination landing area
+	acc   Buffer // reduce accumulator
+	tmp   Buffer // reduce incoming partial
+	part  Buffer // hierarchical reduce node partial
+}
+
+// scratch returns an n-byte view of a lazily grown per-comm buffer slot.
+func (c *Comm) scratch(slot *Buffer, n int) Buffer {
+	if slot.Len < n {
+		*slot, _ = c.Alloc(n)
+	}
+	return Slice(*slot, 0, n)
+}
+
+// Barrier blocks until all ranks arrive, through the algorithm the
+// communicator's tuning table selects (barrier/hier on SMP layouts,
+// barrier/dissemination otherwise, by default).
 func (c *Comm) Barrier() {
 	if c.Size() == 1 {
 		return
 	}
-	if c.smp() {
-		c.hierBarrier()
-		return
-	}
-	c.FlatBarrier()
+	c.pickBarrier()(c)
 }
 
-// FlatBarrier is the topology-oblivious dissemination barrier, correct
-// for any rank count.
+// FlatBarrier is the topology-oblivious dissemination barrier
+// (barrier/dissemination), correct for any rank count.
 func (c *Comm) FlatBarrier() {
 	size, rank := c.Size(), c.Rank()
 	if size == 1 {
 		return
 	}
-	token, _ := c.Alloc(1)
-	in, _ := c.Alloc(1)
+	token := c.scratch(&c.scr.token, 1)
+	in := c.scratch(&c.scr.in, 1)
 	for dist := 1; dist < size; dist <<= 1 {
 		to := (rank + dist) % size
 		from := (rank - dist + size) % size
@@ -59,20 +75,17 @@ func (c *Comm) FlatBarrier() {
 	}
 }
 
-// Bcast broadcasts root's buffer to all ranks: leader-based on SMP
-// layouts, one binomial tree otherwise.
+// Bcast broadcasts root's buffer to all ranks through the tuned algorithm
+// (bcast/hier-leader on SMP layouts, bcast/binomial otherwise, by
+// default).
 func (c *Comm) Bcast(buf Buffer, root int) {
 	if c.Size() == 1 {
 		return
 	}
-	if c.smp() {
-		c.hierBcast(buf, root)
-		return
-	}
-	c.FlatBcast(buf, root)
+	c.pickBcast()(c, buf, root)
 }
 
-// FlatBcast is the topology-oblivious binomial broadcast.
+// FlatBcast is the topology-oblivious binomial broadcast (bcast/binomial).
 func (c *Comm) FlatBcast(buf Buffer, root int) {
 	c.groupBcast(buf, c.t.world, root, tagBcast)
 }
@@ -80,32 +93,30 @@ func (c *Comm) FlatBcast(buf Buffer, root int) {
 // Send2/Recv2 are collective-context point-to-point helpers.
 func (c *Comm) Send2(buf Buffer, dest, tag int) { c.dev.Wait(c.p, c.isendCtx(buf, dest, tag)) }
 func (c *Comm) Recv2(buf Buffer, src, tag int) Status {
-	return c.dev.Wait(c.p, c.irecvCtx(buf, src, tag))
+	return c.local(c.dev.Wait(c.p, c.irecvCtx(buf, src, tag)))
 }
 
-// hierReduceCutoff is the message size at and above which Reduce uses the
-// hierarchical algorithm on SMP layouts. Below it the flat binomial wins:
-// its subtrees combine in parallel, while the hierarchy serializes the
-// intra-node stage before any leader traffic starts. The crossover is
-// measured by bench.AblationHierCollectives (DESIGN.md §6).
+// hierReduceCutoff is the default message size at and above which the
+// tuning table picks reduce/hier on SMP layouts. Below it the flat
+// binomial wins: its subtrees combine in parallel, while the hierarchy
+// serializes the intra-node stage before any leader traffic starts. The
+// crossover is measured by bench.AblationHierCollectives (DESIGN.md §6);
+// Tuning.ReduceHierCutoff overrides it per run.
 const hierReduceCutoff = 4 << 10
 
-// Reduce combines send buffers elementwise into recv at root: intra-node
-// then leader-level for large messages on SMP layouts, one binomial tree
-// otherwise. recv may be Buffer{} on non-root ranks.
+// Reduce combines send buffers elementwise into recv at root through the
+// tuned algorithm (reduce/hier at and above the tuning table's cutoff on
+// SMP layouts, reduce/binomial otherwise, by default). recv may be
+// Buffer{} on non-root ranks.
 func (c *Comm) Reduce(send, recv Buffer, dt Datatype, op Op, root int) {
 	if c.Size() == 1 {
 		copy(c.Bytes(recv), c.Bytes(send))
 		return
 	}
-	if c.smp() && send.Len >= hierReduceCutoff {
-		c.HierReduce(send, recv, dt, op, root)
-		return
-	}
-	c.FlatReduce(send, recv, dt, op, root)
+	c.pickReduce(send.Len)(c, send, recv, dt, op, root)
 }
 
-// FlatReduce is the topology-oblivious binomial reduce.
+// FlatReduce is the topology-oblivious binomial reduce (reduce/binomial).
 func (c *Comm) FlatReduce(send, recv Buffer, dt Datatype, op Op, root int) {
 	c.groupReduce(send, recv, dt, op, c.t.world, root, tagReduce)
 }
@@ -170,21 +181,14 @@ func (c *Comm) Scatter(send, recv Buffer, root int) {
 	c.Recv2(recv, root, tagScatter)
 }
 
-// Allgather shares equal-size contributions with everyone: on SMP layouts
-// with block placement, node-local gather + a leader ring over node
-// blocks + node-local broadcast; otherwise the flat ring algorithm.
+// Allgather shares equal-size contributions with everyone through the
+// tuned algorithm (allgather/hier on SMP layouts with block-contiguous
+// placement, allgather/ring otherwise, by default).
 func (c *Comm) Allgather(send, recv Buffer) {
-	// The hierarchical path places node blocks contiguously, so it needs
-	// block-contiguous rank placement (cluster's layout); fall back on
-	// exotic topologies.
-	if c.smp() && c.t.contiguous {
-		c.hierAllgather(send, recv)
-		return
-	}
-	c.FlatAllgather(send, recv)
+	c.pickAllgather()(c, send, recv)
 }
 
-// FlatAllgather is the topology-oblivious ring algorithm.
+// FlatAllgather is the topology-oblivious ring algorithm (allgather/ring).
 func (c *Comm) FlatAllgather(send, recv Buffer) {
 	size, rank := c.Size(), c.Rank()
 	n := send.Len

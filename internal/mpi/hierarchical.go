@@ -1,10 +1,6 @@
 package mpi
 
-import (
-	"fmt"
-
-	"repro/internal/adi3"
-)
+import "fmt"
 
 // SMP-aware collectives. When the cluster places several ranks per node
 // (internal/cluster's CoresPerNode), the flat algorithms waste InfiniBand
@@ -18,25 +14,29 @@ import (
 //	Allgather: intra-node gather, leader ring over node blocks, intra bcast
 //	Barrier:   intra-node fan-in, leader dissemination, intra-node release
 //
-// Dispatch is automatic: each collective consults the topology the device
-// carries and falls back to the flat algorithm on one-rank-per-node
-// layouts, so the paper's testbed experiments are byte-for-byte unchanged.
-// The benchmark comparing the two lives in bench.AblationHierCollectives.
+// These are the "hier" entries of the algorithm registry (algorithms.go);
+// the default tuning table selects them on multi-rank-per-node layouts
+// and the flat algorithms everywhere else, so the paper's testbed
+// experiments are byte-for-byte unchanged. The benchmarks comparing the
+// algorithms live in bench.AblationHierCollectives and
+// bench.AblationCollAlg.
 
-// topo is the node placement view a communicator derives from its device.
+// topo is the node placement view a communicator computes over its own
+// member set (in communicator rank space), so hierarchical algorithms
+// work on any communicator, not just world.
 type topo struct {
-	nodeOf  []int // node id per rank
-	local   []int // ranks on this rank's node, ascending
-	leaders []int // lowest rank of each node, in node-first-appearance order
+	nodeOf  []int // node id per comm rank
+	local   []int // comm ranks on this rank's node, ascending
+	leaders []int // lowest comm rank of each node, in first-appearance order
 	counts  []int // ranks per node, parallel to leaders
 	world   []int // identity group, for flat algorithms
 
-	multi      bool // some node hosts more than one rank
-	contiguous bool // every node's ranks form one contiguous range
+	multi      bool // some node hosts more than one member
+	contiguous bool // every node's members form one contiguous comm-rank range
 }
 
-func buildTopo(dev *adi3.Device) *topo {
-	size := dev.Size()
+func buildTopo(c *Comm) *topo {
+	size := len(c.group)
 	t := &topo{
 		nodeOf: make([]int, size),
 		world:  make([]int, size),
@@ -44,7 +44,7 @@ func buildTopo(dev *adi3.Device) *topo {
 	idxOf := make(map[int]int, size)
 	for r := 0; r < size; r++ {
 		t.world[r] = r
-		t.nodeOf[r] = int(dev.NodeOf(int32(r)))
+		t.nodeOf[r] = int(c.dev.NodeOf(c.group[r]))
 		n := t.nodeOf[r]
 		if _, ok := idxOf[n]; !ok {
 			idxOf[n] = len(t.leaders)
@@ -53,7 +53,7 @@ func buildTopo(dev *adi3.Device) *topo {
 		}
 		t.counts[idxOf[n]]++
 	}
-	myNode := t.nodeOf[dev.Rank()]
+	myNode := t.nodeOf[c.rank]
 	for r := 0; r < size; r++ {
 		if t.nodeOf[r] == myNode {
 			t.local = append(t.local, r)
@@ -96,9 +96,6 @@ func (t *topo) localRoot(root int) int {
 	}
 	return t.local[0]
 }
-
-// smp reports whether the hierarchical algorithms apply.
-func (c *Comm) smp() bool { return c.t.multi }
 
 func groupIndex(group []int, rank int) int {
 	for i, r := range group {
@@ -160,11 +157,13 @@ func (c *Comm) groupReduce(send, recv Buffer, dt Datatype, op Op, group []int, r
 	}
 	vrank := (me - rootIdx + ng) % ng
 
-	// Accumulate into a scratch buffer so the caller's send buffer is
+	// Accumulate into per-comm scratch so the caller's send buffer is
 	// untouched, as MPI requires.
-	acc, accBytes := c.Alloc(n)
+	acc := c.scratch(&c.scr.acc, n)
+	accBytes := c.Bytes(acc)
 	copy(accBytes, c.Bytes(send))
-	tmp, tmpBytes := c.Alloc(n)
+	tmp := c.scratch(&c.scr.tmp, n)
+	tmpBytes := c.Bytes(tmp)
 
 	mask := 1
 	for mask < ng {
@@ -201,9 +200,10 @@ func (c *Comm) hierBcast(buf Buffer, root int) {
 	}
 }
 
-// HierReduce is the leader-based reduce regardless of message size;
-// Reduce dispatches to it above hierReduceCutoff. Exported so the
-// ablation can measure both algorithms across the whole size axis.
+// HierReduce is the leader-based reduce (reduce/hier) regardless of
+// message size; the default tuning table dispatches to it at and above
+// the cutoff. Exported so the ablation can measure both algorithms across
+// the whole size axis.
 func (c *Comm) HierReduce(send, recv Buffer, dt Datatype, op Op, root int) {
 	rank := c.Rank()
 	localRoot := c.t.localRoot(root)
@@ -211,7 +211,7 @@ func (c *Comm) HierReduce(send, recv Buffer, dt Datatype, op Op, root int) {
 	// Stage 1: combine the node's contributions at its representative.
 	part := Buffer{}
 	if rank == localRoot {
-		part, _ = c.Alloc(send.Len)
+		part = c.scratch(&c.scr.part, send.Len)
 	}
 	c.groupReduce(send, part, dt, op, c.t.local, groupIndex(c.t.local, localRoot), tagHReduceIntra)
 
@@ -278,13 +278,13 @@ func (c *Comm) hierBarrier() {
 	rank := c.Rank()
 	t := c.t
 	lead := t.local[0]
-	token, _ := c.Alloc(1)
+	token := c.scratch(&c.scr.token, 1)
 
 	// Stage 1: node fan-in to the leader.
 	if rank != lead {
 		c.Send2(token, lead, tagHBarrierUp)
 	} else if len(t.local) > 1 {
-		in, _ := c.Alloc(len(t.local) - 1)
+		in := c.scratch(&c.scr.in, len(t.local)-1)
 		reqs := make([]*Request, 0, len(t.local)-1)
 		for i, r := range t.local {
 			if r == lead {
@@ -299,7 +299,7 @@ func (c *Comm) hierBarrier() {
 	L := len(t.leaders)
 	if rank == lead && L > 1 {
 		li := groupIndex(t.leaders, lead)
-		in, _ := c.Alloc(1)
+		in := c.scratch(&c.scr.in, 1)
 		for dist := 1; dist < L; dist <<= 1 {
 			to := t.leaders[(li+dist)%L]
 			from := t.leaders[(li-dist+L)%L]

@@ -1,12 +1,15 @@
 // Package mpi implements the MPI-1 subset the paper evaluates — blocking
 // and non-blocking point-to-point with tag/source matching and wildcards,
-// and the collectives the NAS Parallel Benchmarks use — on top of the ADI3
-// device (internal/adi3). The paper's focus is exactly this: "our study
-// focuses on optimizing the performance of MPI-1 functions in MPICH2".
+// communicator construction (Dup, Split), and the collectives the NAS
+// Parallel Benchmarks use — on top of the ADI3 device (internal/adi3).
+// The paper's focus is exactly this: "our study focuses on optimizing the
+// performance of MPI-1 functions in MPICH2".
 //
-// An MPI-2 one-sided extension (Win/Put/Get/Accumulate/Fence over RDMA and
-// InfiniBand atomics), flagged as future work in §9 of the paper, lives in
-// onesided.go.
+// Collectives dispatch through a per-communicator algorithm registry and
+// tuning table (algorithms.go); communicators and context-id allocation
+// live in comm.go. An MPI-2 one-sided extension (Win/Put/Get/Accumulate/
+// Fence over RDMA and InfiniBand atomics), flagged as future work in §9 of
+// the paper, lives in onesided.go.
 package mpi
 
 import (
@@ -23,11 +26,15 @@ const (
 	AnyTag    = int(adi3.AnyTag)
 )
 
-// Context ids separating point-to-point from collective traffic on the
-// world communicator, as real MPI context ids do.
+// Context ids separating point-to-point from collective traffic, as real
+// MPI context ids do. The world communicator owns the fixed low pair;
+// every derived communicator (Dup, Split) allocates a fresh p2p+collective
+// pair from ctxFirstDerived upward through the agreement protocol in
+// comm.go, so traffic on sibling communicators can never cross-match.
 const (
-	ctxP2P  int32 = 0
-	ctxColl int32 = 1
+	ctxP2P          int32 = 0
+	ctxColl         int32 = 1
+	ctxFirstDerived int32 = 2
 )
 
 // Buffer names a span of the rank's node memory.
@@ -36,27 +43,78 @@ type Buffer = rdmachan.Buffer
 // Request is a non-blocking operation handle.
 type Request = adi3.Request
 
-// Status describes a completed receive.
+// Status describes a completed receive. Comm methods report Source in the
+// communicator's own rank space.
 type Status = adi3.Status
 
-// Comm is a rank's handle on the world communicator. Each MPI process is
-// one simulated process; all calls must come from it.
+// Comm is a rank's handle on a communicator. Each MPI process is one
+// simulated process; all calls must come from it. The world communicator
+// comes from New; derived communicators from Dup and Split (comm.go).
 type Comm struct {
 	p   *des.Proc
 	dev *adi3.Device
 	t   *topo
+
+	group   []int32 // comm rank → world rank, comm rank order
+	inverse []int32 // world rank → comm rank; -1 outside the communicator
+	rank    int     // the caller's rank in this communicator
+	pt2pt   int32   // point-to-point context id
+	coll    int32   // collective context id
+	nextCtx *int32  // process-local context allocator, shared by all comms
+	tuning  Tuning  // collective algorithm selection (algorithms.go)
+
+	scr    scratch // reusable per-comm collective scratch buffers
+	allocs int     // Alloc call count (scratch-reuse test hook)
 }
 
-// New binds a communicator handle to a device and its process.
+// New binds a world communicator handle to a device and its process.
 func New(p *des.Proc, dev *adi3.Device) *Comm {
-	return &Comm{p: p, dev: dev, t: buildTopo(dev)}
+	return NewWithTuning(p, dev, nil)
 }
 
-// Rank returns the caller's rank.
-func (c *Comm) Rank() int { return int(c.dev.Rank()) }
+// NewWithTuning is New with a collective tuning override; nil keeps the
+// default topology/size table. Derived communicators inherit the tuning.
+func NewWithTuning(p *des.Proc, dev *adi3.Device, tuning *Tuning) *Comm {
+	size := dev.Size()
+	group := make([]int32, size)
+	for r := range group {
+		group[r] = int32(r)
+	}
+	next := ctxFirstDerived
+	tun := DefaultTuning()
+	if tuning != nil {
+		tun = *tuning
+	}
+	return newComm(p, dev, group, int(dev.Rank()), ctxP2P, ctxColl, &next, tun.withDefaults())
+}
 
-// Size returns the number of ranks.
-func (c *Comm) Size() int { return c.dev.Size() }
+// newComm assembles a communicator handle: membership, rank translation
+// maps, context pair, and the topology recomputed over the member set so
+// hierarchical algorithms work on any communicator, not just world.
+func newComm(p *des.Proc, dev *adi3.Device, group []int32, rank int,
+	pt2pt, coll int32, nextCtx *int32, tuning Tuning) *Comm {
+	c := &Comm{
+		p: p, dev: dev,
+		group: group, rank: rank,
+		pt2pt: pt2pt, coll: coll,
+		nextCtx: nextCtx, tuning: tuning,
+	}
+	c.inverse = make([]int32, dev.Size())
+	for i := range c.inverse {
+		c.inverse[i] = -1
+	}
+	for r, w := range group {
+		c.inverse[w] = int32(r)
+	}
+	c.t = buildTopo(c)
+	return c
+}
+
+// Rank returns the caller's rank in this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return len(c.group) }
 
 // Proc returns the simulated process driving this rank.
 func (c *Comm) Proc() *des.Proc { return c.p }
@@ -64,12 +122,36 @@ func (c *Comm) Proc() *des.Proc { return c.p }
 // Wtime returns the simulated wall clock in seconds (MPI_Wtime).
 func (c *Comm) Wtime() float64 { return c.p.Now().Seconds() }
 
+// world translates a communicator rank to the world rank the device
+// addresses.
+func (c *Comm) world(rank int) int32 {
+	if rank < 0 || rank >= len(c.group) {
+		panic(fmt.Sprintf("mpi: rank %d outside communicator of size %d", rank, len(c.group)))
+	}
+	return c.group[rank]
+}
+
+// local rewrites a receive status into this communicator's rank space.
+// Send-request statuses carry no meaningful source and pass through.
+func (c *Comm) local(st Status) Status {
+	if st.Source >= 0 && int(st.Source) < len(c.inverse) && c.inverse[st.Source] >= 0 {
+		st.Source = c.inverse[st.Source]
+	}
+	return st
+}
+
 // Alloc carves n bytes of node memory and returns the descriptor and the
 // backing bytes (applications manipulate real data).
 func (c *Comm) Alloc(n int) (Buffer, []byte) {
+	c.allocs++
 	va, b := c.dev.Node().Mem.Alloc(n)
 	return Buffer{Addr: va, Len: n}, b
 }
+
+// Allocs returns how many times Alloc ran on this handle — collectives
+// reuse per-comm scratch, so steady-state collective calls must not grow
+// it (asserted by a test).
+func (c *Comm) Allocs() int { return c.allocs }
 
 // Bytes resolves a buffer to its backing storage.
 func (c *Comm) Bytes(b Buffer) []byte {
@@ -86,12 +168,16 @@ func Slice(b Buffer, off, n int) Buffer {
 
 // Isend starts a non-blocking standard send.
 func (c *Comm) Isend(buf Buffer, dest, tag int) *Request {
-	return c.dev.Isend(c.p, int32(dest), int32(tag), ctxP2P, buf)
+	return c.dev.Isend(c.p, c.world(dest), int32(tag), c.pt2pt, buf)
 }
 
 // Irecv starts a non-blocking receive.
 func (c *Comm) Irecv(buf Buffer, src, tag int) *Request {
-	return c.dev.Irecv(c.p, int32(src), int32(tag), ctxP2P, buf)
+	s := int32(AnySource)
+	if src != AnySource {
+		s = c.world(src)
+	}
+	return c.dev.Irecv(c.p, s, int32(tag), c.pt2pt, buf)
 }
 
 // Send blocks until the send buffer is reusable.
@@ -101,12 +187,14 @@ func (c *Comm) Send(buf Buffer, dest, tag int) {
 
 // Recv blocks until a matching message has arrived.
 func (c *Comm) Recv(buf Buffer, src, tag int) Status {
-	return c.dev.Wait(c.p, c.Irecv(buf, src, tag))
+	return c.local(c.dev.Wait(c.p, c.Irecv(buf, src, tag)))
 }
 
-// Wait blocks until req completes, driving progress.
+// Wait blocks until req completes, driving progress. The request must
+// have been started on this communicator (its status is reported in this
+// communicator's rank space).
 func (c *Comm) Wait(req *Request) Status {
-	return c.dev.Wait(c.p, req)
+	return c.local(c.dev.Wait(c.p, req))
 }
 
 // WaitAll blocks until every request completes.
@@ -119,16 +207,20 @@ func (c *Comm) Sendrecv(send Buffer, dest, stag int, recv Buffer, src, rtag int)
 	rr := c.Irecv(recv, src, rtag)
 	sr := c.Isend(send, dest, stag)
 	c.dev.Wait(c.p, sr)
-	return c.dev.Wait(c.p, rr)
+	return c.local(c.dev.Wait(c.p, rr))
 }
 
 // isendCtx and irecvCtx run on the collective context.
 func (c *Comm) isendCtx(buf Buffer, dest, tag int) *Request {
-	return c.dev.Isend(c.p, int32(dest), int32(tag), ctxColl, buf)
+	return c.dev.Isend(c.p, c.world(dest), int32(tag), c.coll, buf)
 }
 
 func (c *Comm) irecvCtx(buf Buffer, src, tag int) *Request {
-	return c.dev.Irecv(c.p, int32(src), int32(tag), ctxColl, buf)
+	s := int32(AnySource)
+	if src != AnySource {
+		s = c.world(src)
+	}
+	return c.dev.Irecv(c.p, s, int32(tag), c.coll, buf)
 }
 
 // Compute advances simulated time by the cost of flops floating-point

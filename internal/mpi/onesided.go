@@ -66,7 +66,7 @@ func (c *Comm) WinCreate(base Buffer) (*Win, error) {
 		if peer == rank {
 			continue
 		}
-		raw, err := rawOf(c.dev.Endpoint(int32(peer)))
+		raw, err := rawOf(c.dev.Endpoint(c.world(peer)))
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,13 @@ import "repro/internal/mpi"
 // row-reduction exchanges and transpose exchange, plus two scalar
 // all-reduces for the dot products — many medium messages latency- and
 // bandwidth-sensitive in equal measure.
+//
+// Like NPB CG, the kernel works on derived communicators: the process
+// grid's rows come from Comm_split (the row-reduction butterfly partners
+// by column index within the row communicator), and each transpose pair
+// is its own two-rank split, so the exchanges ride per-communicator
+// contexts rather than world-tag arithmetic — the sub-communicator
+// workload the paper's layering argument exists to support.
 func runCG(comm *mpi.Comm, class Class) (float64, bool) {
 	var na, nonzer, outer, inner int
 	switch class {
@@ -20,6 +27,30 @@ func runCG(comm *mpi.Comm, class Class) (float64, bool) {
 	np, rank := comm.Size(), comm.Rank()
 	rows, cols := grid2(np)
 	myRow, myCol := rank/cols, rank%cols
+
+	// Row communicator: the ranks of my grid row, ordered by column, so
+	// rank-in-row == column index.
+	rowComm := comm.Split(myRow, myCol)
+
+	// Transpose partner in world ranks. On a square grid the partner is
+	// the transposed coordinate; on the 2·rows × rows grid (np = 2·r²)
+	// ranks pair even/odd over the square sub-grid, as NPB CG's exch_proc
+	// does — both mappings are involutions, so each unordered pair {rank,
+	// tr} is one color and the transpose exchange runs inside its own
+	// two-rank communicator (diagonal ranks get a singleton and skip it).
+	var tr int
+	if rows == cols {
+		tr = myCol*rows + myRow
+	} else {
+		v := rank / 2
+		vt := (v%rows)*rows + v/rows
+		tr = 2*vt + rank%2
+	}
+	lo, hi := rank, tr
+	if tr < rank {
+		lo, hi = tr, rank
+	}
+	transComm := comm.Split(lo*np+hi, rank)
 
 	segment := na / cols * 8 // bytes of the vector piece exchanged
 	send, sendB := comm.Alloc(segment)
@@ -41,28 +72,18 @@ func runCG(comm *mpi.Comm, class Class) (float64, bool) {
 			comm.Compute(perIter)
 			ops += perIter * float64(np)
 
-			// Sum-reduction across the row of the process grid.
+			// Sum-reduction across the row of the process grid: the
+			// butterfly partner is a column index, i.e. a row-comm rank.
 			for stage := 1; stage < cols; stage <<= 1 {
-				partner := myRow*cols + (myCol ^ stage)
-				comm.Sendrecv(send, partner, 100+stage, recv, partner, 100+stage)
+				partner := myCol ^ stage
+				rowComm.Sendrecv(send, partner, 100+stage, recv, partner, 100+stage)
 				local ^= checksum(recvB)
 				comm.Compute(float64(segment / 8)) // add the partial vectors
 			}
-			// Transpose exchange. On a square grid the partner is the
-			// transposed coordinate; on the 2·rows × rows grid (np = 2·r²)
-			// ranks pair even/odd over the square sub-grid, as NPB CG's
-			// exch_proc does — both mappings are involutions, so the
-			// Sendrecv pairs match.
-			var tr int
-			if rows == cols {
-				tr = myCol*rows + myRow
-			} else {
-				v := rank / 2
-				vt := (v%rows)*rows + v/rows
-				tr = 2*vt + rank%2
-			}
-			if tr != rank {
-				comm.Sendrecv(send, tr, 200, recv, tr, 200)
+			// Transpose exchange inside the pair communicator.
+			if transComm.Size() > 1 {
+				peer := 1 - transComm.Rank()
+				transComm.Sendrecv(send, peer, 200, recv, peer, 200)
 				local ^= checksum(recvB)
 			}
 

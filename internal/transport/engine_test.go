@@ -123,6 +123,68 @@ func TestContextSeparation(t *testing.T) {
 	})
 }
 
+// TestSiblingContextIsolation: communicators materialize at the engine as
+// context-id pairs, and traffic on sibling communicators — same peers,
+// same tags — must never cross-match, including under AnySource/AnyTag
+// wildcards and on the rendezvous path. Regression test for the
+// per-communicator context-id space above the fixed world pair.
+func TestSiblingContextIsolation(t *testing.T) {
+	// Context pairs (2,3) and (4,5): two communicators derived over the
+	// same ranks.
+	const ctxA, ctxB int32 = 2, 4
+	e, eng, node := newEngine(3)
+	epA, epB := &fakeEP{}, &fakeEP{}
+	e.SetEndpoint(1, epA)
+	e.SetEndpoint(2, epB)
+	run(eng, func(p *des.Proc) {
+		// A wildcard receive on comm A must not see an eager arrival with
+		// the same source and tag on comm B.
+		va, ba := node.Mem.Alloc(8)
+		ra := e.Irecv(p, AnySource, AnyTag, ctxA, Buffer{Addr: va, Len: 8})
+		sinkB := e.ArriveEager(p, Envelope{Src: 1, Tag: 9, Ctx: ctxB, Len: 4})
+		copy(node.Mem.MustResolve(sinkB.Buf.Addr, 4), []byte{4, 3, 2, 1})
+		sinkB.Done(p)
+		if ra.Done() {
+			t.Fatal("comm-B eager traffic matched a comm-A wildcard receive")
+		}
+
+		// The queued comm-B unexpected message completes only a comm-B
+		// receive; the comm-A wildcard keeps waiting.
+		vb, bb := node.Mem.Alloc(8)
+		rb := e.Irecv(p, AnySource, AnyTag, ctxB, Buffer{Addr: vb, Len: 8})
+		if !rb.Done() || ra.Done() {
+			t.Fatal("unexpected-queue match crossed communicators")
+		}
+		if st := rb.Status(); st.Source != 1 || st.Tag != 9 || bb[0] != 4 {
+			t.Fatalf("comm-B receive got %+v payload %v", st, bb[:4])
+		}
+
+		// Rendezvous: an RTS on comm B must not be accepted by the posted
+		// comm-A wildcard — and must still be accepted by a later comm-B
+		// receive, on the endpoint it arrived on.
+		e.ArriveRTS(p, Envelope{Src: 2, Tag: 9, Ctx: ctxB, Len: 4096}, epB, 21)
+		if len(epA.accepted) != 0 || len(epB.accepted) != 0 {
+			t.Fatal("comm-B RTS accepted by a comm-A wildcard receive")
+		}
+		vc, _ := node.Mem.Alloc(4096)
+		rc := e.Irecv(p, AnySource, 9, ctxB, Buffer{Addr: vc, Len: 4096})
+		if len(epB.accepted) != 1 || epB.accepted[0] != 21 {
+			t.Fatalf("comm-B rendezvous accepts = %v, want [21]", epB.accepted)
+		}
+		if !rc.Done() || rc.Status().Source != 2 {
+			t.Fatalf("comm-B rendezvous receive incomplete: %+v", rc.Status())
+		}
+
+		// The comm-A wildcard finally matches comm-A traffic.
+		sinkA := e.ArriveEager(p, Envelope{Src: 1, Tag: 9, Ctx: ctxA, Len: 4})
+		copy(node.Mem.MustResolve(sinkA.Buf.Addr, 4), []byte{7, 7, 7, 7})
+		sinkA.Done(p)
+		if !ra.Done() || ba[0] != 7 {
+			t.Fatal("comm-A wildcard receive did not get comm-A traffic")
+		}
+	})
+}
+
 func TestUnexpectedThenRecvCopies(t *testing.T) {
 	e, eng, node := newEngine(2)
 	run(eng, func(p *des.Proc) {

@@ -36,7 +36,12 @@ import (
 // layer's descriptor, reused unchanged up the stack).
 type Buffer = rdmachan.Buffer
 
-// Envelope is the MPI matching tuple plus payload size.
+// Envelope is the MPI matching tuple plus payload size. Ctx carries the
+// communicator context id: the MPI layer assigns every communicator its
+// own p2p+collective pair (world owns 0/1; derived communicators allocate
+// upward), and the engine matches on it before source and tag, so traffic
+// on sibling communicators — same peers, same tags — can never
+// cross-match, wildcards included.
 type Envelope struct {
 	Src int32 // sending rank
 	Tag int32
