@@ -314,6 +314,40 @@ func BenchmarkAblationCollAlg(b *testing.B) {
 	reportSeries(b, f)
 }
 
+// BenchmarkFootprint regenerates the connection-scalability figures
+// (DESIGN.md §9) at CI-smoke scale: established connections and
+// per-process eager-buffer memory, eager mesh vs lazy/SRQ, plus the
+// setup-latency ablation. The full 8…512 sweep is
+// `mpich2ib-bench -connect=eager,lazy`.
+func BenchmarkFootprint(b *testing.B) {
+	variants, err := bench.ParseConnectModes("eager,lazy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nps := []int{8, 16, 32}
+	var figs []bench.Figure
+	for i := 0; i < b.N; i++ {
+		figs = bench.FootprintFigures(variants, nps)
+	}
+	for _, f := range figs {
+		for _, s := range f.Series {
+			last := s.Points[len(s.Points)-1]
+			unit := "pairs"
+			if f.ID == "footprint-mem" {
+				unit = "KB/proc"
+			}
+			b.ReportMetric(last.Value, strings.ReplaceAll(s.Name, "/", "-")+"@"+unit)
+		}
+		if testing.Verbose() {
+			b.Log("\n" + bench.FormatFigure(f))
+		}
+	}
+	setup := bench.AblationConnectSetup(variants)
+	for _, s := range setup.Series {
+		b.ReportMetric(s.Points[0].Value, s.Name+"-first-µs")
+	}
+}
+
 // BenchmarkNASCG runs the CG kernel (class S) over the basic, zero-copy
 // and CH3 transports: the sub-communicator code path — Comm_split row and
 // transpose-pair communicators — in CI-smoke form, checksum-verified.

@@ -12,6 +12,8 @@
 //	mpich2ib-bench -transport shm,ib -sizes 4K,64K
 //	mpich2ib-bench -coll bcast,reduce -np 16 -ppn 4     # algorithm sweep
 //	mpich2ib-bench -coll bcast -coll-alg bcast=binomial # one algorithm
+//	mpich2ib-bench -connect eager,lazy                  # footprint vs np
+//	mpich2ib-bench -connect lazy -nps 8,64,512          # chosen job sizes
 //
 // The -transport flag sweeps any subset of the unified stack's transports
 // (basic, piggyback, pipeline, zerocopy/ib, ch3, shm, shm-rndv) on the
@@ -24,6 +26,12 @@
 // collectives on one np × ppn layout, one series per algorithm. -coll-alg
 // restricts a collective to one forced algorithm (the same override
 // cluster.Config.Tuning threads into any run).
+//
+// The -connect flag sweeps connection management (DESIGN.md §9): memory
+// footprint and connection count versus job size for eager (the paper's
+// full mesh) against lazy on-demand establishment over the SRQ-backed
+// eager mode, under nearest-neighbor, ring and all-to-all traffic, plus
+// the connection-setup latency ablation.
 package main
 
 import (
@@ -46,11 +54,33 @@ func main() {
 	np := flag.Int("np", 16, "ranks for -coll sweeps")
 	ppn := flag.Int("ppn", 4, "ranks per node for -coll sweeps")
 	iters := flag.Int("iters", 10, "measured calls per point for -coll sweeps")
+	connect := flag.String("connect", "", "connection-management sweep (comma list of eager, lazy): footprint-vs-np figures + setup-latency ablation; overrides -fig")
+	nps := flag.String("nps", "", "rank counts for -connect sweeps, e.g. 8,16,32 (default 8..512)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("baseline headline fig3-lat fig3-bw fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 ablations all")
 		fmt.Println("collective algorithms:", strings.Join(mpi.Algorithms(), " "))
+		return
+	}
+
+	if *connect != "" {
+		variants, err := bench.ParseConnectModes(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		npList := bench.DefaultFootprintNPs()
+		if *nps != "" {
+			if npList, err = bench.ParseNPs(*nps); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		for _, f := range bench.FootprintFigures(variants, npList) {
+			fmt.Println(bench.FormatFigure(f))
+		}
+		fmt.Println(bench.FormatFigure(bench.AblationConnectSetup(variants)))
 		return
 	}
 

@@ -36,11 +36,23 @@ func main() {
 	transport := flag.String("transport", "", "comma-separated transports (basic, piggyback, pipeline, zerocopy, ch3); empty = the figure's three")
 	ppn := flag.Int("ppn", 1, "ranks per node (SMP layout; co-located pairs use shared memory)")
 	smp := flag.Bool("smp", false, "sweep ranks-per-node layouts instead of transports")
+	connect := flag.String("connect", "eager", "connection management: eager (full mesh at startup) or lazy (on first use)")
+	srq := flag.Bool("srq", false, "SRQ-backed eager mode: shared per-process receive pool instead of per-connection rings")
 	flag.Parse()
 
 	cl := nas.Class((*class)[0])
 	if cl != nas.ClassS && cl != nas.ClassA && cl != nas.ClassB {
 		fmt.Fprintln(os.Stderr, "nasbench: class must be S, A or B")
+		os.Exit(1)
+	}
+	var mode cluster.ConnectMode
+	switch *connect {
+	case "eager":
+		mode = cluster.ConnectEager
+	case "lazy":
+		mode = cluster.ConnectLazy
+	default:
+		fmt.Fprintln(os.Stderr, "nasbench: -connect must be eager or lazy")
 		os.Exit(1)
 	}
 	// The NPB decompositions constrain the rank count: SP and BT need a
@@ -61,6 +73,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nasbench: -smp sweeps layouts on the zero-copy transport; drop -transport")
 			os.Exit(1)
 		}
+		if mode != cluster.ConnectEager || *srq {
+			fmt.Fprintln(os.Stderr, "nasbench: -smp runs eager wiring; drop -connect/-srq or use -bench")
+			os.Exit(1)
+		}
 		var ppns []int
 		for p := 1; p <= *np; p *= 2 {
 			ppns = append(ppns, p)
@@ -72,6 +88,10 @@ func main() {
 	if *benchName == "" {
 		if *ppn != 1 {
 			fmt.Fprintln(os.Stderr, "nasbench: the full figure runs one rank per node; use -smp for layout sweeps or -bench with -ppn")
+			os.Exit(1)
+		}
+		if mode != cluster.ConnectEager || *srq {
+			fmt.Fprintln(os.Stderr, "nasbench: the full figure runs eager wiring; use -bench with -connect/-srq")
 			os.Exit(1)
 		}
 		id := "fig16"
@@ -90,8 +110,20 @@ func main() {
 		"zerocopy":  cluster.TransportZeroCopy,
 		"ch3":       cluster.TransportCH3,
 	}
+	if *srq {
+		// The SRQ mode replaces the channel design (zerocopy label);
+		// sweeping the design trio under it would relabel identical runs.
+		if *transport == "" {
+			*transport = "zerocopy"
+		} else if *transport != "zerocopy" {
+			fmt.Fprintln(os.Stderr, "nasbench: -srq replaces the channel design; use -transport zerocopy")
+			os.Exit(1)
+		}
+	}
 	run := func(tr cluster.Transport) {
-		res := nas.Run(*benchName, cl, cluster.Config{NP: *np, CoresPerNode: *ppn, Transport: tr})
+		cfg := cluster.Config{NP: *np, CoresPerNode: *ppn, Transport: tr, ConnectMode: mode}
+		cfg.Chan.UseSRQ = *srq
+		res := nas.Run(*benchName, cl, cfg)
 		fmt.Printf("%-22s %s\n", tr, res)
 	}
 	if *transport != "" {

@@ -14,7 +14,7 @@ import (
 )
 
 func measure(tr cluster.Transport, size, iters int) (latUs float64) {
-	c := cluster.New(cluster.Config{NP: 2, Transport: tr})
+	c := cluster.MustNew(cluster.Config{NP: 2, Transport: tr})
 	c.Launch(func(comm *mpi.Comm) {
 		buf, _ := comm.Alloc(size)
 		if comm.Rank() == 0 {
@@ -37,7 +37,7 @@ func measure(tr cluster.Transport, size, iters int) (latUs float64) {
 }
 
 func bandwidth(tr cluster.Transport, size, count int) float64 {
-	c := cluster.New(cluster.Config{NP: 2, Transport: tr})
+	c := cluster.MustNew(cluster.Config{NP: 2, Transport: tr})
 	var bw float64
 	c.Launch(func(comm *mpi.Comm) {
 		buf, _ := comm.Alloc(size)

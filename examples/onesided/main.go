@@ -15,7 +15,7 @@ import (
 
 func main() {
 	const np = 4
-	c := cluster.New(cluster.Config{NP: np, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: np, Transport: cluster.TransportZeroCopy})
 	c.Launch(func(comm *mpi.Comm) {
 		rank, size := comm.Rank(), comm.Size()
 

@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	c := cluster.New(cluster.Config{
+	c := cluster.MustNew(cluster.Config{
 		NP:        2,
 		Transport: cluster.TransportZeroCopy, // the paper's final design
 	})

@@ -22,7 +22,7 @@ const (
 
 func run(tr cluster.Transport) (seconds float64, checksum uint64) {
 	const np = 8
-	c := cluster.New(cluster.Config{NP: np, Transport: tr})
+	c := cluster.MustNew(cluster.Config{NP: np, Transport: tr})
 	var sum [np]uint64
 	var elapsed float64
 	c.Launch(func(comm *mpi.Comm) {

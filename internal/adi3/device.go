@@ -102,6 +102,12 @@ func (d *Device) Irecv(p *des.Proc, src, tag, ctx int32, buf transport.Buffer) *
 	return d.eng.Irecv(p, src, tag, ctx, buf)
 }
 
+// EnsureConnected establishes the connection to a peer without sending
+// (lazy mode); a no-op when the endpoint already exists.
+func (d *Device) EnsureConnected(p *des.Proc, peer int32) {
+	d.eng.EnsureConnected(p, peer)
+}
+
 // Progress makes one engine pass over all endpoints; with block set it
 // sleeps until fabric activity when nothing moved.
 func (d *Device) Progress(p *des.Proc, block bool) bool {

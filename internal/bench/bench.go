@@ -81,7 +81,7 @@ type Options struct {
 }
 
 func (o Options) cluster(np int) *cluster.Cluster {
-	return cluster.New(cluster.Config{
+	return cluster.MustNew(cluster.Config{
 		NP:           np,
 		CoresPerNode: o.CoresPerNode,
 		Transport:    o.Transport,

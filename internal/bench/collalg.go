@@ -67,7 +67,7 @@ func CollAlgSweep(coll string, np, cpn int, sizes []int, iters int, base mpi.Tun
 	// name would silently fall back to the flat algorithm and mislabel
 	// its series. One probe launch asks the world communicator.
 	applicable := map[string]bool{}
-	probe := cluster.New(cluster.Config{NP: np, CoresPerNode: cpn, Transport: cluster.TransportZeroCopy})
+	probe := cluster.MustNew(cluster.Config{NP: np, CoresPerNode: cpn, Transport: cluster.TransportZeroCopy})
 	probe.Launch(func(comm *mpi.Comm) {
 		if comm.Rank() != 0 {
 			return

@@ -117,6 +117,16 @@ func newConn(ep rdmachan.Endpoint, raw rdmachan.RawAccess, h transport.Handler,
 // one-sided extension's raw-verbs access).
 func (c *Conn) Endpoint() rdmachan.Endpoint { return c.ep }
 
+// Footprint reports the connection's dedicated memory — the channel
+// endpoint's rings plus queue pair (the packet engine itself adds only
+// header staging).
+func (c *Conn) Footprint() transport.Footprint {
+	if a, ok := c.ep.(interface{ Footprint() rdmachan.Footprint }); ok {
+		return a.Footprint()
+	}
+	return transport.Footprint{QPs: 1}
+}
+
 // Stats returns packet-engine counters.
 func (c *Conn) Stats() Stats { return c.stats }
 

@@ -1,0 +1,285 @@
+package ch3
+
+import (
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/rdmachan"
+	"repro/internal/transport"
+)
+
+// SRQConn is the SRQ-backed eager mode of the CH3 layer (DESIGN.md §9):
+// the packet protocol of Conn — the same 64-byte headers, the same
+// RTS/CTS/FIN rendezvous by RDMA write — but carried by two-sided IB sends
+// into the process's shared receive pool (rdmachan.SRQPool) instead of a
+// dedicated per-connection chunk ring.
+//
+// The differences from Conn follow from the shared pool:
+//
+//   - Inbound eager slots belong to the process, not the connection, so a
+//     connection's memory is one queue pair — the footprint that makes
+//     wide jobs affordable (and lazy connections worth establishing).
+//   - There is no per-peer credit loop. Senders stall on the process's
+//     staging pool, receivers refill the shared queue as they poll, and
+//     the RNR limited-retry protocol (ib.QP.deliverSend) absorbs bursts
+//     that outrun the refill.
+//   - Packets are message-framed by the transport (one send per packet),
+//     so there is no byte-pipe state machine; arrival dispatch comes from
+//     the pool by receiving queue pair.
+//
+// It implements transport.Endpoint with an engine-level rendezvous
+// threshold of one slot payload, exactly like the direct CH3 design.
+type SRQConn struct {
+	pool  *rdmachan.SRQPool
+	qp    *ib.QP
+	h     transport.Handler
+	onErr func(error)
+
+	threshold int
+	reqSeq    uint64
+
+	sendRndv map[uint64]*rndvSend
+	recvRndv map[uint64]*srqRndvRecv
+
+	// Send side: strict FIFO per queue; control packets (CTS, FIN) win so
+	// rendezvous answers do not starve behind bulk eager traffic. Eager
+	// and RTS packets share dataq, preserving MPI envelope order.
+	ctrlq []*srqOp
+	dataq []*srqOp
+
+	hdrScratch [hdrSize]byte
+
+	stats Stats
+}
+
+// srqOp is one queued outbound packet.
+type srqOp struct {
+	hdr     header
+	payload transport.Buffer  // eager payload; zero-length for control
+	onDone  func(p *des.Proc) // runs when the packet is accepted (staged)
+	onSent  func(p *des.Proc) // runs at the packet's completion (CQE)
+}
+
+// srqRndvRecv tracks an accepted rendezvous on the receive side.
+type srqRndvRecv struct {
+	mr   *ib.MR
+	done func(p *des.Proc)
+}
+
+// NewSRQPair wires one SRQ-mode connection between two ranks' pools: a
+// queue pair per side, attached to its pool's shared receive queue and
+// CQs, connected and bound for dispatch.
+func NewSRQPair(pa, pb *rdmachan.SRQPool, ha, hb transport.Handler,
+	onErrA, onErrB func(error)) (*SRQConn, *SRQConn, error) {
+	qa, qb := pa.CreateQP(), pb.CreateQP()
+	if err := ib.Connect(qa, qb); err != nil {
+		return nil, nil, err
+	}
+	a := newSRQConn(pa, qa, ha, onErrA)
+	b := newSRQConn(pb, qb, hb, onErrB)
+	pa.Bind(qa, a)
+	pb.Bind(qb, b)
+	return a, b, nil
+}
+
+func newSRQConn(pool *rdmachan.SRQPool, qp *ib.QP, h transport.Handler,
+	onErr func(error)) *SRQConn {
+	return &SRQConn{
+		pool:      pool,
+		qp:        qp,
+		h:         h,
+		onErr:     onErr,
+		threshold: pool.SlotSize() - hdrSize,
+		sendRndv:  make(map[uint64]*rndvSend),
+		recvRndv:  make(map[uint64]*srqRndvRecv),
+	}
+}
+
+// Pool returns the process pool this connection draws from.
+func (c *SRQConn) Pool() *rdmachan.SRQPool { return c.pool }
+
+// QP returns the connection's queue pair.
+func (c *SRQConn) QP() *ib.QP { return c.qp }
+
+// Stats returns packet counters.
+func (c *SRQConn) Stats() Stats { return c.stats }
+
+// Pending reports queued-but-unstaged outbound packets (diagnostics).
+func (c *SRQConn) Pending() int { return len(c.ctrlq) + len(c.dataq) + len(c.sendRndv) }
+
+// Footprint reports the connection's dedicated memory: one queue pair and
+// nothing else — eager buffering lives in the process pool.
+func (c *SRQConn) Footprint() rdmachan.Footprint {
+	return rdmachan.Footprint{QPs: 1}
+}
+
+// RendezvousThreshold implements transport.Endpoint: payloads that exceed
+// one pool slot take the CH3 rendezvous.
+func (c *SRQConn) RendezvousThreshold() int { return c.threshold }
+
+// SendEager implements transport.Endpoint. onDone runs once the payload is
+// staged into the process send pool (the local buffer is then reusable).
+func (c *SRQConn) SendEager(p *des.Proc, env transport.Envelope, payload transport.Buffer,
+	onDone func(p *des.Proc)) {
+	c.stats.EagerSends++
+	c.dataq = append(c.dataq, &srqOp{hdr: header{kind: pktEager, env: env},
+		payload: payload, onDone: onDone})
+	c.flush(p)
+}
+
+// SendRendezvous implements transport.Endpoint: announce with RTS; the
+// payload moves by RDMA write after the peer's CTS.
+func (c *SRQConn) SendRendezvous(p *des.Proc, env transport.Envelope, payload transport.Buffer,
+	onDone func(p *des.Proc)) {
+	c.stats.RndvSends++
+	c.reqSeq++
+	id := c.reqSeq
+	c.sendRndv[id] = &rndvSend{payload: payload, onDone: onDone}
+	c.dataq = append(c.dataq, &srqOp{hdr: header{kind: pktRTS, env: env, reqID: id}})
+	c.flush(p)
+}
+
+// AcceptRendezvous implements transport.Endpoint: register the posted
+// receive buffer through the process pin-down cache and advertise it with
+// a CTS packet.
+func (c *SRQConn) AcceptRendezvous(p *des.Proc, reqID uint64, dst transport.Buffer,
+	done func(p *des.Proc)) {
+	cache := c.pool.RegCache()
+	mr, _, err := cache.Register(p, dst.Addr, dst.Len)
+	if err != nil {
+		c.onErr(errf("srq rendezvous register: %w", err))
+		return
+	}
+	c.recvRndv[reqID] = &srqRndvRecv{mr: mr, done: done}
+	c.stats.RndvRecvs++
+	c.ctrlq = append(c.ctrlq, &srqOp{
+		hdr: header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, rkey: mr.RKey()},
+	})
+	c.flush(p)
+}
+
+// handleCTS fires the RDMA write of the payload and queues the FIN. RC
+// ordering puts the FIN behind the payload on the wire; the FIN's own
+// completion then implies the payload landed, so the sender's buffer
+// becomes reusable at the FIN CQE.
+func (c *SRQConn) handleCTS(p *des.Proc, h header) {
+	rs, ok := c.sendRndv[h.reqID]
+	if !ok {
+		c.onErr(errf("srq CTS for unknown rendezvous %d", h.reqID))
+		return
+	}
+	delete(c.sendRndv, h.reqID)
+	cache := c.pool.RegCache()
+	mr, _, err := cache.Register(p, rs.payload.Addr, rs.payload.Len)
+	if err != nil {
+		c.onErr(errf("srq rendezvous source register: %w", err))
+		return
+	}
+	c.qp.PostSend(p, ib.SendWR{
+		Op:         ib.OpRDMAWrite,
+		SGL:        []ib.SGE{{Addr: rs.payload.Addr, Len: rs.payload.Len, LKey: mr.LKey()}},
+		RemoteAddr: h.raddr,
+		RKey:       h.rkey,
+	})
+	if err := cache.Release(p, mr); err != nil {
+		c.onErr(errf("srq rendezvous source release: %w", err))
+		return
+	}
+	c.ctrlq = append(c.ctrlq, &srqOp{
+		hdr:    header{kind: pktFIN, reqID: h.reqID},
+		onSent: rs.onDone,
+	})
+	c.flush(p)
+}
+
+// handleFIN completes a rendezvous receive: the payload preceded the FIN
+// on the queue pair, so it is already in the user buffer.
+func (c *SRQConn) handleFIN(p *des.Proc, h header) {
+	rr, ok := c.recvRndv[h.reqID]
+	if !ok {
+		c.onErr(errf("srq FIN for unknown rendezvous %d", h.reqID))
+		return
+	}
+	delete(c.recvRndv, h.reqID)
+	if err := c.pool.RegCache().Release(p, rr.mr); err != nil {
+		c.onErr(errf("srq rendezvous dest release: %w", err))
+		return
+	}
+	if rr.done != nil {
+		rr.done(p)
+	}
+}
+
+// flush stages queued packets into the process send pool until it runs out
+// of slots, control packets first. It reports whether anything moved.
+func (c *SRQConn) flush(p *des.Proc) bool {
+	prog := false
+	for {
+		var q *[]*srqOp
+		switch {
+		case len(c.ctrlq) > 0:
+			q = &c.ctrlq
+		case len(c.dataq) > 0:
+			q = &c.dataq
+		default:
+			return prog
+		}
+		op := (*q)[0]
+		encodeHeader(c.hdrScratch[:], op.hdr)
+		ok, err := c.pool.Send(p, c.qp, c.hdrScratch[:], op.payload, op.onSent)
+		if err != nil {
+			c.onErr(errf("srq send: %w", err))
+			return prog
+		}
+		if !ok {
+			return prog // staging pool exhausted; retried from Poll
+		}
+		*q = (*q)[1:]
+		prog = true
+		if op.onDone != nil {
+			op.onDone(p)
+		}
+	}
+}
+
+// HandleSRQPacket implements rdmachan.SRQDispatch: one packet arrived into
+// a pool slot on this connection's queue pair. The slot is reusable as
+// soon as this returns, so eager payloads copy out immediately.
+func (c *SRQConn) HandleSRQPacket(p *des.Proc, pkt []byte) {
+	h := decodeHeader(pkt[:hdrSize])
+	switch h.kind {
+	case pktEager:
+		sink := c.h.ArriveEager(p, h.env)
+		if h.env.Len > 0 {
+			node := c.qp.HCA().Node()
+			dst, err := node.Mem.Resolve(sink.Buf.Addr, h.env.Len)
+			if err != nil {
+				c.onErr(errf("srq eager sink: %w", err))
+				return
+			}
+			copy(dst, pkt[hdrSize:hdrSize+h.env.Len])
+			node.Bus.Memcpy(p, h.env.Len, h.env.Len)
+		}
+		if sink.Done != nil {
+			sink.Done(p)
+		}
+	case pktRTS:
+		c.h.ArriveRTS(p, h.env, c, h.reqID)
+	case pktCTS:
+		c.handleCTS(p, h)
+	case pktFIN:
+		c.handleFIN(p, h)
+	default:
+		c.onErr(errf("srq bad packet kind %d", h.kind))
+	}
+}
+
+// Poll implements transport.Endpoint: advance the shared pool (which
+// dispatches arrivals for every connection on it) and retry this
+// connection's stalled sends.
+func (c *SRQConn) Poll(p *des.Proc) bool {
+	prog := c.pool.Poll(p)
+	if c.flush(p) {
+		prog = true
+	}
+	return prog
+}

@@ -1,6 +1,6 @@
 // Package cluster assembles complete simulated systems: N nodes with HCAs
-// on a switched fabric, a chosen transport design wired between every rank
-// pair, ADI3 devices, and MPI process launch — the simulation counterpart
+// on a switched fabric, a chosen transport design wired between rank
+// pairs, ADI3 devices, and MPI process launch — the simulation counterpart
 // of the paper's 8-node testbed (§4.1).
 //
 // Beyond the testbed, CoresPerNode places multiple ranks per node
@@ -9,6 +9,12 @@
 // the selected InfiniBand transport, and ranks on one node share that
 // node's adapter and memory bus. Every pair speaks transport.Endpoint to
 // its rank's progress engine, so any transport sits behind any slot.
+//
+// Connection lifecycle is configurable (DESIGN.md §9): ConnectEager wires
+// the full O(np²) mesh at construction, reproducing the paper's setup;
+// ConnectLazy installs connector stubs and establishes each connection on
+// first use, so a job's connection count and memory follow its
+// communication pattern instead of its size.
 package cluster
 
 import (
@@ -55,10 +61,39 @@ func (t Transport) String() string {
 	return fmt.Sprintf("Transport(%d)", int(t))
 }
 
+// ConnectMode selects the connection lifecycle.
+type ConnectMode int
+
+const (
+	// ConnectEager wires every rank pair at cluster construction — the
+	// paper's behaviour, and the default.
+	ConnectEager ConnectMode = iota
+
+	// ConnectLazy establishes each connection on first send: the first
+	// message to an unconnected peer queues behind a simulated
+	// QP-create/address-exchange handshake run by a connection-manager
+	// process, and receives (AnySource included) never force connections.
+	ConnectLazy
+)
+
+func (m ConnectMode) String() string {
+	switch m {
+	case ConnectEager:
+		return "eager"
+	case ConnectLazy:
+		return "lazy"
+	}
+	return fmt.Sprintf("ConnectMode(%d)", int(m))
+}
+
 // Config describes the cluster to build.
 type Config struct {
 	NP        int // number of ranks
 	Transport Transport
+
+	// ConnectMode selects eager (default, the paper's full mesh at
+	// startup) or lazy (on-demand) connection establishment.
+	ConnectMode ConnectMode
 
 	// CoresPerNode places this many ranks on each node, in rank order
 	// (rank r runs on node r/CoresPerNode; the last node may be partially
@@ -69,6 +104,11 @@ type Config struct {
 
 	// Chan overrides per-connection channel parameters (chunk size, ring
 	// size, thresholds, registration cache) for sweeps and ablations.
+	// Chan.UseSRQ selects the SRQ-backed eager mode: inter-node pairs
+	// share a per-process slot pool (rdmachan.SRQPool) behind one shared
+	// receive queue instead of dedicating a ring to every connection, with
+	// the SRQSlots/SRQSlotSize/SRQLowWater/SRQSendSlots knobs threaded
+	// through here.
 	Chan rdmachan.Config
 
 	// Shm overrides the intra-node channel parameters (eager cutoff, ring
@@ -98,17 +138,30 @@ type Cluster struct {
 	HCAs   []*ib.HCA
 	Devs   []*adi3.Device
 
-	nodeOf []int32 // node id per rank
-	cfg    Config
+	nodeOf  []int32 // node id per rank
+	cfg     Config
+	chanCfg rdmachan.Config // Chan with the design resolved from Transport
+
+	pools       []*rdmachan.SRQPool // per-rank SRQ pools (Chan.UseSRQ only)
+	pairStarted map[uint64]bool     // pairs whose establishment has begun
 }
 
-// New builds the cluster and wires all rank-pair connections. Connection
-// setup runs to completion in simulated time before New returns; the
+// New builds the cluster. In eager mode all rank-pair connections are
+// wired before New returns, running to completion in simulated time (the
 // clock then holds the setup cost, which benchmarks exclude by measuring
-// intervals.
-func New(cfg Config) *Cluster {
+// intervals); in lazy mode connector stubs are installed and connections
+// establish on first use. Establishment failures during construction are
+// returned; failures mid-run (lazy mode) surface through the affected
+// ranks' progress engines.
+func New(cfg Config) (*Cluster, error) {
 	if cfg.NP < 2 {
-		panic("cluster: need at least 2 ranks")
+		return nil, fmt.Errorf("cluster: need at least 2 ranks, got %d", cfg.NP)
+	}
+	if cfg.Chan.UseSRQ && cfg.Transport != TransportZeroCopy {
+		// The SRQ mode replaces the inter-node channel design wholesale;
+		// accepting another Transport would silently run identical SRQ
+		// traffic under that transport's label.
+		return nil, fmt.Errorf("cluster: Chan.UseSRQ replaces the channel design; use Transport zerocopy (got %v)", cfg.Transport)
 	}
 	prm := cfg.Params
 	if prm == nil {
@@ -119,9 +172,10 @@ func New(cfg Config) *Cluster {
 		cpn = 1
 	}
 	c := &Cluster{
-		Eng: des.NewEngine(),
-		Prm: prm,
-		cfg: cfg,
+		Eng:         des.NewEngine(),
+		Prm:         prm,
+		cfg:         cfg,
+		pairStarted: make(map[uint64]bool),
 	}
 	c.Fabric = ib.NewFabric(c.Eng, prm)
 	nNodes := (cfg.NP + cpn - 1) / cpn
@@ -137,45 +191,167 @@ func New(cfg Config) *Cluster {
 		c.Devs[r].SetTopology(c.nodeOf)
 	}
 
-	chanCfg := c.cfg.Chan
+	c.chanCfg = c.cfg.Chan
 	switch cfg.Transport {
 	case TransportBasic:
-		chanCfg.Design = rdmachan.DesignBasic
+		c.chanCfg.Design = rdmachan.DesignBasic
 	case TransportPiggyback:
-		chanCfg.Design = rdmachan.DesignPiggyback
+		c.chanCfg.Design = rdmachan.DesignPiggyback
 	case TransportPipeline:
-		chanCfg.Design = rdmachan.DesignPipeline
+		c.chanCfg.Design = rdmachan.DesignPipeline
 	case TransportZeroCopy:
-		chanCfg.Design = rdmachan.DesignZeroCopy
+		c.chanCfg.Design = rdmachan.DesignZeroCopy
 	case TransportCH3:
-		chanCfg.Design = rdmachan.DesignPipeline // eager ring only
+		c.chanCfg.Design = rdmachan.DesignPipeline // eager ring only
 	}
 
+	var setupErr error
 	c.Eng.Spawn("setup", func(p *des.Proc) {
+		if c.chanCfg.UseSRQ {
+			c.pools = make([]*rdmachan.SRQPool, cfg.NP)
+			for r := 0; r < cfg.NP; r++ {
+				pool, err := rdmachan.NewSRQPool(p, c.chanCfg, c.HCAs[c.nodeOf[r]], c.Devs[r].OnErr())
+				if err != nil {
+					setupErr = fmt.Errorf("cluster: rank %d SRQ pool: %w", r, err)
+					return
+				}
+				c.pools[r] = pool
+			}
+		}
+		if cfg.ConnectMode == ConnectLazy {
+			c.installStubs()
+			return
+		}
 		for i := 0; i < cfg.NP; i++ {
 			for j := i + 1; j < cfg.NP; j++ {
-				if c.nodeOf[i] == c.nodeOf[j] {
-					ci, cj := shmchan.NewPair(c.HCAs[c.nodeOf[i]], cfg.Shm,
-						c.Devs[i].Engine(), c.Devs[j].Engine())
-					c.Devs[i].SetEndpoint(int32(j), ci)
-					c.Devs[j].SetEndpoint(int32(i), cj)
-					continue
+				if err := c.wirePair(p, i, j); err != nil {
+					setupErr = fmt.Errorf("cluster: connect %d-%d: %w", i, j, err)
+					return
 				}
-				epi, epj, err := rdmachan.NewConnection(p, chanCfg, c.HCAs[c.nodeOf[i]], c.HCAs[c.nodeOf[j]])
-				if err != nil {
-					panic(fmt.Sprintf("cluster: connect %d-%d: %v", i, j, err))
-				}
-				c.Devs[i].SetEndpoint(int32(j), c.newEndpoint(epi, c.Devs[i]))
-				c.Devs[j].SetEndpoint(int32(i), c.newEndpoint(epj, c.Devs[j]))
 			}
 		}
 	})
 	c.Eng.Run()
+	if setupErr != nil {
+		c.Eng.Shutdown()
+		return nil, setupErr
+	}
+	return c, nil
+}
+
+// MustNew is New for harnesses where a construction failure is fatal
+// (benchmarks, examples, tests).
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return c
+}
+
+// pairKey orders a rank pair into one map key.
+func pairKey(i, j int) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	return uint64(i)<<32 | uint64(j)
+}
+
+// installStubs points every engine slot at a lazy connector. The dial
+// callback runs on the process posting the first send; establishment
+// itself runs on a spawned connection-manager process so both sides'
+// setup costs stay off the application's critical path, exactly like the
+// on-demand connection threads of post-paper MPICH2 stacks.
+func (c *Cluster) installStubs() {
+	for i := 0; i < c.cfg.NP; i++ {
+		for j := 0; j < c.cfg.NP; j++ {
+			if i == j {
+				continue
+			}
+			i, j := i, j
+			c.Devs[i].Engine().SetStub(int32(j), func(*des.Proc) {
+				c.startConnect(i, j)
+			})
+		}
+	}
+}
+
+// startConnect begins establishing the pair's connection unless a dial
+// from either side already did — the simultaneous-connect race resolves
+// to a single establishment whose result both engines share.
+func (c *Cluster) startConnect(i, j int) {
+	key := pairKey(i, j)
+	if c.pairStarted[key] {
+		return
+	}
+	c.pairStarted[key] = true
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	c.Eng.Spawn(fmt.Sprintf("connmgr.%d-%d", lo, hi), func(p *des.Proc) {
+		if c.nodeOf[i] != c.nodeOf[j] {
+			// Address-exchange handshake: QP numbers and buffer keys cross
+			// the wire and back before either side can post.
+			p.Sleep(2 * c.Prm.WireLatency)
+		}
+		if err := c.wirePair(p, lo, hi); err != nil {
+			err = fmt.Errorf("cluster: connect %d-%d: %w", lo, hi, err)
+			c.Devs[i].Engine().Fail(err)
+			c.Devs[j].Engine().Fail(err)
+			c.HCAs[c.nodeOf[i]].NotifyMemWrite()
+			c.HCAs[c.nodeOf[j]].NotifyMemWrite()
+		}
+	})
+}
+
+// wirePair builds the connection between ranks i and j — shared memory
+// for co-located pairs, the SRQ-backed eager mode when Chan.UseSRQ, the
+// configured channel design otherwise — and installs both endpoints,
+// flushing any sends queued on connector stubs.
+func (c *Cluster) wirePair(p *des.Proc, i, j int) error {
+	c.pairStarted[pairKey(i, j)] = true
+	if c.nodeOf[i] == c.nodeOf[j] {
+		ci, cj := shmchan.NewPair(c.HCAs[c.nodeOf[i]], c.cfg.Shm,
+			c.Devs[i].Engine(), c.Devs[j].Engine())
+		c.Devs[i].Engine().Fulfill(int32(j), ci)
+		c.Devs[j].Engine().Fulfill(int32(i), cj)
+		return nil
+	}
+	if c.chanCfg.UseSRQ {
+		ei, ej, err := ch3.NewSRQPair(c.pools[i], c.pools[j],
+			c.Devs[i].Engine(), c.Devs[j].Engine(),
+			c.Devs[i].OnErr(), c.Devs[j].OnErr())
+		if err != nil {
+			return err
+		}
+		c.Devs[i].Engine().Fulfill(int32(j), ei)
+		c.Devs[j].Engine().Fulfill(int32(i), ej)
+		return nil
+	}
+	epi, epj, err := rdmachan.NewConnection(p, c.chanCfg, c.HCAs[c.nodeOf[i]], c.HCAs[c.nodeOf[j]])
+	if err != nil {
+		return err
+	}
+	c.Devs[i].Engine().Fulfill(int32(j), c.newEndpoint(epi, c.Devs[i]))
+	c.Devs[j].Engine().Fulfill(int32(i), c.newEndpoint(epj, c.Devs[j]))
+	return nil
 }
 
 // NodeOf returns the node id hosting a rank.
 func (c *Cluster) NodeOf(rank int) int { return int(c.nodeOf[rank]) }
+
+// Size returns the number of ranks.
+func (c *Cluster) Size() int { return c.cfg.NP }
+
+// SRQPool returns a rank's shared receive pool, or nil when the cluster
+// does not run the SRQ-backed eager mode.
+func (c *Cluster) SRQPool(rank int) *rdmachan.SRQPool {
+	if c.pools == nil {
+		return nil
+	}
+	return c.pools[rank]
+}
 
 func (c *Cluster) newEndpoint(ep rdmachan.Endpoint, dev *adi3.Device) transport.Endpoint {
 	if c.cfg.Transport == TransportCH3 {
@@ -184,9 +360,70 @@ func (c *Cluster) newEndpoint(ep rdmachan.Endpoint, dev *adi3.Device) transport.
 	return ch3.NewOverChannel(ep, dev.Engine(), dev.OnErr())
 }
 
+// MemStats is the connection-scalability accounting (DESIGN.md §9):
+// established connections, queue pairs, dedicated eager buffering and
+// pinned bytes — per process (RankMemStats) or summed (MemStats).
+type MemStats struct {
+	Ranks       int
+	Connections int // established endpoints (each pair counts once per side)
+	QPs         int
+	EagerSlots  int
+	EagerBytes  int64
+	PinnedBytes int64
+}
+
+// add accumulates o into m.
+func (m *MemStats) add(o MemStats) {
+	m.Ranks += o.Ranks
+	m.Connections += o.Connections
+	m.QPs += o.QPs
+	m.EagerSlots += o.EagerSlots
+	m.EagerBytes += o.EagerBytes
+	m.PinnedBytes += o.PinnedBytes
+}
+
+// RankMemStats reports one process's communication memory: its
+// established endpoints' footprints plus its SRQ pool when one exists.
+// Unestablished stubs contribute nothing — that is the point of lazy mode.
+func (c *Cluster) RankMemStats(rank int) MemStats {
+	eng := c.Devs[rank].Engine()
+	var fp transport.Footprint
+	conns := 0
+	for peer := 0; peer < c.cfg.NP; peer++ {
+		if peer == rank || !eng.Connected(int32(peer)) {
+			continue
+		}
+		conns++
+		if a, ok := eng.Endpoint(int32(peer)).(transport.Accountable); ok {
+			fp.Add(a.Footprint())
+		}
+	}
+	if c.pools != nil && c.pools[rank] != nil {
+		fp.Add(c.pools[rank].Footprint())
+	}
+	return MemStats{
+		Ranks:       1,
+		Connections: conns,
+		QPs:         fp.QPs,
+		EagerSlots:  fp.EagerSlots,
+		EagerBytes:  fp.EagerBytes,
+		PinnedBytes: fp.PinnedBytes,
+	}
+}
+
+// MemStats sums RankMemStats over every rank.
+func (c *Cluster) MemStats() MemStats {
+	var total MemStats
+	for r := 0; r < c.cfg.NP; r++ {
+		total.add(c.RankMemStats(r))
+	}
+	return total
+}
+
 // RegCacheStats aggregates pin-down cache counters across every
-// connection in the cluster — the rdmachan endpoints' per-side caches and
-// the shared-memory pairs' shared caches, each counted once.
+// connection in the cluster — the rdmachan endpoints' per-side caches,
+// the shared-memory pairs' shared caches, and the SRQ pools' per-process
+// caches, each counted once.
 func (c *Cluster) RegCacheStats() regcache.Stats {
 	var total regcache.Stats
 	seen := make(map[*regcache.Cache]bool)
@@ -208,6 +445,8 @@ func (c *Cluster) RegCacheStats() regcache.Stats {
 				if raw, ok := e.Endpoint().(rdmachan.RawAccess); ok {
 					addCache(raw.RegCache())
 				}
+			case *ch3.SRQConn:
+				addCache(e.Pool().RegCache())
 			case *shmchan.Conn:
 				addCache(e.RegCache())
 			}

@@ -8,7 +8,7 @@ import (
 )
 
 func TestClusterConstruction(t *testing.T) {
-	c := New(Config{NP: 4, Transport: TransportZeroCopy})
+	c := MustNew(Config{NP: 4, Transport: TransportZeroCopy})
 	if len(c.Nodes) != 4 || len(c.HCAs) != 4 || len(c.Devs) != 4 {
 		t.Fatal("cluster incompletely constructed")
 	}
@@ -30,7 +30,7 @@ func TestClusterConstruction(t *testing.T) {
 func TestLaunchReusable(t *testing.T) {
 	// One cluster, several application launches (as the NAS harness does
 	// when reusing a cluster for warmup + measurement).
-	c := New(Config{NP: 2, Transport: TransportPipeline})
+	c := MustNew(Config{NP: 2, Transport: TransportPipeline})
 	for round := 0; round < 3; round++ {
 		completed := 0
 		c.Launch(func(comm *mpi.Comm) {
@@ -67,17 +67,14 @@ func TestTransportStrings(t *testing.T) {
 }
 
 func TestRejectsTinyCluster(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NP=1 should panic")
-		}
-	}()
-	New(Config{NP: 1, Transport: TransportZeroCopy})
+	if _, err := New(Config{NP: 1, Transport: TransportZeroCopy}); err == nil {
+		t.Fatal("NP=1 should be rejected with an error")
+	}
 }
 
 func TestSimulatedTimeIndependentOfHost(t *testing.T) {
 	run := func() float64 {
-		c := New(Config{NP: 3, Transport: TransportCH3})
+		c := MustNew(Config{NP: 3, Transport: TransportCH3})
 		var end float64
 		c.Launch(func(comm *mpi.Comm) {
 			buf, _ := comm.Alloc(64 << 10)
@@ -95,7 +92,7 @@ func TestSimulatedTimeIndependentOfHost(t *testing.T) {
 func TestSMPWiring(t *testing.T) {
 	// 6 ranks at 2 per node: three nodes, co-located pairs over shared
 	// memory, remote pairs over the selected InfiniBand transport.
-	c := New(Config{NP: 6, CoresPerNode: 2, Transport: TransportZeroCopy})
+	c := MustNew(Config{NP: 6, CoresPerNode: 2, Transport: TransportZeroCopy})
 	defer c.Close()
 	if len(c.Nodes) != 3 || len(c.HCAs) != 3 || len(c.Devs) != 6 {
 		t.Fatalf("got %d nodes, %d HCAs, %d devs; want 3, 3, 6",
@@ -130,7 +127,7 @@ func TestSMPEndToEnd(t *testing.T) {
 	// layout (nodes of 3, 3, 1).
 	for _, tr := range []Transport{TransportBasic, TransportPiggyback,
 		TransportPipeline, TransportZeroCopy, TransportCH3} {
-		c := New(Config{NP: 7, CoresPerNode: 3, Transport: tr})
+		c := MustNew(Config{NP: 7, CoresPerNode: 3, Transport: tr})
 		sum := 0
 		c.Launch(func(comm *mpi.Comm) {
 			send, sb := comm.Alloc(8)

@@ -1,0 +1,169 @@
+package cluster_test
+
+// Large-scale lazy-connection smoke (DESIGN.md §9, the acceptance test of
+// the connection-management refactor): NAS CG and a stencil halo exchange
+// at np=256 under lazy/SRQ connection management, asserting checksum
+// verification, connection counts far below the np² mesh, and per-process
+// eager memory bounded by the SRQ pool.
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/rdmachan"
+)
+
+const largeNP = 256
+
+func lazyLargeConfig(np int) cluster.Config {
+	return cluster.Config{
+		NP:          np,
+		Transport:   cluster.TransportZeroCopy,
+		ConnectMode: cluster.ConnectLazy,
+		Chan:        rdmachan.Config{UseSRQ: true},
+	}
+}
+
+// srqPoolBytes is the per-process eager buffering of the default SRQ pool
+// (receive slots + send staging), the bound every rank must stay within.
+func srqPoolBytes() int64 {
+	return int64((32 + 16) * (8 << 10))
+}
+
+// TestLazyLargeScale runs NAS CG class S on 256 ranks under lazy/SRQ
+// connection management: the checksum must verify, and CG's row
+// butterflies, transpose pairs and reduction trees must establish far
+// fewer connections than the np² mesh eager mode would wire.
+func TestLazyLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("np=256 smoke skipped in -short mode")
+	}
+	c := cluster.MustNew(lazyLargeConfig(largeNP))
+	defer c.Close()
+	res := nas.RunOn(c, "cg", nas.ClassS)
+	if !res.Verified {
+		t.Fatalf("cg.S np=%d failed checksum verification under lazy connections", largeNP)
+	}
+	ms := c.MemStats()
+	pairs := ms.Connections / 2
+	mesh := largeNP * (largeNP - 1) / 2
+	// CG touches O(np·log np) partners; "≪ np²" here means under a tenth
+	// of the mesh (measured: ~2.4k pairs vs 32640).
+	if pairs >= mesh/10 {
+		t.Errorf("CG established %d pairs; want ≪ the %d-pair mesh", pairs, mesh)
+	}
+	for r := 0; r < largeNP; r++ {
+		if eb := c.RankMemStats(r).EagerBytes; eb != srqPoolBytes() {
+			t.Fatalf("rank %d eager bytes %d exceed the SRQ pool bound %d", r, eb, srqPoolBytes())
+		}
+	}
+	t.Logf("cg.S np=%d lazy/srq: %d pairs (mesh would be %d), %d KB/process eager",
+		largeNP, pairs, mesh, srqPoolBytes()/1024)
+}
+
+// stencilChecksum runs a compact version of examples/stencil — a 1D halo
+// exchange over a 2D field with per-rank checksums — on the given cluster
+// and returns the global field checksum.
+func stencilChecksum(c *cluster.Cluster, np int) uint64 {
+	const ny, iters = 64, 3
+	sums := make([]uint64, np)
+	c.Launch(func(comm *mpi.Comm) {
+		rank, size := comm.Rank(), comm.Size()
+		const rows = 2
+		field := make([]float64, (rows+2)*ny)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < ny; j++ {
+				field[(i+1)*ny+j] = float64((rank*rows+i)*ny+j%97) * 0.001
+			}
+		}
+		up, down := rank-1, rank+1
+		topSend, topB := comm.Alloc(ny * 8)
+		botSend, botB := comm.Alloc(ny * 8)
+		topRecv, topRB := comm.Alloc(ny * 8)
+		botRecv, botRB := comm.Alloc(ny * 8)
+		for it := 0; it < iters; it++ {
+			for j := 0; j < ny; j++ {
+				mpi.PutFloat64(topB, j, field[1*ny+j])
+				mpi.PutFloat64(botB, j, field[rows*ny+j])
+			}
+			var reqs []*mpi.Request
+			if up >= 0 {
+				reqs = append(reqs, comm.Irecv(topRecv, up, 1), comm.Isend(topSend, up, 2))
+			}
+			if down < size {
+				reqs = append(reqs, comm.Irecv(botRecv, down, 2), comm.Isend(botSend, down, 1))
+			}
+			comm.WaitAll(reqs...)
+			if up >= 0 {
+				for j := 0; j < ny; j++ {
+					field[j] = mpi.GetFloat64(topRB, j)
+				}
+			}
+			if down < size {
+				for j := 0; j < ny; j++ {
+					field[(rows+1)*ny+j] = mpi.GetFloat64(botRB, j)
+				}
+			}
+			next := make([]float64, len(field))
+			copy(next, field)
+			for i := 1; i <= rows; i++ {
+				for j := 1; j < ny-1; j++ {
+					next[i*ny+j] = 0.25 * (field[(i-1)*ny+j] + field[(i+1)*ny+j] +
+						field[i*ny+j-1] + field[i*ny+j+1])
+				}
+			}
+			field = next
+		}
+		var s uint64 = 1469598103934665603
+		for _, v := range field[ny : (rows+1)*ny] {
+			s ^= uint64(v * 1e6)
+			s *= 1099511628211
+		}
+		sums[rank] = s
+	})
+	var total uint64
+	for _, s := range sums {
+		total ^= s
+	}
+	return total
+}
+
+// TestLazyStencilLargeScale runs the stencil halo pattern at np=256 under
+// lazy/SRQ connections: the nearest-neighbor pattern must establish O(np)
+// connections with pool-bounded memory, and the field checksum must match
+// the eager run of the identical problem at a size the mesh can afford.
+func TestLazyStencilLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("np=256 smoke skipped in -short mode")
+	}
+	// Bit-equality against eager at a mesh-affordable size.
+	const smallNP = 16
+	eager := cluster.MustNew(cluster.Config{NP: smallNP, Transport: cluster.TransportZeroCopy})
+	eagerSum := stencilChecksum(eager, smallNP)
+	eager.Close()
+	lazy := cluster.MustNew(lazyLargeConfig(smallNP))
+	lazySum := stencilChecksum(lazy, smallNP)
+	lazy.Close()
+	if eagerSum != lazySum {
+		t.Fatalf("np=%d stencil checksum: eager %#x vs lazy %#x", smallNP, eagerSum, lazySum)
+	}
+
+	c := cluster.MustNew(lazyLargeConfig(largeNP))
+	defer c.Close()
+	if sum := stencilChecksum(c, largeNP); sum == 0 {
+		t.Fatal("np=256 stencil produced a zero checksum")
+	}
+	ms := c.MemStats()
+	pairs := ms.Connections / 2
+	// Nearest-neighbor: exactly np-1 pairs — O(np), not O(np²).
+	if pairs != largeNP-1 {
+		t.Errorf("halo exchange established %d pairs, want %d", pairs, largeNP-1)
+	}
+	for r := 0; r < largeNP; r++ {
+		if eb := c.RankMemStats(r).EagerBytes; eb != srqPoolBytes() {
+			t.Fatalf("rank %d eager bytes %d exceed the SRQ pool bound %d", r, eb, srqPoolBytes())
+		}
+	}
+}

@@ -66,5 +66,9 @@ const (
 	TransportCH3       = cluster.TransportCH3
 )
 
-// NewCluster builds a simulated cluster; see cluster.New.
-func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+// NewCluster builds a simulated cluster; see cluster.New. Construction
+// reports connection-establishment failures instead of panicking.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// MustNewCluster is NewCluster for harnesses where failure is fatal.
+func MustNewCluster(cfg ClusterConfig) *Cluster { return cluster.MustNew(cfg) }

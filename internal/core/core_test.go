@@ -14,7 +14,7 @@ import (
 // public face of the library must be sufficient to build a cluster and
 // exchange a message.
 func TestFacadeUsable(t *testing.T) {
-	c := NewCluster(ClusterConfig{NP: 2, Transport: TransportZeroCopy})
+	c := MustNewCluster(ClusterConfig{NP: 2, Transport: TransportZeroCopy})
 	delivered := false
 	c.Launch(func(comm *Comm) {
 		buf, b := comm.Alloc(1024)

@@ -63,6 +63,7 @@ const (
 	StatusRemoteAccessErr
 	StatusRemoteInvalidErr
 	StatusWRFlushErr
+	StatusRNRRetryExc // receiver-not-ready retries exhausted (SRQ ran dry)
 )
 
 func (s Status) String() string {
@@ -77,6 +78,8 @@ func (s Status) String() string {
 		return "REMOTE_INVALID_ERR"
 	case StatusWRFlushErr:
 		return "WR_FLUSH_ERR"
+	case StatusRNRRetryExc:
+		return "RNR_RETRY_EXC_ERR"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }

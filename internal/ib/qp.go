@@ -22,6 +22,12 @@ type QP struct {
 	state QPState
 	sq    des.Queue[*sendWork]
 	rq    []*RecvWR
+	srq   *SRQ // shared receive queue; nil = private rq
+
+	// Responder-side delivery FIFO for two-sided sends. An RNR NAK blocks
+	// the head until its retry fires, so later sends on the same QP cannot
+	// overtake it — RC in-order delivery, which MPI non-overtaking rides on.
+	deliverq []*sendWork
 
 	readSlots *des.Resource
 
@@ -51,6 +57,7 @@ type sendWork struct {
 	wr   SendWR
 	seq  uint64
 	data []byte // gather snapshot, filled by the engine
+	rnr  int    // receiver-not-ready retries attempted so far
 }
 
 // CreateQP allocates a queue pair with the given PD and completion queues.
@@ -97,6 +104,9 @@ func (qp *QP) PostSend(p *des.Proc, wr SendWR) {
 
 // PostRecv posts a receive descriptor.
 func (qp *QP) PostRecv(p *des.Proc, wr RecvWR) {
+	if qp.srq != nil {
+		panic("ib: PostRecv on a QP attached to an SRQ; post to the SRQ")
+	}
 	p.Sleep(qp.hca.prm.PostOverhead)
 	qp.stats.RecvsPosted++
 	rw := wr
@@ -206,31 +216,97 @@ func (qp *QP) execSend(p *des.Proc, w *sendWork) {
 	peer := qp.peer
 	qp.stats.BytesSent += uint64(len(data))
 	qp.hca.stats.BytesInjected += uint64(len(data))
-	seq := w.seq
-	last := func() {
+	w.data = data
+	qp.inject(p, peer.hca, len(data), func() { qp.enqueueDeliver(w) })
+}
+
+// enqueueDeliver queues an arrived two-sided send for in-order responder
+// delivery and drains the queue unless its head is already blocked on a
+// receiver-not-ready retry.
+func (qp *QP) enqueueDeliver(w *sendWork) {
+	qp.deliverq = append(qp.deliverq, w)
+	if len(qp.deliverq) == 1 {
+		qp.drainDeliverq()
+	}
+}
+
+// drainDeliverq delivers queued sends in arrival order. When the head is
+// NAK'd (SRQ empty) the queue stalls until the scheduled retry re-enters,
+// so no later send overtakes it.
+func (qp *QP) drainDeliverq() {
+	for len(qp.deliverq) > 0 {
+		if !qp.tryDeliver(qp.deliverq[0]) {
+			return
+		}
+		qp.deliverq[0] = nil
+		qp.deliverq = qp.deliverq[1:]
+	}
+}
+
+// tryDeliver lands one two-sided send at the responder: take a receive
+// descriptor — from the peer's shared receive queue if it is attached to
+// one, its private receive queue otherwise — scatter the payload, and
+// complete both sides. It reports false when the send was NAK'd and must
+// stay at the head of the delivery queue (the retry is scheduled here).
+//
+// An empty SRQ is not fatal: the responder NAKs (receiver-not-ready) and
+// the delivery is reattempted after the RNR timer plus a NAK/resend round
+// trip, up to the retry limit — the limited-retry half of the SRQ flow
+// control whose other half is the low-watermark refill (SRQ.Arm). An empty
+// private receive queue stays a panic: those protocols pre-post, so
+// hitting it is a bug in the layer above.
+func (qp *QP) tryDeliver(w *sendWork) bool {
+	peer := qp.peer
+	prm := qp.hca.prm
+	data := w.data
+	var rwr *RecvWR
+	if peer.srq != nil {
+		r, ok := peer.srq.pop()
+		if !ok {
+			peer.srq.stats.RNRNaks++
+			w.rnr++
+			limit := rnrRetryLimit(prm)
+			if limit < 7 && w.rnr > limit {
+				qp.hca.eng.After(prm.WireLatency, func() {
+					qp.completeErr(w, StatusRNRRetryExc)
+				})
+				return true // consumed (in error); later sends may proceed
+			}
+			// Exponentially backed-off RNR timer (capped), plus the NAK and
+			// resend crossing the wire.
+			shift := w.rnr - 1
+			if shift > 6 {
+				shift = 6
+			}
+			qp.hca.eng.After(2*prm.WireLatency+rnrTimeout(prm)<<uint(shift), func() {
+				qp.drainDeliverq()
+			})
+			return false
+		}
+		rwr = r
+	} else {
 		if len(peer.rq) == 0 {
-			// Receiver-not-ready. The protocols in this repository always
-			// pre-post; hitting this is a bug in the layer above.
 			panic(fmt.Sprintf("ib: RNR on qp%d: send of %d bytes with no posted receive",
 				peer.num, len(data)))
 		}
-		rwr := peer.rq[0]
+		rwr = peer.rq[0]
 		peer.rq = peer.rq[1:]
-		if err := peer.hca.scatter(rwr.SGL, peer.pd, data); err != nil {
-			peer.state = QPError
-			peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusLocalProtErr, Op: OpRecv, QPNum: peer.num})
-			qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
-				qp.completeErr(w, StatusRemoteAccessErr)
-			})
-			return
-		}
-		peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusSuccess, Op: OpRecv, ByteLen: len(data), QPNum: peer.num})
-		peer.hca.notifyMemWrite()
-		qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
-			qp.complete(seq, qp.cqeFor(w, len(data)))
-		})
 	}
-	qp.inject(p, peer.hca, len(data), last)
+	seq := w.seq
+	if err := peer.hca.scatter(rwr.SGL, peer.pd, data); err != nil {
+		peer.state = QPError
+		peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusLocalProtErr, Op: OpRecv, QPNum: peer.num})
+		qp.hca.eng.After(prm.WireLatency, func() {
+			qp.completeErr(w, StatusRemoteAccessErr)
+		})
+		return true
+	}
+	peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusSuccess, Op: OpRecv, ByteLen: len(data), QPNum: peer.num})
+	peer.hca.notifyMemWrite()
+	qp.hca.eng.After(prm.WireLatency, func() {
+		qp.complete(seq, qp.cqeFor(w, len(data)))
+	})
+	return true
 }
 
 // execRead issues an RDMA read. The engine blocks while the HCA's

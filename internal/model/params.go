@@ -37,6 +37,9 @@ type Params struct {
 	NetBandwidth   float64  // MB/s sustained DMA rate (PCI-X 64/133 bound)
 	ReadTurnaround des.Time // responder-side extra latency for RDMA read
 	MaxRDMAReads   int      // outstanding RDMA reads per QP (HCA limit)
+	RNRTimeout     des.Time // receiver-not-ready NAK retry timer (SRQ mode)
+	MaxRNRRetry    int      // RNR retries before erroring; 7 = retry forever
+	// (the verbs convention)
 
 	// Memory subsystem.
 	BusMaxRate          float64 // MB/s ceiling for any single bus flow
@@ -80,6 +83,8 @@ func Testbed() *Params {
 		NetBandwidth:   870.0,
 		ReadTurnaround: 1000 * des.Nanosecond,
 		MaxRDMAReads:   1,
+		RNRTimeout:     10 * des.Microsecond,
+		MaxRNRRetry:    7,
 
 		BusMaxRate:          2000.0,
 		BusGranule:          16384,

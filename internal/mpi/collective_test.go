@@ -34,7 +34,7 @@ var collectiveTopologies = []topology{
 
 func launch(t *testing.T, tp topology, body func(comm *mpi.Comm)) {
 	t.Helper()
-	c := cluster.New(cluster.Config{
+	c := cluster.MustNew(cluster.Config{
 		NP:           tp.np,
 		CoresPerNode: tp.cpn,
 		Transport:    cluster.TransportZeroCopy,

@@ -392,7 +392,7 @@ func TestTuningForcedAlgorithms(t *testing.T) {
 		for _, tc := range tunings {
 			tp, tc := tp, tc
 			t.Run(tp.name+"/"+tc.name, func(t *testing.T) {
-				c := cluster.New(cluster.Config{
+				c := cluster.MustNew(cluster.Config{
 					NP:           tp.np,
 					CoresPerNode: tp.cpn,
 					Transport:    cluster.TransportZeroCopy,

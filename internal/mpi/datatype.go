@@ -8,11 +8,14 @@ import (
 // Datatype is a basic MPI datatype.
 type Datatype int
 
-// Supported datatypes.
+// Supported datatypes. Int32/Float32 open the mixed-precision workloads
+// that pack twice the elements per message.
 const (
 	Byte Datatype = iota
 	Int64
 	Float64
+	Int32
+	Float32
 )
 
 // Size returns the element size in bytes.
@@ -20,6 +23,8 @@ func (d Datatype) Size() int {
 	switch d {
 	case Byte:
 		return 1
+	case Int32, Float32:
+		return 4
 	case Int64, Float64:
 		return 8
 	}
@@ -55,7 +60,37 @@ func reduce(dst, src []byte, dt Datatype, op Op) {
 			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
 			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(reduceFloat64(a, b, op)))
 		}
+	case Int32:
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := int32(binary.LittleEndian.Uint32(dst[i:]))
+			b := int32(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], uint32(reduceInt64(int64(a), int64(b), op)))
+		}
+	case Float32:
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := math.Float32frombits(binary.LittleEndian.Uint32(dst[i:]))
+			b := math.Float32frombits(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(reduceFloat32(a, b, op)))
+		}
 	}
+}
+
+func reduceFloat32(a, b float32, op Op) float32 {
+	switch op {
+	case Sum:
+		return a + b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic("mpi: unknown op")
 }
 
 func reduceByte(a, b byte, op Op) byte {
@@ -124,4 +159,24 @@ func PutInt64(b []byte, i int, v int64) {
 // GetInt64 loads element index i.
 func GetInt64(b []byte, i int) int64 {
 	return int64(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+// PutFloat32 stores v at element index i of the buffer's backing bytes.
+func PutFloat32(b []byte, i int, v float32) {
+	binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+}
+
+// GetFloat32 loads element index i.
+func GetFloat32(b []byte, i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+}
+
+// PutInt32 stores v at element index i.
+func PutInt32(b []byte, i int, v int32) {
+	binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+}
+
+// GetInt32 loads element index i.
+func GetInt32(b []byte, i int) int32 {
+	return int32(binary.LittleEndian.Uint32(b[i*4:]))
 }

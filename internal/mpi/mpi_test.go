@@ -27,7 +27,7 @@ func TestSendRecvAllTransports(t *testing.T) {
 				sizes = []int{0, 1, 4, 1024, 30 << 10}
 			}
 			for _, size := range sizes {
-				c := cluster.New(cluster.Config{NP: 2, Transport: tr})
+				c := cluster.MustNew(cluster.Config{NP: 2, Transport: tr})
 				ok := false
 				c.Launch(func(comm *mpi.Comm) {
 					switch comm.Rank() {
@@ -65,7 +65,7 @@ func TestUnexpectedMessageBuffered(t *testing.T) {
 	for _, tr := range []cluster.Transport{cluster.TransportZeroCopy, cluster.TransportCH3} {
 		tr := tr
 		t.Run(tr.String(), func(t *testing.T) {
-			c := cluster.New(cluster.Config{NP: 2, Transport: tr})
+			c := cluster.MustNew(cluster.Config{NP: 2, Transport: tr})
 			const size = 2048 // eager on both transports
 			c.Launch(func(comm *mpi.Comm) {
 				if comm.Rank() == 0 {
@@ -106,7 +106,7 @@ func TestRendezvousUnexpectedLarge(t *testing.T) {
 	for _, tr := range []cluster.Transport{cluster.TransportZeroCopy, cluster.TransportCH3} {
 		tr := tr
 		t.Run(tr.String(), func(t *testing.T) {
-			c := cluster.New(cluster.Config{NP: 2, Transport: tr})
+			c := cluster.MustNew(cluster.Config{NP: 2, Transport: tr})
 			const size = 300 << 10
 			c.Launch(func(comm *mpi.Comm) {
 				if comm.Rank() == 0 {
@@ -129,7 +129,7 @@ func TestRendezvousUnexpectedLarge(t *testing.T) {
 }
 
 func TestWildcards(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 3, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: 3, Transport: cluster.TransportZeroCopy})
 	c.Launch(func(comm *mpi.Comm) {
 		switch comm.Rank() {
 		case 1, 2:
@@ -155,7 +155,7 @@ func TestWildcards(t *testing.T) {
 }
 
 func TestIsendIrecvOverlap(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 2, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: 2, Transport: cluster.TransportZeroCopy})
 	c.Launch(func(comm *mpi.Comm) {
 		const n = 4
 		const size = 64 << 10
@@ -191,7 +191,7 @@ func TestIsendIrecvOverlap(t *testing.T) {
 }
 
 func TestSendrecvExchange(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
 	c.Launch(func(comm *mpi.Comm) {
 		size, rank := comm.Size(), comm.Rank()
 		right := (rank + 1) % size
@@ -207,7 +207,7 @@ func TestSendrecvExchange(t *testing.T) {
 }
 
 func TestBarrierSynchronizes(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 8, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: 8, Transport: cluster.TransportZeroCopy})
 	var after [8]float64
 	var before [8]float64
 	c.Launch(func(comm *mpi.Comm) {
@@ -231,7 +231,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 
 func TestBcastAllRootsAllSizes(t *testing.T) {
 	for _, np := range []int{2, 4, 5, 8} {
-		c := cluster.New(cluster.Config{NP: np, Transport: cluster.TransportZeroCopy})
+		c := cluster.MustNew(cluster.Config{NP: np, Transport: cluster.TransportZeroCopy})
 		for root := 0; root < np; root++ {
 			root := root
 			c.Launch(func(comm *mpi.Comm) {
@@ -257,7 +257,7 @@ func TestBcastAllRootsAllSizes(t *testing.T) {
 func TestReduceAndAllreduce(t *testing.T) {
 	for _, np := range []int{2, 3, 8} {
 		np := np
-		c := cluster.New(cluster.Config{NP: np, Transport: cluster.TransportZeroCopy})
+		c := cluster.MustNew(cluster.Config{NP: np, Transport: cluster.TransportZeroCopy})
 		c.Launch(func(comm *mpi.Comm) {
 			const n = 64
 			send, sb := comm.Alloc(n * 8)
@@ -288,7 +288,7 @@ func TestReduceAndAllreduce(t *testing.T) {
 }
 
 func TestGatherScatter(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
 	c.Launch(func(comm *mpi.Comm) {
 		const n = 256
 		rank, size := comm.Rank(), comm.Size()
@@ -330,7 +330,7 @@ func TestGatherScatter(t *testing.T) {
 }
 
 func TestAllgatherRing(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 6, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: 6, Transport: cluster.TransportZeroCopy})
 	c.Launch(func(comm *mpi.Comm) {
 		const n = 512
 		rank, size := comm.Rank(), comm.Size()
@@ -352,7 +352,7 @@ func TestAllgatherRing(t *testing.T) {
 }
 
 func TestAlltoallPairwise(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 8, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: 8, Transport: cluster.TransportZeroCopy})
 	c.Launch(func(comm *mpi.Comm) {
 		const n = 1024
 		rank, size := comm.Rank(), comm.Size()
@@ -376,7 +376,7 @@ func TestAlltoallPairwise(t *testing.T) {
 }
 
 func TestAlltoallv(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
 	c.Launch(func(comm *mpi.Comm) {
 		rank, size := comm.Rank(), comm.Size()
 		sendCounts := make([]int, size)
@@ -419,7 +419,7 @@ func TestLatencyPiggybackVsBasic(t *testing.T) {
 	// MPI-level calibration: paper's 18.6 µs basic vs 7.4 µs piggyback vs
 	// 7.6 µs zero-copy, 4-byte ping-pong.
 	lat := func(tr cluster.Transport) float64 {
-		c := cluster.New(cluster.Config{NP: 2, Transport: tr})
+		c := cluster.MustNew(cluster.Config{NP: 2, Transport: tr})
 		var oneWay float64
 		const iters = 20
 		c.Launch(func(comm *mpi.Comm) {
@@ -460,7 +460,7 @@ func TestLatencyPiggybackVsBasic(t *testing.T) {
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() float64 {
-		c := cluster.New(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
+		c := cluster.MustNew(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
 		var endTime float64
 		c.Launch(func(comm *mpi.Comm) {
 			buf, _ := comm.Alloc(32 << 10)

@@ -45,7 +45,8 @@ func rawOf(ep transport.Endpoint) (rdmachan.RawAccess, error) {
 	type hasEndpoint interface{ Endpoint() rdmachan.Endpoint }
 	he, ok := ep.(hasEndpoint)
 	if !ok {
-		return nil, fmt.Errorf("mpi: connection exposes no endpoint")
+		return nil, fmt.Errorf("mpi: connection exposes no raw verbs endpoint " +
+			"(one-sided windows need a channel-design transport; the SRQ eager mode is unsupported)")
 	}
 	raw, ok := he.Endpoint().(rdmachan.RawAccess)
 	if !ok {
@@ -66,6 +67,10 @@ func (c *Comm) WinCreate(base Buffer) (*Win, error) {
 		if peer == rank {
 			continue
 		}
+		// Lazy mode: a window grants every member RDMA access to this rank,
+		// so window creation is the first use — establish the connection
+		// before digging out its verbs resources.
+		c.dev.EnsureConnected(c.p, c.world(peer))
 		raw, err := rawOf(c.dev.Endpoint(c.world(peer)))
 		if err != nil {
 			return nil, err

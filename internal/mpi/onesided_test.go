@@ -5,13 +5,14 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/rdmachan"
 )
 
 func TestOneSidedPutGet(t *testing.T) {
 	for _, tr := range []cluster.Transport{cluster.TransportZeroCopy, cluster.TransportCH3, cluster.TransportPipeline} {
 		tr := tr
 		t.Run(tr.String(), func(t *testing.T) {
-			c := cluster.New(cluster.Config{NP: 4, Transport: tr})
+			c := cluster.MustNew(cluster.Config{NP: 4, Transport: tr})
 			c.Launch(func(comm *mpi.Comm) {
 				const winSize = 4096
 				rank, size := comm.Rank(), comm.Size()
@@ -73,7 +74,7 @@ func TestOneSidedPutGet(t *testing.T) {
 }
 
 func TestOneSidedAtomics(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: 4, Transport: cluster.TransportZeroCopy})
 	c.Launch(func(comm *mpi.Comm) {
 		winBuf, winBytes := comm.Alloc(64)
 		mpi.PutInt64(winBytes, 0, 0)
@@ -124,7 +125,7 @@ func TestOneSidedAtomics(t *testing.T) {
 }
 
 func TestOneSidedBasicTransportRejected(t *testing.T) {
-	c := cluster.New(cluster.Config{NP: 2, Transport: cluster.TransportBasic})
+	c := cluster.MustNew(cluster.Config{NP: 2, Transport: cluster.TransportBasic})
 	c.Launch(func(comm *mpi.Comm) {
 		buf, _ := comm.Alloc(64)
 		if _, err := comm.WinCreate(buf); err == nil {
@@ -132,4 +133,61 @@ func TestOneSidedBasicTransportRejected(t *testing.T) {
 		}
 		comm.Barrier()
 	})
+}
+
+// TestOneSidedLazyConnect creates a window under lazy connection
+// management: window creation is the first use, so it must establish the
+// connections itself (a stub endpoint exposes no verbs resources).
+func TestOneSidedLazyConnect(t *testing.T) {
+	c := cluster.MustNew(cluster.Config{
+		NP: 4, Transport: cluster.TransportZeroCopy, ConnectMode: cluster.ConnectLazy,
+	})
+	defer c.Close()
+	var got int64
+	c.Launch(func(comm *mpi.Comm) {
+		buf, b := comm.Alloc(64)
+		mpi.PutInt64(b, 0, int64(10+comm.Rank()))
+		win, err := comm.WinCreate(buf)
+		if err != nil {
+			panic(err)
+		}
+		win.Fence()
+		if comm.Rank() == 0 {
+			dst, db := comm.Alloc(8)
+			if err := win.Get(dst, 3, 0); err != nil {
+				panic(err)
+			}
+			win.Fence()
+			got = mpi.GetInt64(db, 0)
+		} else {
+			win.Fence()
+		}
+	})
+	if got != 13 {
+		t.Fatalf("one-sided Get over lazy connections read %d, want 13", got)
+	}
+	if ms := c.MemStats(); ms.Connections != 12 {
+		t.Errorf("window creation established %d endpoints, want the full 12 (windows grant all-to-all access)", ms.Connections)
+	}
+}
+
+// TestOneSidedSRQUnsupported documents the SRQ eager mode's limitation:
+// its connections expose no raw channel endpoint, so window creation must
+// fail with a clear error instead of panicking downstream.
+func TestOneSidedSRQUnsupported(t *testing.T) {
+	c := cluster.MustNew(cluster.Config{
+		NP: 2, Transport: cluster.TransportZeroCopy,
+		Chan: rdmachan.Config{UseSRQ: true},
+	})
+	defer c.Close()
+	errs := make([]error, 2)
+	c.Launch(func(comm *mpi.Comm) {
+		buf, _ := comm.Alloc(64)
+		_, errs[comm.Rank()] = comm.WinCreate(buf)
+	})
+	for r, err := range errs {
+		if err == nil {
+			t.Errorf("rank %d: WinCreate over SRQ mode succeeded; want a clear unsupported error", r)
+		}
+	}
 }

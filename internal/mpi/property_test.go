@@ -25,7 +25,7 @@ func TestRandomTrafficProperty(t *testing.T) {
 					// Straddle the 32K threshold: 1 B … 128 KB.
 					sizes[i] = 1 + rng.Intn(128<<10)
 				}
-				c := cluster.New(cluster.Config{NP: 2, Transport: tr})
+				c := cluster.MustNew(cluster.Config{NP: 2, Transport: tr})
 				var want, got [][]byte
 				c.Launch(func(comm *mpi.Comm) {
 					if comm.Rank() == 0 {
@@ -68,7 +68,7 @@ func TestCollectiveAgreementProperty(t *testing.T) {
 		n := 8 * (1 + rng.Intn(2048)) // multiple of 8 up to 16 KB
 		var reference [][]byte
 		for ti, tr := range []cluster.Transport{cluster.TransportZeroCopy, cluster.TransportCH3} {
-			c := cluster.New(cluster.Config{NP: np, Transport: tr})
+			c := cluster.MustNew(cluster.Config{NP: np, Transport: tr})
 			results := make([][]byte, np)
 			c.Launch(func(comm *mpi.Comm) {
 				rank := comm.Rank()
@@ -118,7 +118,7 @@ func TestCollectiveAgreementProperty(t *testing.T) {
 // eager and rendezvous paths.
 func TestManyRanksStress(t *testing.T) {
 	const np = 8
-	c := cluster.New(cluster.Config{NP: np, Transport: cluster.TransportZeroCopy})
+	c := cluster.MustNew(cluster.Config{NP: np, Transport: cluster.TransportZeroCopy})
 	defer c.Close()
 	var ok [np]bool
 	c.Launch(func(comm *mpi.Comm) {

@@ -80,13 +80,24 @@ func SquareOnly(name string) bool { return name == "sp" || name == "bt" }
 // rank-0 result. Timing excludes setup: ranks synchronize with a barrier,
 // then measure to a closing barrier, as NPB does.
 func Run(name string, class Class, cfg cluster.Config) Result {
+	if _, ok := benchmarks[name]; !ok {
+		// Validate before paying for cluster construction.
+		panic(fmt.Sprintf("nas: unknown benchmark %q (have %v)", name, sorted(benchmarks)))
+	}
+	c := cluster.MustNew(cfg)
+	defer c.Close()
+	return RunOn(c, name, class)
+}
+
+// RunOn executes one benchmark on an already-built cluster, which the
+// caller keeps — the connection-scalability tests run a kernel and then
+// read the cluster's MemStats.
+func RunOn(c *cluster.Cluster, name string, class Class) Result {
 	b, ok := benchmarks[name]
 	if !ok {
 		panic(fmt.Sprintf("nas: unknown benchmark %q (have %v)", name, sorted(benchmarks)))
 	}
-	c := cluster.New(cfg)
-	defer c.Close()
-	res := Result{Name: name, Class: class, NP: cfg.NP}
+	res := Result{Name: name, Class: class, NP: c.Size()}
 	c.Launch(func(comm *mpi.Comm) {
 		comm.Barrier()
 		start := comm.Wtime()

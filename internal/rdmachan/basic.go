@@ -52,6 +52,19 @@ type remoteWindow struct {
 	size int
 }
 
+// Footprint reports this side's dedicated per-connection memory: the byte
+// ring and its staging mirror plus the replicated pointer slots and one
+// queue pair. The basic ring is one undivided eager buffer.
+func (e *basicEP) Footprint() Footprint {
+	ringBytes := int64(2 * e.cfg.RingSize)
+	return Footprint{
+		QPs:         1,
+		EagerSlots:  1,
+		EagerBytes:  ringBytes,
+		PinnedBytes: ringBytes + 4*8,
+	}
+}
+
 func newBasicPair(p *des.Proc, cfg Config, ha, hb *ib.HCA) (Endpoint, Endpoint, error) {
 	a := &basicEP{endpointBase: newBase(cfg, ha)}
 	b := &basicEP{endpointBase: newBase(cfg, hb)}

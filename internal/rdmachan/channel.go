@@ -166,6 +166,30 @@ type Config struct {
 	// negative disables caching (every zero-copy transfer pays full
 	// registration cost).
 	RegCacheBytes int
+
+	// UseSRQ selects the SRQ-backed eager mode (DESIGN.md §9): instead of
+	// a dedicated ring per connection, inbound eager packets land in a
+	// per-process pool of slots behind a shared receive queue (SRQPool),
+	// and large messages take the CH3 rendezvous. Per-process eager memory
+	// becomes O(pool), independent of peer count.
+	UseSRQ bool
+
+	// SRQSlots is the receive-pool depth (slots shared by every peer).
+	// Default 32.
+	SRQSlots int
+
+	// SRQSlotSize is the slot size in bytes, packet header included; it is
+	// the eager/rendezvous switch of the SRQ mode. Default 8 KB.
+	SRQSlotSize int
+
+	// SRQLowWater is the low-watermark at which the shared queue's limit
+	// event wakes the progress loop to refill. Default SRQSlots/4 (≥ 1).
+	SRQLowWater int
+
+	// SRQSendSlots is the outbound staging-pool depth, shared by every
+	// peer (senders stall, not ring-buffer credits, when it is exhausted).
+	// Default 16.
+	SRQSendSlots int
 }
 
 func (c Config) withDefaults() Config {
@@ -191,7 +215,42 @@ func (c Config) withDefaults() Config {
 	if c.RegCacheBytes == 0 {
 		c.RegCacheBytes = 64 << 20
 	}
+	if c.SRQSlots == 0 {
+		c.SRQSlots = 32
+	}
+	if c.SRQSlotSize == 0 {
+		c.SRQSlotSize = 8 << 10
+	}
+	if c.SRQLowWater == 0 {
+		c.SRQLowWater = c.SRQSlots / 4
+		if c.SRQLowWater < 1 {
+			c.SRQLowWater = 1
+		}
+	}
+	if c.SRQSendSlots == 0 {
+		c.SRQSendSlots = 16
+	}
 	return c
+}
+
+// Footprint is one component's contribution to a process's communication
+// memory: queue pairs, dedicated eager buffer slots, the bytes behind
+// them, and total pinned bytes. The cluster aggregates footprints into its
+// per-process MemStats — the accounting the connection-scalability work
+// (DESIGN.md §9) is measured by.
+type Footprint struct {
+	QPs         int
+	EagerSlots  int
+	EagerBytes  int64
+	PinnedBytes int64
+}
+
+// Add accumulates o into f.
+func (f *Footprint) Add(o Footprint) {
+	f.QPs += o.QPs
+	f.EagerSlots += o.EagerSlots
+	f.EagerBytes += o.EagerBytes
+	f.PinnedBytes += o.PinnedBytes
 }
 
 // NewConnection wires a bidirectional connection between two adapters and

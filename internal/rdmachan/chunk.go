@@ -188,6 +188,20 @@ func (e *chunkEP) RawPD() *ib.PD { return e.pd }
 // RegCache implements RawAccess.
 func (e *chunkEP) RegCache() *regcache.Cache { return e.regc }
 
+// Footprint reports this side's dedicated per-connection memory: the
+// receive ring and its staging mirror (both pinned), the four replicated
+// 8-byte counters, and one queue pair. This is the O(np)-per-process cost
+// the SRQ mode exists to remove.
+func (e *chunkEP) Footprint() Footprint {
+	ringBytes := int64(2 * e.cfg.RingSize) // receive ring + send staging
+	return Footprint{
+		QPs:         1,
+		EagerSlots:  e.nChunks,
+		EagerBytes:  ringBytes,
+		PinnedBytes: ringBytes + 4*8 + int64(e.regc.PinnedBytes()),
+	}
+}
+
 // Stats returns endpoint counters including registration-cache behaviour.
 func (e *chunkEP) Stats() Stats {
 	s := e.stats

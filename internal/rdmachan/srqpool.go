@@ -1,0 +1,335 @@
+package rdmachan
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/model"
+	"repro/internal/regcache"
+)
+
+// SRQPool is one process's shared receive machinery for the SRQ-backed
+// eager mode (DESIGN.md §9): a pool of registered eager slots feeding one
+// shared receive queue, one shared receive CQ and one shared send CQ that
+// every connection's queue pair attaches to, a staging pool for outbound
+// eager packets, and the process's pin-down cache for rendezvous buffers.
+//
+// This is the memory model that breaks the paper's per-pair coupling: the
+// chunk-ring designs dedicate RingSize×2 bytes to every connection, so a
+// fully wired process pays O(np); a pool-backed process pays O(1) for the
+// pool plus a queue pair per *active* connection, however many peers
+// exist. The flow control changes with it — no per-peer credit ring exists
+// to return credits on, so receivers refill the shared queue (repost on
+// consume, accelerated by the SRQ low-watermark event) and senders ride
+// the limited-retry RNR protocol when a burst outruns the refill
+// (ib.SRQ, QP.deliverSend).
+type SRQPool struct {
+	cfg  Config
+	hca  *ib.HCA
+	node *model.Node
+	prm  *model.Params
+
+	pd  *ib.PD
+	srq *ib.SRQ
+	rcq *ib.CQ // shared receive CQ: one poll reaps arrivals from every peer
+	scq *ib.CQ // shared send CQ
+
+	recvVA uint64
+	recv   []byte
+	recvMR *ib.MR
+
+	sendVA   uint64
+	send     []byte
+	sendMR   *ib.MR
+	sendFree []int
+
+	wridSeq uint64
+	onSend  map[uint64]func(p *des.Proc, cqe ib.CQE)
+	conns   map[uint32]SRQDispatch
+
+	limitFn  func() // persistent low-watermark handler (re-armed, not rebuilt)
+	lastSeq  uint64 // adapter event seq at the last poll
+	everSeen bool   // lastSeq holds a real snapshot
+
+	regc  *regcache.Cache
+	onErr func(error)
+	stats SRQPoolStats
+}
+
+// SRQDispatch consumes packets arriving into pool slots — one per bound
+// queue pair (the CH3 SRQ connection, internal/ch3).
+type SRQDispatch interface {
+	HandleSRQPacket(p *des.Proc, pkt []byte)
+}
+
+// SRQPoolStats counts pool activity.
+type SRQPoolStats struct {
+	Dispatches  uint64 // packets delivered to connections
+	Reposts     uint64 // recv slots returned to the shared queue
+	LimitWakes  uint64 // low-watermark events that woke the progress loop
+	SendStalls  uint64 // sends deferred because no staging slot was free
+	BytesEager  uint64 // eager payload bytes through the pool
+	RNRNaks     uint64 // receiver-not-ready NAKs (from the SRQ)
+	RecvsPosted uint64 // descriptors ever posted (from the SRQ)
+}
+
+// NewSRQPool builds the per-process pool on the rank's adapter: allocates
+// and registers the receive and send slot arrays, posts every receive slot
+// to a fresh SRQ, and arms the low-watermark event. onErr receives fatal
+// transport errors (the rank's engine failure callback).
+func NewSRQPool(p *des.Proc, cfg Config, h *ib.HCA, onErr func(error)) (*SRQPool, error) {
+	cfg = cfg.withDefaults()
+	sp := &SRQPool{
+		cfg:    cfg,
+		hca:    h,
+		node:   h.Node(),
+		prm:    h.Params(),
+		onSend: make(map[uint64]func(p *des.Proc, cqe ib.CQE)),
+		conns:  make(map[uint32]SRQDispatch),
+		onErr:  onErr,
+	}
+	sp.pd = h.AllocPD()
+	sp.rcq = h.CreateCQ()
+	sp.scq = h.CreateCQ()
+	sp.srq = h.CreateSRQ(sp.pd)
+
+	n := cfg.SRQSlots * cfg.SRQSlotSize
+	sp.recvVA, sp.recv = sp.node.Mem.Alloc(n)
+	var err error
+	sp.recvMR, err = h.RegisterMR(p, sp.pd, sp.recvVA, n, ib.AccessLocalWrite)
+	if err != nil {
+		return nil, fmt.Errorf("rdmachan(srq): recv pool: %w", err)
+	}
+	m := cfg.SRQSendSlots * cfg.SRQSlotSize
+	sp.sendVA, sp.send = sp.node.Mem.Alloc(m)
+	if sp.sendMR, err = h.RegisterMR(p, sp.pd, sp.sendVA, m, ib.AccessLocalWrite); err != nil {
+		return nil, fmt.Errorf("rdmachan(srq): send pool: %w", err)
+	}
+	for i := 0; i < cfg.SRQSendSlots; i++ {
+		sp.sendFree = append(sp.sendFree, i)
+	}
+	for i := 0; i < cfg.SRQSlots; i++ {
+		sp.postSlot(p, i)
+	}
+	sp.limitFn = func() {
+		sp.stats.LimitWakes++
+		sp.hca.NotifyMemWrite()
+	}
+	sp.arm()
+
+	cacheBytes := cfg.RegCacheBytes
+	if cacheBytes < 0 {
+		cacheBytes = 0
+	}
+	sp.regc = regcache.New(h, sp.pd, cacheBytes)
+	return sp, nil
+}
+
+// postSlot returns receive slot i to the shared queue.
+func (sp *SRQPool) postSlot(p *des.Proc, i int) {
+	sp.srq.PostRecv(p, ib.RecvWR{
+		WRID: uint64(i),
+		SGL: []ib.SGE{{
+			Addr: sp.recvVA + uint64(i*sp.cfg.SRQSlotSize),
+			Len:  sp.cfg.SRQSlotSize,
+			LKey: sp.recvMR.LKey(),
+		}},
+	})
+}
+
+// arm re-arms the low-watermark event: when the shared queue drains below
+// the watermark between polls, wake every progress loop on this node so a
+// refill happens promptly instead of on the next scheduled poll.
+func (sp *SRQPool) arm() {
+	sp.srq.Arm(sp.cfg.SRQLowWater, sp.limitFn)
+}
+
+// CreateQP allocates a connection queue pair attached to the pool: its
+// receive side draws from the shared queue, and both completion paths land
+// in the pool's shared CQs.
+func (sp *SRQPool) CreateQP() *ib.QP {
+	return sp.hca.CreateQPSRQ(sp.pd, sp.scq, sp.rcq, sp.srq)
+}
+
+// Bind routes packets arriving on qp to d.
+func (sp *SRQPool) Bind(qp *ib.QP, d SRQDispatch) { sp.conns[qp.Num()] = d }
+
+// PD returns the pool's protection domain.
+func (sp *SRQPool) PD() *ib.PD { return sp.pd }
+
+// RegCache returns the process's pin-down cache (rendezvous buffers).
+func (sp *SRQPool) RegCache() *regcache.Cache { return sp.regc }
+
+// SlotSize returns the eager slot capacity in bytes (packet header
+// included).
+func (sp *SRQPool) SlotSize() int { return sp.cfg.SRQSlotSize }
+
+// Stats returns pool counters, folding in the SRQ's own.
+func (sp *SRQPool) Stats() SRQPoolStats {
+	s := sp.stats
+	qs := sp.srq.Stats()
+	s.RNRNaks = qs.RNRNaks
+	s.RecvsPosted = qs.RecvsPosted
+	return s
+}
+
+// OnCQE allocates a work-request id on the shared send CQ and registers cb
+// to run when its completion is reaped. Connections use it for signaled
+// work they post directly on their queue pair (rendezvous RDMA writes).
+func (sp *SRQPool) OnCQE(cb func(p *des.Proc, cqe ib.CQE)) uint64 {
+	sp.wridSeq++
+	id := srqWridBase + sp.wridSeq
+	sp.onSend[id] = cb
+	return id
+}
+
+// srqWridBase keeps pool-issued work-request ids out of the slot-index
+// space used on the receive side.
+const srqWridBase = 0x53520000_00000000
+
+// Send stages one packet — hdr followed by the payload bytes — into a free
+// send slot and posts it. It reports false (and charges nothing) when no
+// staging slot is free; the caller retries from its poll loop. onSent runs
+// when the send completes end-to-end (the CQE, i.e. the packet was placed
+// in a peer pool slot).
+func (sp *SRQPool) Send(p *des.Proc, qp *ib.QP, hdr []byte, payload Buffer,
+	onSent func(p *des.Proc)) (bool, error) {
+	total := len(hdr) + payload.Len
+	if total > sp.cfg.SRQSlotSize {
+		return false, fmt.Errorf("rdmachan(srq): packet of %d bytes exceeds %d-byte slot",
+			total, sp.cfg.SRQSlotSize)
+	}
+	var src []byte
+	if payload.Len > 0 {
+		var err error
+		if src, err = sp.node.Mem.Resolve(payload.Addr, payload.Len); err != nil {
+			return false, fmt.Errorf("rdmachan(srq): send: %w", err)
+		}
+	}
+	if len(sp.sendFree) == 0 {
+		sp.drainSend(p)
+		if len(sp.sendFree) == 0 {
+			sp.stats.SendStalls++
+			return false, nil
+		}
+	}
+	slot := sp.sendFree[len(sp.sendFree)-1]
+	sp.sendFree = sp.sendFree[:len(sp.sendFree)-1]
+	dst := sp.send[slot*sp.cfg.SRQSlotSize:]
+	n := copy(dst, hdr)
+	if payload.Len > 0 {
+		n += copy(dst[n:], src)
+		sp.stats.BytesEager += uint64(payload.Len)
+	}
+	// The staging copy crosses the memory bus, like any eager sender copy.
+	sp.node.Bus.Memcpy(p, n, n)
+	sp.wridSeq++
+	id := srqWridBase + sp.wridSeq
+	sp.onSend[id] = func(q *des.Proc, cqe ib.CQE) {
+		sp.sendFree = append(sp.sendFree, slot)
+		if cqe.Status != ib.StatusSuccess {
+			sp.fail(fmt.Errorf("rdmachan(srq): send completed %v", cqe.Status))
+			return
+		}
+		if onSent != nil {
+			onSent(q)
+		}
+	}
+	qp.PostSend(p, ib.SendWR{
+		WRID: id, Op: ib.OpSend, Signaled: true,
+		SGL: []ib.SGE{{
+			Addr: sp.sendVA + uint64(slot*sp.cfg.SRQSlotSize),
+			Len:  total,
+			LKey: sp.sendMR.LKey(),
+		}},
+	})
+	return true, nil
+}
+
+func (sp *SRQPool) fail(err error) {
+	if sp.onErr != nil {
+		sp.onErr(err)
+	}
+}
+
+// drainSend reaps the shared send CQ: staging slots return to the free
+// list and registered callbacks (rendezvous writes, FIN acks) run.
+func (sp *SRQPool) drainSend(p *des.Proc) bool {
+	prog := false
+	for {
+		cqe, ok := sp.scq.TryPoll()
+		if !ok {
+			return prog
+		}
+		prog = true
+		p.Sleep(sp.prm.CQPollOverhead)
+		cb, ok := sp.onSend[cqe.WRID]
+		if !ok {
+			sp.fail(fmt.Errorf("rdmachan(srq): completion for unknown wr %#x", cqe.WRID))
+			continue
+		}
+		delete(sp.onSend, cqe.WRID)
+		cb(p, cqe)
+	}
+}
+
+// Poll advances the pool one pass: dispatch every arrived packet to its
+// connection, repost the consumed slots (the refill half of the SRQ flow
+// control), re-arm the low-watermark event, and reap send completions.
+//
+// Every connection's Poll funnels here, so one engine pass calls it once
+// per peer; the adapter event counter (bumped by every CQE and remote
+// write) gates the redundant passes — no activity since the last drain
+// means both shared CQs are still empty.
+func (sp *SRQPool) Poll(p *des.Proc) bool {
+	seq := sp.hca.MemEventSeq()
+	if sp.everSeen && seq == sp.lastSeq {
+		return false
+	}
+	sp.everSeen = true
+	sp.lastSeq = seq
+	prog := false
+	for {
+		cqe, ok := sp.rcq.TryPoll()
+		if !ok {
+			break
+		}
+		prog = true
+		p.Sleep(sp.prm.CQPollOverhead)
+		if cqe.Status != ib.StatusSuccess {
+			sp.fail(fmt.Errorf("rdmachan(srq): recv completed %v", cqe.Status))
+			return prog
+		}
+		slot := int(cqe.WRID)
+		pkt := sp.recv[slot*sp.cfg.SRQSlotSize : slot*sp.cfg.SRQSlotSize+cqe.ByteLen]
+		d, ok := sp.conns[cqe.QPNum]
+		if !ok {
+			sp.fail(fmt.Errorf("rdmachan(srq): packet on unbound qp%d", cqe.QPNum))
+			return prog
+		}
+		sp.stats.Dispatches++
+		d.HandleSRQPacket(p, pkt)
+		// The packet has been consumed (copied out or converted into
+		// rendezvous state); the slot goes straight back to the queue.
+		sp.postSlot(p, slot)
+		sp.stats.Reposts++
+	}
+	sp.arm()
+	if sp.drainSend(p) {
+		prog = true
+	}
+	return prog
+}
+
+// Footprint reports the pool's per-process memory: the receive and send
+// slot arrays (the process's entire eager buffering, independent of peer
+// count) plus dynamically pinned rendezvous bytes.
+func (sp *SRQPool) Footprint() Footprint {
+	slotBytes := int64((sp.cfg.SRQSlots + sp.cfg.SRQSendSlots) * sp.cfg.SRQSlotSize)
+	return Footprint{
+		EagerSlots:  sp.cfg.SRQSlots + sp.cfg.SRQSendSlots,
+		EagerBytes:  slotBytes,
+		PinnedBytes: slotBytes + int64(sp.regc.PinnedBytes()),
+	}
+}

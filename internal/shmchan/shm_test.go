@@ -11,7 +11,7 @@ import (
 // shmPair builds a 2-rank single-node cluster: the only connection is the
 // shared-memory channel.
 func shmPair(shm shmchan.Config) *cluster.Cluster {
-	return cluster.New(cluster.Config{
+	return cluster.MustNew(cluster.Config{
 		NP:           2,
 		CoresPerNode: 2,
 		Transport:    cluster.TransportZeroCopy,
@@ -169,7 +169,7 @@ func TestIntraNodeFasterThanInterNode(t *testing.T) {
 	// The figure-3 claim in miniature: a small-message ping-pong between
 	// co-located ranks beats the same exchange over InfiniBand.
 	lat := func(cpn int) float64 {
-		c := cluster.New(cluster.Config{NP: 2, CoresPerNode: cpn, Transport: cluster.TransportZeroCopy})
+		c := cluster.MustNew(cluster.Config{NP: 2, CoresPerNode: cpn, Transport: cluster.TransportZeroCopy})
 		defer c.Close()
 		var oneWay float64
 		c.Launch(func(comm *mpi.Comm) {

@@ -264,6 +264,17 @@ func NewPair(h *ib.HCA, cfg Config, a, b transport.Handler) (*Conn, *Conn) {
 // Stats returns the send-side counters.
 func (c *Conn) Stats() Stats { return c.stats }
 
+// Footprint reports this side's dedicated memory: the cell ring and
+// segment slots of the direction it produces into (shared memory, not
+// pinned — intra-node traffic never touches the adapter).
+func (c *Conn) Footprint() transport.Footprint {
+	return transport.Footprint{
+		EagerSlots: len(c.out.cells),
+		EagerBytes: int64(len(c.out.cells)*max(c.cfg.EagerMax, 1) +
+			len(c.out.slots)*c.cfg.SegChunk),
+	}
+}
+
 // RegCache returns the pair's shared pin-down cache (for statistics).
 func (c *Conn) RegCache() *regcache.Cache { return c.regc }
 

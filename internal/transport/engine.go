@@ -65,8 +65,9 @@ type Engine struct {
 	node *model.Node
 	hca  *ib.HCA
 
-	eps []Endpoint // by peer rank; nil for self
-	rr  int        // round-robin polling cursor
+	eps   []Endpoint // by peer rank; nil for self
+	ready []int32    // fulfilled stubs awaiting promotion (lazy mode)
+	rr    int        // round-robin polling cursor
 
 	prq []*postedRecv
 	uq  []*uqEntry
@@ -89,8 +90,98 @@ func NewEngine(rank int32, size int, hca *ib.HCA) *Engine {
 // SetEndpoint installs the endpoint to a peer rank.
 func (e *Engine) SetEndpoint(peer int32, ep Endpoint) { e.eps[peer] = ep }
 
-// Endpoint returns the endpoint to a peer rank.
+// Endpoint returns the endpoint to a peer rank. In lazy mode this is a
+// *Stub until the first send triggers establishment.
 func (e *Engine) Endpoint(peer int32) Endpoint { return e.eps[peer] }
+
+// SetStub installs a lazy connector toward peer: dial starts simulated
+// connection establishment and is invoked by the first send (see Stub).
+func (e *Engine) SetStub(peer int32, dial func(p *des.Proc)) {
+	e.eps[peer] = NewStub(peer, dial)
+}
+
+// Fulfill delivers the established endpoint for peer. With no stub in the
+// slot (eager wiring) the endpoint installs directly; a stub records it
+// for promotion — the owning process's next progress pass swaps it in and
+// flushes the sends queued during the handshake, in posted order, on the
+// owner's own process (see Stub for why the connection manager must not
+// flush them itself). The wakeup ensures a progress loop blocked on
+// fabric activity notices the new endpoint.
+func (e *Engine) Fulfill(peer int32, ep Endpoint) {
+	if st, ok := e.eps[peer].(*Stub); ok {
+		st.inner = ep
+		e.ready = append(e.ready, peer)
+	} else {
+		e.eps[peer] = ep
+	}
+	e.hca.NotifyMemWrite()
+}
+
+// promoteStubs swaps fulfilled stubs for their endpoints and flushes the
+// sends they queued, on the owning process. It runs at the top of every
+// progress pass.
+func (e *Engine) promoteStubs(p *des.Proc) bool {
+	if len(e.ready) == 0 {
+		return false
+	}
+	prog := false
+	for len(e.ready) > 0 {
+		peer := e.ready[0]
+		e.ready = e.ready[1:]
+		st, ok := e.eps[peer].(*Stub)
+		if !ok || st.inner == nil {
+			continue
+		}
+		e.eps[peer] = st.inner
+		for _, ps := range st.pending {
+			e.dispatchSend(p, st.inner, ps.env, ps.buf, ps.req)
+			prog = true
+		}
+		st.pending = nil
+	}
+	return prog
+}
+
+// Connected reports whether an established endpoint to peer exists
+// (fulfilled-but-unpromoted stubs count: their connection is up).
+func (e *Engine) Connected(peer int32) bool {
+	switch ep := e.eps[peer].(type) {
+	case nil:
+		return false
+	case *Stub:
+		return ep.inner != nil
+	default:
+		return true
+	}
+}
+
+// EnsureConnected establishes the connection to peer without sending a
+// message: it starts the dial if needed and drives progress until the
+// endpoint is promoted. Callers that need verbs-level resources up front
+// (one-sided window creation) use it; ordinary sends connect implicitly.
+func (e *Engine) EnsureConnected(p *des.Proc, peer int32) {
+	st, ok := e.eps[peer].(*Stub)
+	if !ok {
+		return
+	}
+	st.kick(p)
+	for !e.Connected(peer) {
+		e.Progress(p, true)
+	}
+	e.promoteStubs(p)
+}
+
+// ConnectedPeers counts established endpoints — the rank's connection
+// count in the scalability accounting.
+func (e *Engine) ConnectedPeers() int {
+	n := 0
+	for peer := range e.eps {
+		if e.Connected(int32(peer)) {
+			n++
+		}
+	}
+	return n
+}
 
 // Fail records a fatal transport error; subsequent calls panic with it (a
 // failed fabric is unrecoverable for MPI-1 semantics). It is the error
@@ -119,13 +210,26 @@ func (e *Engine) Isend(p *des.Proc, dest, tag, ctx int32, buf Buffer) *Request {
 	req := &Request{}
 	env := Envelope{Src: e.rank, Tag: tag, Ctx: ctx, Len: buf.Len}
 	ep := e.eps[dest]
+	if st, ok := ep.(*Stub); ok {
+		// No connection yet: queue the message and start the handshake;
+		// Fulfill flushes in posted order once the endpoint exists.
+		st.pending = append(st.pending, pendingSend{env: env, buf: buf, req: req})
+		st.kick(p)
+		return req
+	}
+	e.dispatchSend(p, ep, env, buf, req)
+	return req
+}
+
+// dispatchSend picks the protocol — the engine's decision, not the
+// endpoint's — and hands the message to the endpoint.
+func (e *Engine) dispatchSend(p *des.Proc, ep Endpoint, env Envelope, buf Buffer, req *Request) {
 	done := func(*des.Proc) { req.done = true }
 	if th := ep.RendezvousThreshold(); th > 0 && buf.Len >= th {
 		ep.SendRendezvous(p, env, buf, done)
 	} else {
 		ep.SendEager(p, env, buf, done)
 	}
-	return req
 }
 
 // Irecv starts a non-blocking receive into buf from src (or AnySource)
@@ -265,7 +369,7 @@ func (e *Engine) ArriveRTS(p *des.Proc, env Envelope, ep Endpoint, id uint64) {
 func (e *Engine) Progress(p *des.Proc, block bool) bool {
 	e.check()
 	seq := e.hca.MemEventSeq()
-	prog := false
+	prog := e.promoteStubs(p)
 	n := len(e.eps)
 	start := e.rr
 	e.rr = (e.rr + 1) % n

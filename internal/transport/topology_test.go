@@ -20,7 +20,7 @@ import (
 // endpoint in both directions; sizes straddle eager/rendezvous cutoffs.
 func exchangeAll(t *testing.T, cfg cluster.Config, size int) {
 	t.Helper()
-	c := cluster.New(cfg)
+	c := cluster.MustNew(cfg)
 	defer c.Close()
 	np := cfg.NP
 	sum := -1
@@ -102,7 +102,7 @@ func TestWildcardRendezvousAcrossTransports(t *testing.T) {
 		Transport: cluster.TransportCH3,
 		Shm:       shmchan.Config{RndvThreshold: 16 << 10},
 	}
-	c := cluster.New(cfg)
+	c := cluster.MustNew(cfg)
 	defer c.Close()
 	got := map[int]bool{}
 	c.Launch(func(comm *mpi.Comm) {

@@ -36,6 +36,16 @@ import (
 // layer's descriptor, reused unchanged up the stack).
 type Buffer = rdmachan.Buffer
 
+// Footprint is the channel layer's per-component memory accounting,
+// reused unchanged up the stack (see rdmachan.Footprint).
+type Footprint = rdmachan.Footprint
+
+// Accountable is implemented by endpoints that report their dedicated
+// memory; the cluster aggregates footprints into per-process MemStats.
+type Accountable interface {
+	Footprint() Footprint
+}
+
 // Envelope is the MPI matching tuple plus payload size. Ctx carries the
 // communicator context id: the MPI layer assigns every communicator its
 // own p2p+collective pair (world owns 0/1; derived communicators allocate
