@@ -22,6 +22,7 @@ import (
 	"repro/internal/ib"
 	"repro/internal/mpi"
 	"repro/internal/nas"
+	"repro/internal/rdmachan"
 )
 
 // reportSeries attaches a figure's series endpoints as benchmark metrics.
@@ -430,5 +431,28 @@ func TestHeadlineNumbers(t *testing.T) {
 	}
 	if bw < 820 || bw > 875 {
 		t.Errorf("MPI bandwidth = %.1f MB/s, paper: 857", bw)
+	}
+}
+
+// BenchmarkRailBandwidth is the multi-rail CI smoke (DESIGN.md §10): the
+// zero-copy design's large-message bandwidth at 1, 2 and 4 rails per
+// node. The 2-rail point must clear 1.8x the single-rail ceiling — the
+// acceptance bar of the striped-rendezvous work.
+func BenchmarkRailBandwidth(b *testing.B) {
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = bench.RailBandwidth([]int{1, 2, 4}, rdmachan.RailRoundRobin)
+	}
+	byRails := map[string]float64{}
+	for _, s := range fig.Series {
+		last := s.Points[len(s.Points)-1] // largest message
+		byRails[s.Name] = last.Value
+		b.ReportMetric(last.Value, s.Name+"-MB/s")
+	}
+	if ratio := byRails["rails=2"] / byRails["rails=1"]; ratio < 1.8 {
+		b.Fatalf("rails=2 large-message bandwidth only %.2fx of rails=1", ratio)
+	}
+	if testing.Verbose() {
+		b.Log("\n" + bench.FormatFigure(fig))
 	}
 }

@@ -14,6 +14,8 @@
 //	mpich2ib-bench -coll bcast -coll-alg bcast=binomial # one algorithm
 //	mpich2ib-bench -connect eager,lazy                  # footprint vs np
 //	mpich2ib-bench -connect lazy -nps 8,64,512          # chosen job sizes
+//	mpich2ib-bench -rails 1,2,4                         # bandwidth vs rails
+//	mpich2ib-bench -rails 1,2 -rail-policy weighted     # chosen eager policy
 //
 // The -transport flag sweeps any subset of the unified stack's transports
 // (basic, piggyback, pipeline, zerocopy/ib, ch3, shm, shm-rndv) on the
@@ -32,6 +34,10 @@
 // full mesh) against lazy on-demand establishment over the SRQ-backed
 // eager mode, under nearest-neighbor, ring and all-to-all traffic, plus
 // the connection-setup latency ablation.
+//
+// The -rails flag sweeps multi-rail striping (DESIGN.md §10): the
+// zero-copy design's bandwidth with N adapters per node, the eager
+// rail-policy comparison, and the striping-threshold ablation.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/mpi"
+	"repro/internal/rdmachan"
 )
 
 func main() {
@@ -56,11 +63,31 @@ func main() {
 	iters := flag.Int("iters", 10, "measured calls per point for -coll sweeps")
 	connect := flag.String("connect", "", "connection-management sweep (comma list of eager, lazy): footprint-vs-np figures + setup-latency ablation; overrides -fig")
 	nps := flag.String("nps", "", "rank counts for -connect sweeps, e.g. 8,16,32 (default 8..512)")
+	rails := flag.String("rails", "", "multi-rail sweep (comma list of rail counts, e.g. 1,2,4): bandwidth-vs-rails figure + rail-policy comparison + striping-threshold ablation; overrides -fig")
+	railPolicy := flag.String("rail-policy", "round-robin", "eager rail policy for -rails sweeps: round-robin, weighted or fixed")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("baseline headline fig3-lat fig3-bw fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 ablations all")
+		fmt.Println("baseline headline fig3-lat fig3-bw fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 rails-bw rails-policy ablation-rail-stripe ablations all")
 		fmt.Println("collective algorithms:", strings.Join(mpi.Algorithms(), " "))
+		fmt.Println("rail policies: round-robin weighted fixed")
+		return
+	}
+
+	if *rails != "" {
+		counts, err := bench.ParseRails(*rails)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pol, err := rdmachan.ParseRailPolicy(*railPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatFigure(bench.RailBandwidth(counts, pol)))
+		fmt.Println(bench.FormatFigure(bench.RailPolicyFigure()))
+		fmt.Println(bench.FormatFigure(bench.AblationRailStripe()))
 		return
 	}
 

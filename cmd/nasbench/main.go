@@ -17,6 +17,11 @@
 //
 //	nasbench -smp -class A -np 8     # 1, 2, 4 and 8 ranks per node
 //	nasbench -bench cg -class A -np 8 -ppn 4 -transport zerocopy
+//
+// The multi-rail mode (DESIGN.md §10) runs N adapters per node:
+//
+//	nasbench -rails 1,2,4 -class A -np 4          # NAS CG rail sweep
+//	nasbench -bench cg -class A -np 4 -rails 2    # one multi-rail run
 package main
 
 import (
@@ -25,8 +30,10 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/nas"
+	"repro/internal/rdmachan"
 )
 
 func main() {
@@ -38,6 +45,8 @@ func main() {
 	smp := flag.Bool("smp", false, "sweep ranks-per-node layouts instead of transports")
 	connect := flag.String("connect", "eager", "connection management: eager (full mesh at startup) or lazy (on first use)")
 	srq := flag.Bool("srq", false, "SRQ-backed eager mode: shared per-process receive pool instead of per-connection rings")
+	rails := flag.String("rails", "", "HCAs (rails) per node: a single count for -bench runs (e.g. -rails 2), or a comma list for the NAS CG rail sweep (e.g. -rails 1,2,4)")
+	railPolicy := flag.String("rail-policy", "round-robin", "eager rail policy: round-robin, weighted or fixed")
 	flag.Parse()
 
 	cl := nas.Class((*class)[0])
@@ -55,6 +64,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nasbench: -connect must be eager or lazy")
 		os.Exit(1)
 	}
+	pol, err := rdmachan.ParseRailPolicy(*railPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nasbench:", err)
+		os.Exit(1)
+	}
+	railCount := 1
+	if *rails != "" {
+		counts, err := bench.ParseRails(*rails)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nasbench:", err)
+			os.Exit(1)
+		}
+		if len(counts) > 1 {
+			// The NAS CG rail sweep (DESIGN.md §10): one CG run per rail
+			// count on the zero-copy design, eager wiring, one rank per
+			// node. Reject flags the sweep would silently drop.
+			if *benchName != "" && *benchName != "cg" {
+				fmt.Fprintln(os.Stderr, "nasbench: the rail sweep runs CG; drop -bench or use -bench cg")
+				os.Exit(1)
+			}
+			if mode != cluster.ConnectEager || *srq || *ppn != 1 || *transport != "" {
+				fmt.Fprintln(os.Stderr, "nasbench: the rail sweep runs the zero-copy design, eager wiring, one rank per node; drop -connect/-srq/-ppn/-transport or use a single -rails count with -bench cg")
+				os.Exit(1)
+			}
+			if *np < 2 || *np&(*np-1) != 0 {
+				fmt.Fprintf(os.Stderr, "nasbench: -np must be a power of two ≥ 2, got %d\n", *np)
+				os.Exit(1)
+			}
+			fmt.Print(bench.FormatFigure(bench.NASRailSweep(cl, *np, counts, pol)))
+			return
+		}
+		railCount = counts[0]
+	}
+
 	// The NPB decompositions constrain the rank count: SP and BT need a
 	// square process grid, everything else a power of two; other counts
 	// would panic deep in a kernel.
@@ -94,6 +137,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nasbench: the full figure runs eager wiring; use -bench with -connect/-srq")
 			os.Exit(1)
 		}
+		if railCount != 1 {
+			fmt.Fprintln(os.Stderr, "nasbench: the full figure runs single-rail; use -bench with -rails, or -rails 1,2,4 for the CG sweep")
+			os.Exit(1)
+		}
 		id := "fig16"
 		if cl == nas.ClassB {
 			id = "fig17"
@@ -110,6 +157,10 @@ func main() {
 		"zerocopy":  cluster.TransportZeroCopy,
 		"ch3":       cluster.TransportCH3,
 	}
+	if railCount > 1 && strings.Contains(*transport, "basic") {
+		fmt.Fprintln(os.Stderr, "nasbench: the basic design is single-rail; drop basic from -transport or use -rails 1")
+		os.Exit(1)
+	}
 	if *srq {
 		// The SRQ mode replaces the channel design (zerocopy label);
 		// sweeping the design trio under it would relabel identical runs.
@@ -121,8 +172,10 @@ func main() {
 		}
 	}
 	run := func(tr cluster.Transport) {
-		cfg := cluster.Config{NP: *np, CoresPerNode: *ppn, Transport: tr, ConnectMode: mode}
+		cfg := cluster.Config{NP: *np, CoresPerNode: *ppn, RailsPerNode: railCount,
+			Transport: tr, ConnectMode: mode}
 		cfg.Chan.UseSRQ = *srq
+		cfg.Chan.RailPolicy = pol
 		res := nas.Run(*benchName, cl, cfg)
 		fmt.Printf("%-22s %s\n", tr, res)
 	}

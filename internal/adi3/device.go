@@ -1,8 +1,3 @@
-// Package adi3 models the MPICH2 ADI3 device (§3.1): the rank-local handle
-// the MPI layer drives. Matching, queues and request lifecycle live in the
-// per-process progress engine (internal/transport); the device binds that
-// engine to a rank's node, adapter and topology, and charges the ADI3
-// per-call bookkeeping.
 package adi3
 
 import (

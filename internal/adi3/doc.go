@@ -1,0 +1,23 @@
+// Package adi3 models the MPICH2 ADI3 device (§3.1 of
+// conf_ipps_LiuJWPABGT04): the rank-local handle the MPI layer drives.
+//
+// Layer boundaries: the device is deliberately thin. Matching, queues and
+// request lifecycle live in the per-process progress engine
+// (internal/transport); the MPI semantics (communicators, collectives,
+// datatypes) live above in internal/mpi. The device binds the engine to a
+// rank's node, adapter and topology, charges the ADI3 per-call
+// bookkeeping cost (model.Params.MPIOverhead), and exposes the
+// rank→node placement map that topology-aware collectives read.
+//
+// Invariants:
+//
+//   - One device per rank, one engine per device: Device.Engine is the
+//     only matching authority for the rank (the single-matching-loop rule
+//     of the PR 2 refactor).
+//   - The device's HCA is the node's rail-0 adapter; progress blocking
+//     waits on the node-wide memory-event counter, so multi-rail and
+//     shared-memory deliveries wake it regardless of which adapter (or
+//     core) produced them.
+//   - NodeOf defaults to the paper's testbed layout (one rank per node)
+//     when no topology is installed.
+package adi3

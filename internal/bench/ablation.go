@@ -167,5 +167,6 @@ func Ablations() []Figure {
 		AblationShmRndv(),
 		AblationHierCollectives(),
 		AblationCollAlg(),
+		AblationRailStripe(),
 	}
 }

@@ -1,8 +1,3 @@
-// Package bench is the measurement harness behind every table and figure
-// of the paper's evaluation (§4–§7). It runs the paper's microbenchmarks —
-// ping-pong latency and window-based streaming bandwidth — at the MPI
-// level over any transport, and raw verbs-level benchmarks against the
-// InfiniBand simulator, producing the same data series the figures plot.
 package bench
 
 import (
@@ -68,6 +63,7 @@ func windowFor(size int) int {
 type Options struct {
 	Transport    cluster.Transport
 	CoresPerNode int // ranks per node; 0/1 = the paper's one-per-node testbed
+	RailsPerNode int // HCAs per node; 0/1 = the paper's single-rail testbed
 	Chan         rdmachan.Config
 	Shm          shmchan.Config
 	CH3Threshold int
@@ -84,6 +80,7 @@ func (o Options) cluster(np int) *cluster.Cluster {
 	return cluster.MustNew(cluster.Config{
 		NP:           np,
 		CoresPerNode: o.CoresPerNode,
+		RailsPerNode: o.RailsPerNode,
 		Transport:    o.Transport,
 		Chan:         o.Chan,
 		Shm:          o.Shm,

@@ -199,6 +199,9 @@ func FigureByID(id string) (Figure, error) {
 		"fig4": Fig4, "fig5": Fig5, "fig6": Fig6, "fig7": Fig7,
 		"fig8": Fig8, "fig9": Fig9, "fig11": Fig11, "fig13": Fig13,
 		"fig14": Fig14, "fig15": Fig15,
+		"rails-bw":             func() Figure { return RailBandwidth(DefaultRailCounts(), rdmachan.RailRoundRobin) },
+		"rails-policy":         RailPolicyFigure,
+		"ablation-rail-stripe": AblationRailStripe,
 	}
 	p, ok := producers[id]
 	if !ok {

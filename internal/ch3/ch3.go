@@ -1,32 +1,9 @@
-// Package ch3 models MPICH2's CH3 layer (§3.1): the packet protocol that
-// sits between the transport abstraction (internal/transport) and an RDMA
-// Channel byte pipe (internal/rdmachan). One packet engine — Conn — frames
-// every MPI message as a 64-byte header plus payload and implements
-// transport.Endpoint in two modes, mirroring the paper's comparison in §6:
-//
-//   - Over-channel mode (NewOverChannel) adapts any RDMA Channel endpoint
-//     to message semantics — the paper's main line of work, where the whole
-//     transport fits behind the five-function put/get pipe. Rendezvous for
-//     large messages — when the endpoint is the zero-copy design — happens
-//     invisibly below the pipe abstraction (§5); the packet engine neither
-//     knows nor cares, and reports a rendezvous threshold of zero.
-//   - Direct mode (NewIBConn) is the CH3-level InfiniBand design
-//     (Figure 12): the same eager chunk ring for small messages, but large
-//     messages negotiate a handshake (RTS → CTS) and move by RDMA *write*
-//     into the receiver's registered user buffer, finishing with a FIN
-//     packet. The extra flexibility — CH3 sees message boundaries, so the
-//     receiver can advertise its buffer — is exactly what the RDMA Channel
-//     interface hides.
-//
-// Both modes are one state machine: one send FIFO (control packets winning
-// at message boundaries), one header/payload receive loop. The matching
-// logic lives above, in the transport engine; this layer only moves
-// packets.
 package ch3
 
 import (
 	"fmt"
 
+	"repro/internal/rdmachan"
 	"repro/internal/transport"
 )
 
@@ -41,29 +18,42 @@ const (
 // hdrSize is the fixed CH3 packet header size.
 const hdrSize = 64
 
-// header is the wire form of a CH3 packet.
+// header is the wire form of a CH3 packet. A multi-rail CTS advertises one
+// rkey per rail (nRails > 1); the header is fixed-size either way, so the
+// single-rail wire format and its timing are untouched.
 type header struct {
-	kind  byte
-	env   transport.Envelope
-	reqID uint64
-	raddr uint64
-	rkey  uint32
+	kind   byte
+	nRails byte // CTS: rails the receive buffer is registered on (0 ≡ 1)
+	env    transport.Envelope
+	reqID  uint64
+	raddr  uint64
+	rkeys  [maxHdrRails]uint32 // rkeys[0] is the historical single rkey
 }
+
+// maxHdrRails is the rail count the fixed CTS header has rkey room for —
+// the same bound the channel layer enforces on connections, so the two
+// limits cannot drift apart. 4 rkeys end at byte 56 of the 64-byte
+// header; raising rdmachan.MaxRails past 6 would need a wider header.
+const maxHdrRails = rdmachan.MaxRails
 
 func encodeHeader(dst []byte, h header) {
 	dst[0] = h.kind
+	dst[1] = h.nRails
 	putLE32(dst[4:8], uint32(h.env.Src))
 	putLE32(dst[8:12], uint32(h.env.Tag))
 	putLE32(dst[12:16], uint32(h.env.Ctx))
 	putLE64(dst[16:24], uint64(h.env.Len))
 	putLE64(dst[24:32], h.reqID)
 	putLE64(dst[32:40], h.raddr)
-	putLE32(dst[40:44], h.rkey)
+	for k := 0; k < maxHdrRails; k++ {
+		putLE32(dst[40+4*k:44+4*k], h.rkeys[k])
+	}
 }
 
 func decodeHeader(src []byte) header {
-	return header{
-		kind: src[0],
+	h := header{
+		kind:   src[0],
+		nRails: src[1],
 		env: transport.Envelope{
 			Src: int32(le32(src[4:8])),
 			Tag: int32(le32(src[8:12])),
@@ -72,8 +62,11 @@ func decodeHeader(src []byte) header {
 		},
 		reqID: le64(src[24:32]),
 		raddr: le64(src[32:40]),
-		rkey:  le32(src[40:44]),
 	}
+	for k := 0; k < maxHdrRails; k++ {
+		h.rkeys[k] = le32(src[40+4*k : 44+4*k])
+	}
+	return h
 }
 
 // --- little-endian helpers (header encoding) ---

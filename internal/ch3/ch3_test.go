@@ -13,11 +13,11 @@ import (
 )
 
 func TestHeaderRoundTrip(t *testing.T) {
-	f := func(kind byte, src, tag, ctx int32, ln uint32, reqID, raddr uint64, rkey uint32) bool {
+	f := func(kind, nRails byte, src, tag, ctx int32, ln uint32, reqID, raddr uint64, rkeys [maxHdrRails]uint32) bool {
 		h := header{
-			kind:  kind,
+			kind: kind, nRails: nRails,
 			env:   transport.Envelope{Src: src, Tag: tag, Ctx: ctx, Len: int(ln)},
-			reqID: reqID, raddr: raddr, rkey: rkey,
+			reqID: reqID, raddr: raddr, rkeys: rkeys,
 		}
 		var buf [hdrSize]byte
 		encodeHeader(buf[:], h)

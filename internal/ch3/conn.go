@@ -28,6 +28,15 @@ type Conn struct {
 	sendRndv map[uint64]*rndvSend
 	recvRndv map[uint64]*rndvRecv
 
+	// Striped rendezvous sends in flight (multi-rail direct mode): the
+	// completion counter per request, drained by stripe-write CQEs arriving
+	// through the endpoint's foreign-CQE hook. kick records that the hook
+	// queued a FIN during the current receive sweep — the send phase of
+	// that Poll pass has already run, so the pass must report progress or
+	// the engine would sleep with the FIN stranded in ctrlq.
+	stripes map[uint64]*stripeSend
+	kick    bool
+
 	hdrPool []hdrSlot // free header staging slots
 
 	// Receive state machine: header, then payload.
@@ -69,9 +78,27 @@ type rndvSend struct {
 }
 
 type rndvRecv struct {
-	mr   *ib.MR
+	mrs  []*ib.MR // one per rail the buffer was advertised on
 	done func(p *des.Proc)
 }
+
+// stripeSend tracks one striped rendezvous payload: pending is the
+// completion counter — one signaled RDMA write per ChunkSize stripe, spread
+// round-robin over the rails — and the FIN is queued only once it drains,
+// because completions (acked end-to-end) are the only cross-rail ordering
+// guarantee there is.
+type stripeSend struct {
+	pending int
+	mrs     []*ib.MR
+	onDone  func(p *des.Proc)
+}
+
+// wridStripe marks stripe-write completions; the low bits carry the
+// rendezvous request id.
+const (
+	wridStripeMark = uint64(0x3D) << 56
+	wridStripeMask = uint64(0xFF) << 56
+)
 
 // NewOverChannel builds the packet engine in over-channel mode: every MPI
 // message is framed eagerly through the endpoint's byte pipe, and large
@@ -105,11 +132,18 @@ func newConn(ep rdmachan.Endpoint, raw rdmachan.RawAccess, h transport.Handler,
 		threshold: threshold,
 		sendRndv:  make(map[uint64]*rndvSend),
 		recvRndv:  make(map[uint64]*rndvRecv),
+		stripes:   make(map[uint64]*stripeSend),
 	}
 	mem := ep.HCA().Node().Mem
 	va, b := mem.Alloc(hdrSize)
 	c.rhdrBuf, c.rhdrMem = transport.Buffer{Addr: va, Len: hdrSize}, b
 	c.rhdrRem = []transport.Buffer{c.rhdrBuf}
+	if raw != nil && raw.NRails() > 1 {
+		// Striped rendezvous writes complete on the rails' CQs, which the
+		// channel endpoint drains; it routes completions it did not
+		// generate here.
+		raw.SetForeignCQE(c.handleStripeCQE)
+	}
 	return c
 }
 
@@ -178,26 +212,47 @@ func (c *Conn) SendRendezvous(p *des.Proc, env transport.Envelope, payload trans
 
 // AcceptRendezvous implements transport.Endpoint: the receive matching an
 // announced RTS is now posted. Register the user buffer through the
-// pin-down cache and advertise it with a CTS control packet.
+// pin-down cache — on every rail of a multi-rail connection, since each
+// adapter validates its own keys — and advertise it with a CTS control
+// packet carrying one rkey per rail.
 func (c *Conn) AcceptRendezvous(p *des.Proc, reqID uint64, dst transport.Buffer,
 	done func(p *des.Proc)) {
 	if c.threshold == 0 {
 		panic("ch3: AcceptRendezvous in over-channel mode")
 	}
-	cache := c.raw.RegCache()
-	mr, _, err := cache.Register(p, dst.Addr, dst.Len)
-	if err != nil {
-		c.onErr(errf("rendezvous register: %w", err))
-		return
+	// The receiver decides the stripe count (it advertises the rkeys), and
+	// the connection's striping threshold is honoured here exactly as in
+	// the zero-copy design: small rendezvous payloads stay on rail 0.
+	nRails := c.raw.StripeCount(dst.Len)
+	h := header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, nRails: byte(nRails)}
+	rr := &rndvRecv{done: done}
+	for k := 0; k < nRails; k++ {
+		mr, _, err := c.raw.RailRegCache(k).Register(p, dst.Addr, dst.Len)
+		if err != nil {
+			c.onErr(errf("rendezvous register: %w", err))
+			return
+		}
+		rr.mrs = append(rr.mrs, mr)
+		h.rkeys[k] = mr.RKey()
 	}
-	c.recvRndv[reqID] = &rndvRecv{mr: mr, done: done}
+	c.recvRndv[reqID] = rr
 	c.stats.RndvRecvs++
-	op := c.newHdrOp(header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, rkey: mr.RKey()}, nil, nil)
+	op := c.newHdrOp(h, nil, nil)
 	c.ctrlq = append(c.ctrlq, op)
 	c.Poll(p)
 }
 
-// handleCTS fires the RDMA write of the payload and queues the FIN.
+// handleCTS fires the RDMA write of the payload and queues the FIN. On a
+// single-rail connection this is one unsignaled write with the FIN queued
+// immediately behind it (RC ordering delivers them in order); on a
+// multi-rail connection the payload is striped over the advertised rails
+// in ChunkSize units of signaled writes — or one signaled write when the
+// receiver advertised a single rail (striping threshold) — and the FIN
+// waits for the striping completion counter: a requester CQE means the
+// write is acked end-to-end, which is the only ordering that spans rails.
+// The FIN must never ride the eager pipe concurrently with an
+// unacknowledged write, because the pipe rail-picks its chunks and a FIN
+// on another rail would overtake the payload.
 func (c *Conn) handleCTS(p *des.Proc, h header) {
 	rs, ok := c.sendRndv[h.reqID]
 	if !ok {
@@ -205,31 +260,107 @@ func (c *Conn) handleCTS(p *des.Proc, h header) {
 		return
 	}
 	delete(c.sendRndv, h.reqID)
-	cache := c.raw.RegCache()
-	mr, _, err := cache.Register(p, rs.payload.Addr, rs.payload.Len)
-	if err != nil {
-		c.onErr(errf("rendezvous source register: %w", err))
+	nRails := int(h.nRails)
+	if nRails < 1 {
+		nRails = 1
+	}
+	if c.raw.NRails() == 1 {
+		cache := c.raw.RegCache()
+		mr, _, err := cache.Register(p, rs.payload.Addr, rs.payload.Len)
+		if err != nil {
+			c.onErr(errf("rendezvous source register: %w", err))
+			return
+		}
+		c.raw.RawQP().PostSend(p, ib.SendWR{
+			Op:         ib.OpRDMAWrite,
+			SGL:        []ib.SGE{{Addr: rs.payload.Addr, Len: rs.payload.Len, LKey: mr.LKey()}},
+			RemoteAddr: h.raddr,
+			RKey:       h.rkeys[0],
+		})
+		// The registration stays cached; RC ordering puts the FIN behind the
+		// payload on the wire.
+		if err := cache.Release(p, mr); err != nil {
+			c.onErr(errf("rendezvous source release: %w", err))
+			return
+		}
+		onDone := rs.onDone
+		fin := c.newHdrOp(header{kind: pktFIN, reqID: h.reqID}, nil, onDone)
+		c.ctrlq = append(c.ctrlq, fin)
 		return
 	}
-	c.raw.RawQP().PostSend(p, ib.SendWR{
-		Op:         ib.OpRDMAWrite,
-		SGL:        []ib.SGE{{Addr: rs.payload.Addr, Len: rs.payload.Len, LKey: mr.LKey()}},
-		RemoteAddr: h.raddr,
-		RKey:       h.rkey,
-	})
-	// The registration stays cached; RC ordering puts the FIN behind the
-	// payload on the wire.
-	if err := cache.Release(p, mr); err != nil {
-		c.onErr(errf("rendezvous source release: %w", err))
+
+	st := &stripeSend{onDone: rs.onDone}
+	mrs := make([]*ib.MR, nRails)
+	for k := 0; k < nRails; k++ {
+		mr, _, err := c.raw.RailRegCache(k).Register(p, rs.payload.Addr, rs.payload.Len)
+		if err != nil {
+			c.onErr(errf("rendezvous source register: %w", err))
+			return
+		}
+		mrs[k] = mr
+	}
+	st.mrs = mrs
+	unit := c.raw.StripeUnit()
+	if nRails == 1 {
+		// Single advertised rail on a multi-rail connection (striping
+		// threshold): one signaled write, FIN after its completion.
+		unit = rs.payload.Len
+	}
+	wrid := wridStripeMark | h.reqID
+	for off, i := 0, 0; off < rs.payload.Len; off, i = off+unit, i+1 {
+		blk := rs.payload.Len - off
+		if blk > unit {
+			blk = unit
+		}
+		k := i % nRails
+		c.raw.RailQP(k).PostSend(p, ib.SendWR{
+			WRID: wrid, Op: ib.OpRDMAWrite, Signaled: true,
+			SGL:        []ib.SGE{{Addr: rs.payload.Addr + uint64(off), Len: blk, LKey: mrs[k].LKey()}},
+			RemoteAddr: h.raddr + uint64(off),
+			RKey:       h.rkeys[k],
+		})
+		st.pending++
+	}
+	c.stripes[h.reqID] = st
+}
+
+// handleStripeCQE drains the striping completion counter: when the last
+// stripe of a rendezvous payload is acked, release the per-rail
+// registrations and queue the FIN.
+func (c *Conn) handleStripeCQE(p *des.Proc, cqe ib.CQE) {
+	if cqe.WRID&wridStripeMask != wridStripeMark {
+		c.onErr(errf("unexpected completion, wr %#x status %v", cqe.WRID, cqe.Status))
 		return
 	}
-	onDone := rs.onDone
-	fin := c.newHdrOp(header{kind: pktFIN, reqID: h.reqID}, nil, onDone)
+	if cqe.Status != ib.StatusSuccess {
+		c.onErr(errf("stripe write failed: %v", cqe.Status))
+		return
+	}
+	reqID := cqe.WRID &^ wridStripeMask
+	st, ok := c.stripes[reqID]
+	if !ok {
+		c.onErr(errf("stripe completion for unknown rendezvous %d", reqID))
+		return
+	}
+	st.pending--
+	if st.pending > 0 {
+		return
+	}
+	delete(c.stripes, reqID)
+	for k, mr := range st.mrs {
+		if err := c.raw.RailRegCache(k).Release(p, mr); err != nil {
+			c.onErr(errf("rendezvous source release: %w", err))
+			return
+		}
+	}
+	fin := c.newHdrOp(header{kind: pktFIN, reqID: reqID}, nil, st.onDone)
 	c.ctrlq = append(c.ctrlq, fin)
+	c.kick = true
 }
 
 // handleFIN completes a rendezvous receive: the payload is already in the
-// user buffer (it preceded the FIN on the wire).
+// user buffer (it preceded the FIN on the wire — by RC ordering on one
+// rail, by counted completions across rails).
 func (c *Conn) handleFIN(p *des.Proc, h header) {
 	rr, ok := c.recvRndv[h.reqID]
 	if !ok {
@@ -237,9 +368,11 @@ func (c *Conn) handleFIN(p *des.Proc, h header) {
 		return
 	}
 	delete(c.recvRndv, h.reqID)
-	if err := c.raw.RegCache().Release(p, rr.mr); err != nil {
-		c.onErr(errf("rendezvous dest release: %w", err))
-		return
+	for k, mr := range rr.mrs {
+		if err := c.raw.RailRegCache(k).Release(p, mr); err != nil {
+			c.onErr(errf("rendezvous dest release: %w", err))
+			return
+		}
 	}
 	if rr.done != nil {
 		rr.done(p)
@@ -248,7 +381,7 @@ func (c *Conn) handleFIN(p *des.Proc, h header) {
 
 // Pending reports queued-but-incomplete send operations (diagnostics).
 func (c *Conn) Pending() int {
-	n := len(c.ctrlq) + len(c.dataq) + len(c.sendRndv)
+	n := len(c.ctrlq) + len(c.dataq) + len(c.sendRndv) + len(c.stripes)
 	if c.active != nil {
 		n++
 	}
@@ -304,6 +437,14 @@ func (c *Conn) Poll(p *des.Proc) bool {
 				return prog
 			}
 			if n == 0 {
+				// A stripe completion may have queued a FIN during this
+				// Get's CQ drain — after this pass's send phase already ran.
+				// Report progress so the engine polls again instead of
+				// sleeping on a control packet no future event would flush.
+				if c.kick {
+					c.kick = false
+					prog = true
+				}
 				return prog
 			}
 			prog = true
@@ -346,6 +487,10 @@ func (c *Conn) Poll(p *des.Proc) bool {
 				return prog
 			}
 			if n == 0 {
+				if c.kick {
+					c.kick = false
+					prog = true
+				}
 				return prog
 			}
 			prog = true

@@ -1,0 +1,41 @@
+// Package ch3 models MPICH2's CH3 layer (§3.1 of conf_ipps_LiuJWPABGT04):
+// the packet protocol between the transport abstraction
+// (internal/transport) and the byte or packet carriers below. One packet
+// engine — Conn — frames every MPI message as a 64-byte header plus
+// payload and implements transport.Endpoint in two modes, mirroring the
+// paper's comparison in §6:
+//
+//   - Over-channel mode (NewOverChannel) adapts any RDMA Channel endpoint
+//     to message semantics — the paper's main line of work, where the whole
+//     transport fits behind the five-function put/get pipe. Rendezvous for
+//     large messages — when the endpoint is the zero-copy design — happens
+//     invisibly below the pipe abstraction (§5).
+//   - Direct mode (NewIBConn) is the CH3-level InfiniBand design
+//     (Figure 12): the same eager chunk ring for small messages, but large
+//     messages negotiate RTS → CTS and move by RDMA *write* into the
+//     receiver's registered user buffer, finishing with a FIN packet. On a
+//     multi-rail connection the payload stripes over the rails in
+//     ChunkSize units of signaled writes; the FIN waits for the striping
+//     completion counter (DESIGN.md §10).
+//
+// A third endpoint, SRQConn, carries the same packet protocol over
+// two-sided sends into a per-process shared receive pool (DESIGN.md §9) —
+// the connection-scalable eager mode.
+//
+// Layer boundaries: ch3 moves packets; it owns no matching logic. The
+// transport engine above decides eager vs rendezvous and resolves
+// envelopes to buffers; rdmachan/ib below move bytes. Direct mode is the
+// one consumer of rdmachan.RawAccess.
+//
+// Invariants:
+//
+//   - One send state machine per connection: control packets (CTS, FIN)
+//     win over data at message boundaries, so rendezvous answers never
+//     starve behind bulk traffic — but a packet is never interleaved
+//     mid-message.
+//   - Single-rail rendezvous orders payload-then-FIN by RC ordering on one
+//     queue pair; multi-rail rendezvous orders them by counted
+//     completions, because no ordering exists across queue pairs.
+//   - The fixed 64-byte header carries up to four per-rail rkeys in a CTS;
+//     single-rail headers are byte-identical to the historical format.
+package ch3

@@ -152,7 +152,7 @@ func (c *SRQConn) AcceptRendezvous(p *des.Proc, reqID uint64, dst transport.Buff
 	c.recvRndv[reqID] = &srqRndvRecv{mr: mr, done: done}
 	c.stats.RndvRecvs++
 	c.ctrlq = append(c.ctrlq, &srqOp{
-		hdr: header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, rkey: mr.RKey()},
+		hdr: header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, rkeys: [maxHdrRails]uint32{mr.RKey()}},
 	})
 	c.flush(p)
 }
@@ -178,7 +178,7 @@ func (c *SRQConn) handleCTS(p *des.Proc, h header) {
 		Op:         ib.OpRDMAWrite,
 		SGL:        []ib.SGE{{Addr: rs.payload.Addr, Len: rs.payload.Len, LKey: mr.LKey()}},
 		RemoteAddr: h.raddr,
-		RKey:       h.rkey,
+		RKey:       h.rkeys[0],
 	})
 	if err := cache.Release(p, mr); err != nil {
 		c.onErr(errf("srq rendezvous source release: %w", err))

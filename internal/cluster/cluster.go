@@ -1,20 +1,3 @@
-// Package cluster assembles complete simulated systems: N nodes with HCAs
-// on a switched fabric, a chosen transport design wired between rank
-// pairs, ADI3 devices, and MPI process launch — the simulation counterpart
-// of the paper's 8-node testbed (§4.1).
-//
-// Beyond the testbed, CoresPerNode places multiple ranks per node
-// (node×core topology, DESIGN.md §6): co-located rank pairs are wired
-// over the shared-memory channel (internal/shmchan), remote pairs over
-// the selected InfiniBand transport, and ranks on one node share that
-// node's adapter and memory bus. Every pair speaks transport.Endpoint to
-// its rank's progress engine, so any transport sits behind any slot.
-//
-// Connection lifecycle is configurable (DESIGN.md §9): ConnectEager wires
-// the full O(np²) mesh at construction, reproducing the paper's setup;
-// ConnectLazy installs connector stubs and establishes each connection on
-// first use, so a job's connection count and memory follow its
-// communication pattern instead of its size.
 package cluster
 
 import (
@@ -102,6 +85,16 @@ type Config struct {
 	// one rank per node, all traffic on InfiniBand.
 	CoresPerNode int
 
+	// RailsPerNode provisions this many HCAs (rails) on every node; 0 or 1
+	// reproduces the paper's testbed, one PCI-X-bound adapter per node —
+	// the 870 MB/s ceiling of §6. With more rails every inter-node
+	// connection becomes a rail set (one queue pair per rail): eager
+	// chunks pick a rail through Chan.RailPolicy, large zero-copy
+	// transfers stripe across all rails, and the rails share the node's
+	// memory bandwidth while each owns its network bandwidth
+	// (DESIGN.md §10). At most rdmachan.MaxRails.
+	RailsPerNode int
+
 	// Chan overrides per-connection channel parameters (chunk size, ring
 	// size, thresholds, registration cache) for sweeps and ablations.
 	// Chan.UseSRQ selects the SRQ-backed eager mode: inter-node pairs
@@ -129,21 +122,26 @@ type Config struct {
 
 // Cluster is a built simulation. Nodes and HCAs are indexed by node id,
 // Devs by rank; with CoresPerNode > 1 there are fewer nodes than ranks
-// and co-located devices share their node's adapter.
+// and co-located devices share their node's adapters. HCAs holds each
+// node's rail-0 adapter; Rails holds the full rail set per node
+// (Rails[n][0] == HCAs[n]).
 type Cluster struct {
 	Eng    *des.Engine
 	Prm    *model.Params
 	Fabric *ib.Fabric
 	Nodes  []*model.Node
 	HCAs   []*ib.HCA
+	Rails  [][]*ib.HCA
 	Devs   []*adi3.Device
 
 	nodeOf  []int32 // node id per rank
 	cfg     Config
+	rails   int             // resolved RailsPerNode (≥ 1)
 	chanCfg rdmachan.Config // Chan with the design resolved from Transport
 
-	pools       []*rdmachan.SRQPool // per-rank SRQ pools (Chan.UseSRQ only)
-	pairStarted map[uint64]bool     // pairs whose establishment has begun
+	pools       [][]*rdmachan.SRQPool // per-rank, per-rail SRQ pools (Chan.UseSRQ only)
+	srqRR       int                   // round-robin cursor for SRQ rail assignment
+	pairStarted map[uint64]bool       // pairs whose establishment has begun
 }
 
 // New builds the cluster. In eager mode all rank-pair connections are
@@ -171,10 +169,30 @@ func New(cfg Config) (*Cluster, error) {
 	if cpn <= 0 {
 		cpn = 1
 	}
+	rails := cfg.RailsPerNode
+	if rails <= 0 {
+		rails = 1
+	}
+	if rails > rdmachan.MaxRails {
+		return nil, fmt.Errorf("cluster: at most %d rails per node (got %d)",
+			rdmachan.MaxRails, rails)
+	}
+	if cfg.Chan.RailPolicy == rdmachan.RailFixed &&
+		(cfg.Chan.FixedRail < 0 || cfg.Chan.FixedRail >= rails) {
+		return nil, fmt.Errorf("cluster: Chan.FixedRail %d outside rail set [0,%d)",
+			cfg.Chan.FixedRail, rails)
+	}
+	if rails > 1 && cfg.Transport == TransportBasic {
+		// The basic design's strictly ordered head/tail protocol runs on a
+		// single queue pair; a multi-rail basic run would silently measure
+		// rail 0 alone under a multi-rail label.
+		return nil, fmt.Errorf("cluster: the basic design is single-rail; use piggyback, pipeline, zerocopy or ch3 with RailsPerNode > 1")
+	}
 	c := &Cluster{
 		Eng:         des.NewEngine(),
 		Prm:         prm,
 		cfg:         cfg,
+		rails:       rails,
 		pairStarted: make(map[uint64]bool),
 	}
 	c.Fabric = ib.NewFabric(c.Eng, prm)
@@ -182,7 +200,12 @@ func New(cfg Config) (*Cluster, error) {
 	for n := 0; n < nNodes; n++ {
 		node := model.NewNode(n, prm)
 		c.Nodes = append(c.Nodes, node)
-		c.HCAs = append(c.HCAs, c.Fabric.NewHCA(node))
+		set := make([]*ib.HCA, rails)
+		for k := 0; k < rails; k++ {
+			set[k] = c.Fabric.NewRailHCA(node, k)
+		}
+		c.Rails = append(c.Rails, set)
+		c.HCAs = append(c.HCAs, set[0])
 	}
 	c.nodeOf = make([]int32, cfg.NP)
 	for r := 0; r < cfg.NP; r++ {
@@ -208,14 +231,20 @@ func New(cfg Config) (*Cluster, error) {
 	var setupErr error
 	c.Eng.Spawn("setup", func(p *des.Proc) {
 		if c.chanCfg.UseSRQ {
-			c.pools = make([]*rdmachan.SRQPool, cfg.NP)
+			// One pool per rank per rail: an SRQ belongs to one adapter, so
+			// multi-rail SRQ mode keeps a (small) pool on each rail and
+			// assigns whole connections to rails by policy (DESIGN.md §10).
+			c.pools = make([][]*rdmachan.SRQPool, cfg.NP)
 			for r := 0; r < cfg.NP; r++ {
-				pool, err := rdmachan.NewSRQPool(p, c.chanCfg, c.HCAs[c.nodeOf[r]], c.Devs[r].OnErr())
-				if err != nil {
-					setupErr = fmt.Errorf("cluster: rank %d SRQ pool: %w", r, err)
-					return
+				c.pools[r] = make([]*rdmachan.SRQPool, c.rails)
+				for k := 0; k < c.rails; k++ {
+					pool, err := rdmachan.NewSRQPool(p, c.chanCfg, c.Rails[c.nodeOf[r]][k], c.Devs[r].OnErr())
+					if err != nil {
+						setupErr = fmt.Errorf("cluster: rank %d rail %d SRQ pool: %w", r, k, err)
+						return
+					}
+					c.pools[r][k] = pool
 				}
-				c.pools[r] = pool
 			}
 		}
 		if cfg.ConnectMode == ConnectLazy {
@@ -319,7 +348,8 @@ func (c *Cluster) wirePair(p *des.Proc, i, j int) error {
 		return nil
 	}
 	if c.chanCfg.UseSRQ {
-		ei, ej, err := ch3.NewSRQPair(c.pools[i], c.pools[j],
+		k := c.pickSRQRail(i, j)
+		ei, ej, err := ch3.NewSRQPair(c.pools[i][k], c.pools[j][k],
 			c.Devs[i].Engine(), c.Devs[j].Engine(),
 			c.Devs[i].OnErr(), c.Devs[j].OnErr())
 		if err != nil {
@@ -329,7 +359,8 @@ func (c *Cluster) wirePair(p *des.Proc, i, j int) error {
 		c.Devs[j].Engine().Fulfill(int32(i), ej)
 		return nil
 	}
-	epi, epj, err := rdmachan.NewConnection(p, c.chanCfg, c.HCAs[c.nodeOf[i]], c.HCAs[c.nodeOf[j]])
+	epi, epj, err := rdmachan.NewConnectionRails(p, c.chanCfg,
+		c.Rails[c.nodeOf[i]], c.Rails[c.nodeOf[j]])
 	if err != nil {
 		return err
 	}
@@ -338,15 +369,50 @@ func (c *Cluster) wirePair(p *des.Proc, i, j int) error {
 	return nil
 }
 
+// pickSRQRail assigns a whole SRQ-mode connection to one rail: the SRQ
+// eager path is two-sided sends into one adapter's shared queue, so rails
+// spread by connection rather than by chunk, steered by the same policy
+// knob as the chunk designs.
+func (c *Cluster) pickSRQRail(i, j int) int {
+	if c.rails == 1 {
+		return 0
+	}
+	switch c.chanCfg.RailPolicy {
+	case rdmachan.RailFixed:
+		return c.chanCfg.FixedRail % c.rails
+	case rdmachan.RailWeighted:
+		best, load := 0, c.pools[i][0].Bound()+c.pools[j][0].Bound()
+		for k := 1; k < c.rails; k++ {
+			if l := c.pools[i][k].Bound() + c.pools[j][k].Bound(); l < load {
+				best, load = k, l
+			}
+		}
+		return best
+	default: // round-robin over establishment order
+		k := c.srqRR % c.rails
+		c.srqRR++
+		return k
+	}
+}
+
 // NodeOf returns the node id hosting a rank.
 func (c *Cluster) NodeOf(rank int) int { return int(c.nodeOf[rank]) }
 
 // Size returns the number of ranks.
 func (c *Cluster) Size() int { return c.cfg.NP }
 
-// SRQPool returns a rank's shared receive pool, or nil when the cluster
-// does not run the SRQ-backed eager mode.
+// SRQPool returns a rank's rail-0 shared receive pool, or nil when the
+// cluster does not run the SRQ-backed eager mode.
 func (c *Cluster) SRQPool(rank int) *rdmachan.SRQPool {
+	if c.pools == nil {
+		return nil
+	}
+	return c.pools[rank][0]
+}
+
+// SRQPools returns a rank's shared receive pools, one per rail, or nil
+// when the cluster does not run the SRQ-backed eager mode.
+func (c *Cluster) SRQPools(rank int) []*rdmachan.SRQPool {
 	if c.pools == nil {
 		return nil
 	}
@@ -398,8 +464,10 @@ func (c *Cluster) RankMemStats(rank int) MemStats {
 			fp.Add(a.Footprint())
 		}
 	}
-	if c.pools != nil && c.pools[rank] != nil {
-		fp.Add(c.pools[rank].Footprint())
+	if c.pools != nil {
+		for _, pool := range c.pools[rank] {
+			fp.Add(pool.Footprint())
+		}
 	}
 	return MemStats{
 		Ranks:       1,
@@ -443,7 +511,9 @@ func (c *Cluster) RegCacheStats() regcache.Stats {
 			switch e := ep.(type) {
 			case *ch3.Conn:
 				if raw, ok := e.Endpoint().(rdmachan.RawAccess); ok {
-					addCache(raw.RegCache())
+					for k := 0; k < raw.NRails(); k++ {
+						addCache(raw.RailRegCache(k))
+					}
 				}
 			case *ch3.SRQConn:
 				addCache(e.Pool().RegCache())

@@ -1,11 +1,3 @@
-// Package core is the façade over the paper's primary contribution: the
-// MPICH2 RDMA Channel interface implemented over InfiniBand in four
-// designs (basic, piggyback, pipeline, zero-copy) plus the direct CH3
-// comparison design. The implementation lives in internal/rdmachan (the
-// channel itself), internal/ch3 (the CH3 layer), and internal/cluster
-// (system assembly); this package re-exports the entry points a user of
-// the library starts from, mirroring the repository structure described
-// in DESIGN.md.
 package core
 
 import (

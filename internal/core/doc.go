@@ -1,0 +1,15 @@
+// Package core is the façade over the paper's primary contribution: the
+// MPICH2 RDMA Channel interface (§3.2 of conf_ipps_LiuJWPABGT04)
+// implemented over InfiniBand in four designs (basic, piggyback,
+// pipeline, zero-copy) plus the direct CH3 comparison design.
+//
+// Layer boundaries: the implementation lives in internal/rdmachan (the
+// channel itself), internal/ch3 (the CH3 layer), and internal/cluster
+// (system assembly); this package re-exports the entry points a user of
+// the library starts from, mirroring the repository structure described
+// in DESIGN.md §2. It adds no behaviour of its own.
+//
+// Invariant: core contains type aliases and constant re-exports only —
+// if a symbol here ever needs a function body beyond delegation, it
+// belongs in the implementing package instead.
+package core

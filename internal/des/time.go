@@ -1,17 +1,3 @@
-// Package des implements a deterministic, process-oriented discrete-event
-// simulation kernel.
-//
-// Simulated processes are ordinary goroutines, but the engine steps exactly
-// one of them at a time: a process runs until it blocks on a kernel
-// primitive (Sleep, Cond.Wait, Queue.Get, Resource.Acquire, ...), at which
-// point control returns to the engine, which advances the simulated clock to
-// the next pending event. Ties in the event heap are broken by scheduling
-// sequence number, so a given program produces bit-for-bit identical
-// simulated timings on every run.
-//
-// The kernel is the substrate for the InfiniBand fabric simulator
-// (internal/ib) and everything layered above it; simulated time stands in
-// for the wall-clock microseconds the paper measures.
 package des
 
 import (

@@ -14,6 +14,8 @@ type HCA struct {
 	node *model.Node
 	eng  *des.Engine
 	prm  *model.Params
+	bus  *model.Bus // the DMA path: the node bus (rail 0) or a rail bus
+	rail int        // rail index on the node (0 = primary)
 
 	pdSeq  int
 	qpSeq  uint32
@@ -23,9 +25,6 @@ type HCA struct {
 
 	rxq   des.Queue[rxItem]
 	readq des.Queue[*readRequest]
-
-	memWatch des.Cond
-	memSeq   uint64 // bumped on every notifyMemWrite / CQE
 
 	stats HCAStats
 }
@@ -68,12 +67,18 @@ func (h *HCA) Params() *model.Params { return h.prm }
 // Stats returns a copy of the adapter counters.
 func (h *HCA) Stats() HCAStats { return h.stats }
 
+// Rail returns the adapter's rail index on its node (0 = primary).
+func (h *HCA) Rail() int { return h.rail }
+
+// Bus returns the adapter's DMA path: the node's primary bus for rail 0,
+// a dedicated rail (PCI segment) bus otherwise. All of a node's buses
+// share the node memory controller.
+func (h *HCA) Bus() *model.Bus { return h.bus }
+
 // notifyMemWrite wakes processes polling host memory for remotely written
-// flags (WaitMemory).
-func (h *HCA) notifyMemWrite() {
-	h.memSeq++
-	h.memWatch.Broadcast()
-}
+// flags (WaitMemory). The counter is node-wide: with multiple rails a
+// poller must not miss a delivery that arrived on a sibling adapter.
+func (h *HCA) notifyMemWrite() { h.node.NotifyMemWrite() }
 
 // NotifyMemWrite records host-memory activity produced by an on-node agent
 // other than the fabric — another rank on the same SMP node storing into a
@@ -83,21 +88,18 @@ func (h *HCA) notifyMemWrite() {
 // counter.
 func (h *HCA) NotifyMemWrite() { h.notifyMemWrite() }
 
-// MemEventSeq returns a counter that advances on every remote write or
-// completion landing on this node. Progress loops snapshot it before a
-// polling pass; WaitMemEventSince then returns immediately if anything
-// happened during the pass, closing the lost-wakeup window between
-// checking one connection and sleeping.
-func (h *HCA) MemEventSeq() uint64 { return h.memSeq }
+// MemEventSeq returns the node-wide counter that advances on every remote
+// write or completion landing on this node, any rail. Progress loops
+// snapshot it before a polling pass; WaitMemEventSince then returns
+// immediately if anything happened during the pass, closing the
+// lost-wakeup window between checking one connection and sleeping.
+func (h *HCA) MemEventSeq() uint64 { return h.node.MemEventSeq() }
 
-// WaitMemEventSince blocks until fabric activity newer than seq, then
+// WaitMemEventSince blocks until host-memory activity newer than seq, then
 // charges the poll-detection latency. If activity already happened after
 // seq was read, it returns at once.
 func (h *HCA) WaitMemEventSince(p *des.Proc, seq uint64) {
-	for h.memSeq == seq {
-		h.memWatch.Wait(p)
-	}
-	p.Sleep(h.prm.PollDetect)
+	h.node.WaitMemEventSince(p, seq)
 }
 
 // WaitMemory blocks until pred() becomes true, re-evaluating after every
@@ -105,28 +107,24 @@ func (h *HCA) WaitMemEventSince(p *des.Proc, seq uint64) {
 // latency. This models the spin-polling on ring-buffer flags used by the
 // piggybacking design (§4.3) without simulating every poll iteration.
 func (h *HCA) WaitMemory(p *des.Proc, pred func() bool) {
-	for !pred() {
-		h.memWatch.Wait(p)
-	}
-	p.Sleep(h.prm.PollDetect)
+	h.node.WaitMemory(p, pred)
 }
 
 // WaitMemEvent blocks until the next remote write or completion lands on
 // this node, then charges the poll-detection latency. Progress loops use
 // it between retries of non-blocking operations.
 func (h *HCA) WaitMemEvent(p *des.Proc) {
-	h.memWatch.Wait(p)
-	p.Sleep(h.prm.PollDetect)
+	h.node.WaitMemEvent(p)
 }
 
 // runRx is the adapter's receive engine: every granule arriving from the
-// wire crosses the node's memory bus at the network rate (the PCI-X DMA
+// wire crosses the adapter's bus at the network rate (the PCI-X DMA
 // write), then runs its delivery action.
 func (h *HCA) runRx(p *des.Proc) {
 	for {
 		it := h.rxq.Get(p)
 		if it.bytes > 0 {
-			h.node.Bus.Transfer(p, it.bytes, h.prm.NetBandwidth)
+			h.bus.Transfer(p, it.bytes, h.prm.NetBandwidth)
 			h.stats.BytesDelivered += uint64(it.bytes)
 		}
 		if it.fn != nil {
@@ -207,7 +205,7 @@ func (h *HCA) runReadResponder(p *des.Proc) {
 			if n-off < chunk {
 				chunk = n - off
 			}
-			h.node.Bus.Transfer(p, chunk, prm.NetBandwidth)
+			h.bus.Transfer(p, chunk, prm.NetBandwidth)
 			var fn func()
 			if off+chunk >= n {
 				fn = deliver
@@ -235,20 +233,34 @@ func NewFabric(eng *des.Engine, prm *model.Params) *Fabric {
 	return &Fabric{eng: eng, prm: prm}
 }
 
-// NewHCA attaches an adapter to node and starts its receive and
-// read-responder engines.
+// NewHCA attaches the node's primary (rail 0) adapter and starts its
+// receive and read-responder engines. Its DMA path is the node bus.
 func (f *Fabric) NewHCA(node *model.Node) *HCA {
+	return f.NewRailHCA(node, 0)
+}
+
+// NewRailHCA attaches one adapter of a multi-rail node. Rail 0 drives the
+// node's primary bus; each further rail gets a dedicated PCI-segment bus
+// sharing the node memory controller, so rails pace their DMA at their own
+// NetBandwidth but aggregate no further than the node's MemBandwidth.
+func (f *Fabric) NewRailHCA(node *model.Node, rail int) *HCA {
+	bus := node.Bus
+	if rail > 0 {
+		bus = node.NewRailBus(fmt.Sprintf("node%d.pcix%d", node.ID, rail))
+	}
 	h := &HCA{
 		node:   node,
 		eng:    f.eng,
 		prm:    f.prm,
+		bus:    bus,
+		rail:   rail,
 		keySeq: 0x100,
 		lkeys:  make(map[uint32]*MR),
 		rkeys:  make(map[uint32]*MR),
 	}
 	f.hcas = append(f.hcas, h)
-	f.eng.SpawnDaemon(fmt.Sprintf("hca%d.rx", node.ID), h.runRx)
-	f.eng.SpawnDaemon(fmt.Sprintf("hca%d.readresp", node.ID), h.runReadResponder)
+	f.eng.SpawnDaemon(fmt.Sprintf("hca%d.%d.rx", node.ID, rail), h.runRx)
+	f.eng.SpawnDaemon(fmt.Sprintf("hca%d.%d.readresp", node.ID, rail), h.runReadResponder)
 	return h
 }
 

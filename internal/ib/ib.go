@@ -1,23 +1,3 @@
-// Package ib simulates the InfiniBand Architecture at the verbs level:
-// host channel adapters (HCAs), reliable-connection queue pairs, work queue
-// requests, completion queues, and registered memory regions with
-// lkey/rkey protection — the API surface the paper's MPICH2 designs are
-// built on (§2 of the paper).
-//
-// The simulator executes real protocol state machines over real bytes; only
-// time is simulated, via the internal/des kernel and the internal/model
-// cost model. It preserves the semantics the paper's designs rely on:
-//
-//   - RC ordering: operations on a queue pair execute in posted order, and
-//     RDMA writes become visible at the responder in order.
-//   - One-sidedness: RDMA read/write consume no responder CPU.
-//   - Completion semantics: a requester CQE means the operation is acked
-//     end-to-end; completions appear in work-request order.
-//   - Protection: remote access requires a valid rkey covering the range
-//     with the right access flags; violations complete in error and move
-//     the queue pair to the error state.
-//   - Limited outstanding RDMA reads per QP (the InfiniHost-era IRD limit
-//     responsible for the read-vs-write mid-size bandwidth gap, Figure 15).
 package ib
 
 import "fmt"

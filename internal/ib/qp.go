@@ -90,6 +90,11 @@ func (qp *QP) Stats() QPStats { return qp.stats }
 // HCA returns the adapter owning this QP.
 func (qp *QP) HCA() *HCA { return qp.hca }
 
+// SendQueueDepth reports work requests waiting in the send queue (not yet
+// picked up by the HCA engine) — the signal the weighted rail policy
+// balances on.
+func (qp *QP) SendQueueDepth() int { return qp.sq.Len() }
+
 // PD returns the protection domain of this QP.
 func (qp *QP) PD() *PD { return qp.pd }
 
@@ -364,7 +369,7 @@ func (qp *QP) inject(p *des.Proc, dst *HCA, n int, onLast func()) {
 		})
 		return
 	}
-	bus := qp.hca.node.Bus
+	bus := qp.hca.bus
 	g := prm.BusGranule
 	for off := 0; off < n; off += g {
 		chunk := g

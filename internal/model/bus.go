@@ -16,13 +16,57 @@ type Bus struct {
 	name    string
 	params  *Params
 	res     *des.Resource
+	mem     *MemCtl  // shared memory controller; nil = standalone bus
 	busy    des.Time // accumulated occupancy, for utilization stats
 	granted uint64   // granules served
+}
+
+// MemCtl is a node's memory controller: the resource every bus of the node
+// — the primary bus and any additional rail (PCI segment) buses — funnels
+// through. A granule occupies the controller for granule/MemBandwidth time
+// regardless of the flow's own pacing, so flows on *different* buses of one
+// node aggregate up to MemBandwidth and no further, while flows sharing a
+// single bus serialize on that bus exactly as before (the controller is
+// never contended beneath an already-held bus, so single-bus timing is
+// unchanged down to the nanosecond).
+type MemCtl struct {
+	params  *Params
+	res     *des.Resource
+	busy    des.Time
+	granted uint64
+}
+
+// NewMemCtl returns a memory controller using the rate from p.
+func NewMemCtl(p *Params) *MemCtl {
+	return &MemCtl{params: p, res: des.NewResource(1)}
+}
+
+// BusyTime returns total simulated time the controller has been occupied.
+func (m *MemCtl) BusyTime() des.Time { return m.busy }
+
+// occupy holds the controller while chunk bytes cross it, returning the
+// occupancy charged (the caller sleeps the remainder of its flow pacing
+// outside the controller).
+func (m *MemCtl) occupy(p *des.Proc, chunk int) des.Time {
+	d := TimeForBytes(chunk, m.params.memBandwidth())
+	m.res.Acquire(p, 1)
+	p.Sleep(d)
+	m.busy += d
+	m.granted++
+	m.res.Release(1)
+	return d
 }
 
 // NewBus returns a bus using the granule and rate ceiling from p.
 func NewBus(name string, p *Params) *Bus {
 	return &Bus{name: name, params: p, res: des.NewResource(1)}
+}
+
+// NewBusOn returns a bus whose granules additionally occupy the shared
+// memory controller mem — the construction rail buses use so that rails
+// of one node share MemBandwidth while each owns its NetBandwidth pacing.
+func NewBusOn(name string, p *Params, mem *MemCtl) *Bus {
+	return &Bus{name: name, params: p, res: des.NewResource(1), mem: mem}
 }
 
 // Name returns the bus label (used in traces).
@@ -52,7 +96,19 @@ func (b *Bus) Transfer(p *des.Proc, n int, rate float64) {
 		}
 		b.res.Acquire(p, 1)
 		d := TimeForBytes(chunk, rate)
-		p.Sleep(d)
+		if b.mem != nil {
+			// Split the granule's dwell time: the memory-controller share
+			// is spent holding the shared controller (where buses of other
+			// rails queue), the rest is the flow's own pacing on this bus.
+			// The two sleeps sum to exactly d, so a flow that never meets
+			// cross-bus traffic is timed identically to a plain bus.
+			dm := b.mem.occupy(p, chunk)
+			if dm < d {
+				p.Sleep(d - dm)
+			}
+		} else {
+			p.Sleep(d)
+		}
 		b.busy += d
 		b.granted++
 		b.res.Release(1)

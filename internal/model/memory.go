@@ -3,6 +3,8 @@ package model
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/des"
 )
 
 // Memory is a node's virtual address space. Buffers are allocated at
@@ -79,20 +81,89 @@ func (m *Memory) MustResolve(va uint64, n int) []byte {
 
 // Node is one machine of the simulated cluster: an identity, the shared
 // cost parameters, a memory bus and an address space. The InfiniBand layer
-// attaches an HCA to a node; MPI processes run on it.
+// attaches one or more HCAs (rails) to a node; MPI processes run on it.
+//
+// The node also owns the host-memory event counter polled by progress
+// loops: a flag flipped by any agent with access to the node's memory — a
+// DMA engine of any rail, or a neighbouring core storing into a shared
+// ring — is indistinguishable to a polling loop, so all of them feed this
+// one counter. Keeping it per-node (not per-adapter) is what makes
+// multi-rail wakeups lossless: a loop sleeping on the node cannot miss a
+// delivery that arrived on another rail.
 type Node struct {
 	ID     int
 	Params *Params
 	Bus    *Bus
 	Mem    *Memory
+
+	memctl   *MemCtl
+	memWatch des.Cond
+	memSeq   uint64 // bumped on every remote write / completion landing here
 }
 
-// NewNode builds a node with its own bus and address space.
+// NewNode builds a node with its own bus and address space. The primary
+// bus and any rail buses created later share one memory controller.
 func NewNode(id int, p *Params) *Node {
-	return &Node{
+	n := &Node{
 		ID:     id,
 		Params: p,
-		Bus:    NewBus(fmt.Sprintf("node%d.bus", id), p),
 		Mem:    NewMemory(),
+		memctl: NewMemCtl(p),
 	}
+	n.Bus = NewBusOn(fmt.Sprintf("node%d.bus", id), p, n.memctl)
+	return n
+}
+
+// NewRailBus creates an additional bus (a PCI segment for one more rail)
+// sharing this node's memory controller: the rail paces its own flows at
+// its own rate, but its granules queue with every other bus of the node
+// at the MemBandwidth ceiling.
+func (n *Node) NewRailBus(name string) *Bus {
+	return NewBusOn(name, n.Params, n.memctl)
+}
+
+// MemCtlBusyTime returns total simulated time the node's memory
+// controller has been occupied (utilization stats).
+func (n *Node) MemCtlBusyTime() des.Time { return n.memctl.BusyTime() }
+
+// NotifyMemWrite records host-memory activity — a remote write or
+// completion landing on this node, from any rail or a neighbouring core —
+// and wakes pollers.
+func (n *Node) NotifyMemWrite() {
+	n.memSeq++
+	n.memWatch.Broadcast()
+}
+
+// MemEventSeq returns a counter that advances on every remote write or
+// completion landing on this node. Progress loops snapshot it before a
+// polling pass; WaitMemEventSince then returns immediately if anything
+// happened during the pass, closing the lost-wakeup window between
+// checking one connection and sleeping.
+func (n *Node) MemEventSeq() uint64 { return n.memSeq }
+
+// WaitMemEventSince blocks until host-memory activity newer than seq,
+// then charges the poll-detection latency. If activity already happened
+// after seq was read, it returns at once.
+func (n *Node) WaitMemEventSince(p *des.Proc, seq uint64) {
+	for n.memSeq == seq {
+		n.memWatch.Wait(p)
+	}
+	p.Sleep(n.Params.PollDetect)
+}
+
+// WaitMemory blocks until pred() becomes true, re-evaluating after every
+// remote write delivered into this node, then charges the poll-detection
+// latency.
+func (n *Node) WaitMemory(p *des.Proc, pred func() bool) {
+	for !pred() {
+		n.memWatch.Wait(p)
+	}
+	p.Sleep(n.Params.PollDetect)
+}
+
+// WaitMemEvent blocks until the next remote write or completion lands on
+// this node, then charges the poll-detection latency.
+func (n *Node) WaitMemEvent(p *des.Proc) {
+	n.memWatch.Wait(p)
+	p.Sleep(n.Params.PollDetect)
 }

@@ -1,18 +1,3 @@
-// Package model captures the hardware cost model of the paper's testbed:
-// 8 SuperMicro SUPER P4DL6 nodes (dual 2.4 GHz Xeon, 512 KB L2, 400 MHz FSB),
-// Mellanox InfiniHost MT23108 4X HCAs on PCI-X 64/133, and an InfiniScale
-// 8-port switch.
-//
-// The model supplies three things to the InfiniBand simulator and the MPI
-// stack above it:
-//
-//   - calibrated cost constants (Params),
-//   - a per-node memory bus on which CPU copies and HCA DMA contend (Bus),
-//   - a per-node virtual address space for registered buffers (Memory).
-//
-// Calibration targets the paper's measured numbers: 5.9 µs / 870 MB/s raw
-// verbs performance, <800 MB/s large-message memcpy, and the derived MPI
-// figures (18.6 µs basic, 7.4 µs piggyback, 7.6 µs / 857 MB/s zero-copy).
 package model
 
 import "repro/internal/des"
@@ -42,7 +27,11 @@ type Params struct {
 	// (the verbs convention)
 
 	// Memory subsystem.
-	BusMaxRate          float64 // MB/s ceiling for any single bus flow
+	BusMaxRate   float64 // MB/s ceiling for any single bus flow
+	MemBandwidth float64 // MB/s node memory-controller ceiling shared
+	// by every bus of the node (rail/PCI segments included); 0 = BusMaxRate.
+	// A single flow is paced by its own rate; concurrent flows on different
+	// buses of one node aggregate up to this and no further (multi-rail).
 	BusGranule          int     // bus arbitration granule, bytes
 	CopyBandwidthCached float64 // MB/s memcpy, working set within caches
 	CopyBandwidthMem    float64 // MB/s memcpy, streaming from memory
@@ -116,6 +105,15 @@ func TimeForBytes(n int, rate float64) des.Time {
 		panic("model: nonpositive rate")
 	}
 	return des.Time(float64(n)*1000.0/rate + 0.5)
+}
+
+// memBandwidth returns the memory-controller ceiling, defaulting to the
+// single-flow bus cap so existing parameter sets need no update.
+func (p *Params) memBandwidth() float64 {
+	if p.MemBandwidth > 0 {
+		return p.MemBandwidth
+	}
+	return p.BusMaxRate
 }
 
 // CopyRate returns the effective memcpy bandwidth (MB/s) for a copy whose

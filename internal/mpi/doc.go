@@ -1,0 +1,34 @@
+// Package mpi implements the MPI-1 subset the paper evaluates — blocking
+// and non-blocking point-to-point with tag/source matching and wildcards,
+// communicator construction (Dup, Split), and the collectives the NAS
+// Parallel Benchmarks use — on top of the ADI3 device (internal/adi3).
+// The paper's focus is exactly this: "our study focuses on optimizing the
+// performance of MPI-1 functions in MPICH2" (§1 of
+// conf_ipps_LiuJWPABGT04).
+//
+// Collectives dispatch through a per-communicator algorithm registry and
+// tuning table (algorithms.go, DESIGN.md §8); communicators and
+// context-id allocation live in comm.go. An MPI-2 one-sided extension
+// (Win/Put/Get/Accumulate/Fence over RDMA and InfiniBand atomics),
+// flagged as future work in §9 of the paper, lives in onesided.go.
+//
+// Layer boundaries: mpi sees messages, communicators and ranks; bytes,
+// rails and transports are the engine's and endpoints' business. The one
+// deliberate exception is the one-sided extension, which reaches through
+// rdmachan.RawAccess for raw verbs resources — and is therefore restricted
+// to channel-design transports, single-rail (the construction errors
+// name the config knobs to flip: Config.Chan.UseSRQ, Config.RailsPerNode).
+//
+// Invariants:
+//
+//   - Every communicator owns a context-id pair (p2p + collective);
+//     world keeps 0/1, derived communicators allocate upward by
+//     max-agreement on the parent. Sibling communicators can never
+//     cross-match, wildcards included.
+//   - Collective algorithm selection is per-communicator and
+//     deterministic: the default tuning table reproduces the historical
+//     hardwired dispatch bit-for-bit (verified by the PR 3 probe); forced
+//     overrides come only through Tuning.
+//   - Collectives reuse per-communicator scratch buffers: zero
+//     steady-state allocations (TestCollectiveScratchReuse).
+package mpi

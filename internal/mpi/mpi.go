@@ -1,15 +1,3 @@
-// Package mpi implements the MPI-1 subset the paper evaluates — blocking
-// and non-blocking point-to-point with tag/source matching and wildcards,
-// communicator construction (Dup, Split), and the collectives the NAS
-// Parallel Benchmarks use — on top of the ADI3 device (internal/adi3).
-// The paper's focus is exactly this: "our study focuses on optimizing the
-// performance of MPI-1 functions in MPICH2".
-//
-// Collectives dispatch through a per-communicator algorithm registry and
-// tuning table (algorithms.go); communicators and context-id allocation
-// live in comm.go. An MPI-2 one-sided extension (Win/Put/Get/Accumulate/
-// Fence over RDMA and InfiniBand atomics), flagged as future work in §9 of
-// the paper, lives in onesided.go.
 package mpi
 
 import (

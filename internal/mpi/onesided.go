@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/des"
 	"repro/internal/ib"
 	"repro/internal/rdmachan"
 	"repro/internal/transport"
@@ -45,12 +46,24 @@ func rawOf(ep transport.Endpoint) (rdmachan.RawAccess, error) {
 	type hasEndpoint interface{ Endpoint() rdmachan.Endpoint }
 	he, ok := ep.(hasEndpoint)
 	if !ok {
-		return nil, fmt.Errorf("mpi: connection exposes no raw verbs endpoint " +
-			"(one-sided windows need a channel-design transport; the SRQ eager mode is unsupported)")
+		if _, srq := ep.(interface{ Pool() *rdmachan.SRQPool }); srq {
+			return nil, fmt.Errorf("mpi: one-sided windows need a channel-design transport, " +
+				"and this cluster runs the SRQ-backed eager mode: set cluster.Config.Chan.UseSRQ = false " +
+				"(keeping Config.ConnectMode = ConnectLazy is fine — windows establish their " +
+				"connections on creation); see DESIGN.md §9")
+		}
+		return nil, fmt.Errorf("mpi: one-sided windows need a channel-design InfiniBand transport " +
+			"(this connection — e.g. an intra-node shared-memory pair — exposes no raw verbs endpoint)")
 	}
 	raw, ok := he.Endpoint().(rdmachan.RawAccess)
 	if !ok {
 		return nil, fmt.Errorf("mpi: one-sided windows need an RDMA-capable transport (not the basic design)")
+	}
+	if raw.NRails() > 1 {
+		// The window exchange carries one rkey and the completion hook is
+		// claimed by the striped-rendezvous counter; run windows on one rail.
+		return nil, fmt.Errorf("mpi: one-sided windows are single-rail: set cluster.Config.RailsPerNode = 1 " +
+			"(see DESIGN.md §10)")
 	}
 	return raw, nil
 }
@@ -90,7 +103,7 @@ func (c *Comm) WinCreate(base Buffer) (*Win, error) {
 			raw: raw, mr: mr,
 			scratch: Buffer{Addr: scratchVA, Len: 8}, scrMR: scrMR,
 		}
-		raw.SetForeignCQE(func(cqe ib.CQE) {
+		raw.SetForeignCQE(func(_ *des.Proc, cqe ib.CQE) {
 			w.outstanding--
 			if cqe.Status != ib.StatusSuccess && w.failed == nil {
 				w.failed = fmt.Errorf("mpi: one-sided wr %#x failed: %v", cqe.WRID, cqe.Status)

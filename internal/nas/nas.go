@@ -1,16 +1,3 @@
-// Package nas implements communication-accurate skeletons of the NAS
-// Parallel Benchmarks 2.4 (EP, IS, CG, MG, FT, LU, SP, BT), the workloads
-// of the paper's application-level evaluation (§7, Figures 16–17).
-//
-// Substitution note (see DESIGN.md): the original Fortran kernels compute
-// real physics; what the paper's Figures 16/17 compare is how the *same
-// application traffic* performs over three MPI transports. The skeletons
-// therefore issue the real MPI calls — the same message sizes, counts,
-// partners, collectives, and dependence structure (e.g. LU's SSOR
-// wavefront emerges from actual blocking receives) — move real bytes, and
-// verify them with checksums, while the floating-point phases advance
-// simulated time through the calibrated compute model (Comm.Compute).
-// Relative transport ordering, the figures' result, is preserved.
 package nas
 
 import (

@@ -1,24 +1,3 @@
-// Package rdmachan implements the paper's primary contribution: the MPICH2
-// RDMA Channel interface (§3.2) over InfiniBand, in four successive designs
-// (§4–§5):
-//
-//   - Basic: a direct emulation of the shared-memory ring of Figure 3 using
-//     RDMA writes for the data and for the replicated head/tail pointers —
-//     three RDMA writes per matching send/receive pair (§4.2).
-//   - Piggyback: pointer updates ride with the data; the ring is divided
-//     into fixed-size flagged chunks, and tail (credit) updates are delayed
-//     and batched (§4.3).
-//   - Pipeline: piggybacking plus per-chunk overlap of memory copies with
-//     RDMA writes for large messages (§4.4).
-//   - ZeroCopy: piggybacked/pipelined eager path for small messages; large
-//     messages are pulled by the receiver with RDMA read directly between
-//     user buffers, with a pin-down registration cache (§5).
-//
-// The interface is the paper's byte-FIFO pipe: Put writes toward the peer,
-// Get reads, both non-blocking, both returning the number of bytes
-// completed; the caller retries until its buffer list is drained. The
-// other three functions of the real interface (init/finalize/process
-// management) correspond to NewConnection and the simulation harness.
 package rdmachan
 
 import (
@@ -52,6 +31,56 @@ func (d Design) String() string {
 		return "zerocopy"
 	}
 	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// MaxRails bounds the rails a connection can carry: the RTS chunk and the
+// CH3 CTS header have room for this many per-rail rkeys.
+const MaxRails = 4
+
+// RailPolicy selects the rail an eager chunk travels on when a connection
+// spans several adapters. Large zero-copy transfers ignore it: they stripe
+// across every rail in ChunkSize-aligned blocks (see chunkEP).
+type RailPolicy int
+
+const (
+	// RailRoundRobin cycles chunks over the rails — the default, balancing
+	// load without inspecting the adapters.
+	RailRoundRobin RailPolicy = iota
+
+	// RailWeighted posts each chunk on the rail whose queue pair currently
+	// has the shallowest send queue, adapting to transient imbalance (a
+	// rail slowed by a competing flow drains slower and attracts less).
+	RailWeighted
+
+	// RailFixed pins all eager traffic to Config.FixedRail — the
+	// single-rail baseline inside a multi-rail build, and the control
+	// series of the rail-policy ablation.
+	RailFixed
+)
+
+func (rp RailPolicy) String() string {
+	switch rp {
+	case RailRoundRobin:
+		return "round-robin"
+	case RailWeighted:
+		return "weighted"
+	case RailFixed:
+		return "fixed"
+	}
+	return fmt.Sprintf("RailPolicy(%d)", int(rp))
+}
+
+// ParseRailPolicy maps a CLI spelling to a policy.
+func ParseRailPolicy(s string) (RailPolicy, error) {
+	switch s {
+	case "", "round-robin", "rr":
+		return RailRoundRobin, nil
+	case "weighted":
+		return RailWeighted, nil
+	case "fixed":
+		return RailFixed, nil
+	}
+	return 0, fmt.Errorf("rdmachan: unknown rail policy %q (round-robin, weighted, fixed)", s)
 }
 
 // Buffer names a span of the endpoint's node address space. The channel
@@ -132,6 +161,12 @@ type Stats struct {
 	ZCSends      uint64
 	ZCRecvs      uint64
 	RegCache     regStats
+
+	// Per-rail traffic (len = rail count; nil for single-rail designs
+	// predating rails): eager chunks posted on each rail by this side, and
+	// zero-copy stripe bytes this side pulled over each rail.
+	RailChunks  []uint64
+	RailZCBytes []uint64
 }
 
 type regStats struct {
@@ -164,8 +199,24 @@ type Config struct {
 
 	// RegCacheBytes bounds the pin-down cache (§5). Default 64 MB;
 	// negative disables caching (every zero-copy transfer pays full
-	// registration cost).
+	// registration cost). Multi-rail endpoints keep one cache per rail:
+	// each adapter pins independently, as real HCAs do.
 	RegCacheBytes int
+
+	// RailPolicy selects the rail for each eager chunk on multi-rail
+	// connections (DESIGN.md §10). Single-rail connections ignore it.
+	RailPolicy RailPolicy
+
+	// FixedRail is the rail RailFixed pins eager traffic to.
+	FixedRail int
+
+	// StripeThreshold is the zero-copy transfer size at and above which a
+	// multi-rail connection stripes the transfer across its rails;
+	// below it the transfer uses a single rail (striping a small message
+	// pays per-rail registration and read turnaround for little overlap).
+	// 0 selects the default — stripe every zero-copy transfer, i.e. the
+	// threshold collapses into ZCThreshold; negative disables striping.
+	StripeThreshold int
 
 	// UseSRQ selects the SRQ-backed eager mode (DESIGN.md §9): instead of
 	// a dedicated ring per connection, inbound eager packets land in a
@@ -253,16 +304,40 @@ func (f *Footprint) Add(o Footprint) {
 	f.PinnedBytes += o.PinnedBytes
 }
 
-// NewConnection wires a bidirectional connection between two adapters and
-// returns the two endpoints. Setup (ring allocation, registration, address
-// exchange) happens synchronously on the calling process; in the real
-// system this is the channel's init function, outside the measured path.
+// NewConnection wires a bidirectional single-rail connection between two
+// adapters and returns the two endpoints. Setup (ring allocation,
+// registration, address exchange) happens synchronously on the calling
+// process; in the real system this is the channel's init function, outside
+// the measured path.
 func NewConnection(p *des.Proc, cfg Config, ha, hb *ib.HCA) (Endpoint, Endpoint, error) {
+	return NewConnectionRails(p, cfg, []*ib.HCA{ha}, []*ib.HCA{hb})
+}
+
+// NewConnectionRails wires a rail-set connection: rail k pairs ra[k] with
+// rb[k] (one queue pair per rail), and the two endpoints share the
+// existing eager and rendezvous state machines across all of them — eager
+// chunks pick a rail through Config.RailPolicy, large zero-copy transfers
+// stripe across every rail (DESIGN.md §10). The basic design predates
+// chunk framing and its head/tail protocol needs one strictly ordered
+// queue pair, so it always runs on rail 0 alone.
+func NewConnectionRails(p *des.Proc, cfg Config, ra, rb []*ib.HCA) (Endpoint, Endpoint, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Design == DesignBasic {
-		return newBasicPair(p, cfg, ha, hb)
+	if len(ra) == 0 || len(ra) != len(rb) {
+		return nil, nil, fmt.Errorf("rdmachan: rail sets must be non-empty and equal (got %d and %d)",
+			len(ra), len(rb))
 	}
-	return newChunkPair(p, cfg, ha, hb)
+	if len(ra) > MaxRails {
+		return nil, nil, fmt.Errorf("rdmachan: at most %d rails per connection (got %d)",
+			MaxRails, len(ra))
+	}
+	if cfg.RailPolicy == RailFixed && (cfg.FixedRail < 0 || cfg.FixedRail >= len(ra)) {
+		return nil, nil, fmt.Errorf("rdmachan: FixedRail %d outside rail set [0,%d)",
+			cfg.FixedRail, len(ra))
+	}
+	if cfg.Design == DesignBasic {
+		return newBasicPair(p, cfg, ra[0], rb[0])
+	}
+	return newChunkPair(p, cfg, ra, rb)
 }
 
 // PutAll drives Put until every byte of bufs is accepted.
@@ -364,9 +439,23 @@ func (cw *counterWriter) post(p *des.Proc, v uint64, signaled bool, wrid uint64)
 	})
 }
 
-// endpointBase carries the plumbing common to all designs.
+// railRes is one rail's verbs resources on an endpoint: its adapter, a
+// protection domain, a queue pair and the pair of completion queues.
+type railRes struct {
+	hca *ib.HCA
+	pd  *ib.PD
+	qp  *ib.QP
+	scq *ib.CQ
+	rcq *ib.CQ
+}
+
+// endpointBase carries the plumbing common to all designs. The legacy
+// single-rail fields (hca, pd, qp, scq, rcq) alias rail 0, which carries
+// all control traffic (credits, acks) and is the only rail of the basic
+// design.
 type endpointBase struct {
 	cfg   Config
+	rails []railRes
 	hca   *ib.HCA
 	node  *model.Node
 	prm   *model.Params
@@ -392,15 +481,27 @@ func (b *endpointBase) resolve(buf Buffer) ([]byte, error) {
 }
 
 func newBase(cfg Config, h *ib.HCA) *endpointBase {
+	return newBaseRails(cfg, []*ib.HCA{h})
+}
+
+func newBaseRails(cfg Config, hcas []*ib.HCA) *endpointBase {
 	b := &endpointBase{
 		cfg:  cfg,
-		hca:  h,
-		node: h.Node(),
-		prm:  h.Params(),
+		hca:  hcas[0],
+		node: hcas[0].Node(),
+		prm:  hcas[0].Params(),
 	}
-	b.pd = h.AllocPD()
-	b.scq = h.CreateCQ()
-	b.rcq = h.CreateCQ()
-	b.qp = h.CreateQP(b.pd, b.scq, b.rcq)
+	for _, h := range hcas {
+		r := railRes{hca: h}
+		r.pd = h.AllocPD()
+		r.scq = h.CreateCQ()
+		r.rcq = h.CreateCQ()
+		r.qp = h.CreateQP(r.pd, r.scq, r.rcq)
+		b.rails = append(b.rails, r)
+	}
+	b.pd = b.rails[0].pd
+	b.scq = b.rails[0].scq
+	b.rcq = b.rails[0].rcq
+	b.qp = b.rails[0].qp
 	return b
 }

@@ -33,7 +33,15 @@ const (
 	chunkData byte = 1
 	chunkRTS  byte = 2
 
-	rtsPayloadLen = 20 // addr(8) + size(8) + rkey(4)
+	// RTS payload: addr(8) + size(8) + rkey(4) — the historical 20-byte
+	// form, emitted whenever the transfer uses one rail. A striped
+	// transfer emits addr(8) + size(8) + span(4) + one rkey(4) per
+	// stripe; the receiver distinguishes the forms by length (20 vs
+	// 20+4·stripes with stripes ≥ 2) and takes the block length from the
+	// span field rather than re-deriving it, so both sides always agree
+	// on the block ranges their per-rail registrations cover.
+	rtsPayloadBase = 16
+	rtsPayloadMax  = rtsPayloadBase + 4 + 4*MaxRails
 
 	wridZCRead = 0x2C00
 )
@@ -48,64 +56,75 @@ type chunkEP struct {
 	nChunks    int
 	maxPayload int
 
-	// Receive side: the ring lives in this endpoint's memory.
+	// Receive side: the ring lives in this endpoint's memory, registered
+	// once per rail so any rail's queue pair may deliver into it.
 	ring      []byte
 	ringVA    uint64
-	ringMR    *ib.MR
-	recvSeq   uint64 // chunks fully consumed == next expected seq
-	chunkOff  int    // bytes of the current chunk's payload already delivered
-	announced uint64 // consumed count last conveyed to the peer
+	ringMRs   []*ib.MR // by rail
+	recvSeq   uint64   // chunks fully consumed == next expected seq
+	chunkOff  int      // bytes of the current chunk's payload already delivered
+	announced uint64   // consumed count last conveyed to the peer
 	creditOut counterWriter
 
 	// Send side.
 	staging       []byte
 	stagingVA     uint64
-	stagingMR     *ib.MR
-	sendSeq       uint64 // chunks sent
-	knownConsumed uint64 // peer's consumed count, from credits
-	creditsIn     slot8  // explicit credit returns land here
-	peerRing      remoteWindow
+	stagingMRs    []*ib.MR       // by rail
+	sendSeq       uint64         // chunks sent
+	knownConsumed uint64         // peer's consumed count, from credits
+	creditsIn     slot8          // explicit credit returns land here
+	peerRings     []remoteWindow // peer ring window, by rail
+	railRR        int            // round-robin cursor of the rail policy
 
 	// Zero-copy send state (one outstanding operation per direction; the
 	// pipe is FIFO, so the paper's put returns 0 until the transfer and
 	// its acknowledgement complete).
 	zcSendActive bool
 	zcSendBuf    Buffer
-	zcSendMR     *ib.MR
-	zcStarted    uint64 // cumulative zero-copy sends initiated
-	zcAckIn      slot8  // peer writes cumulative completions
+	zcSendMRs    []*ib.MR // per stripe rail
+	zcStarted    uint64   // cumulative zero-copy sends initiated
+	zcAckIn      slot8    // peer writes cumulative completions
 	zcAckOut     counterWriter
 	zcCompleted  uint64 // cumulative zero-copy receives completed
 
-	// Zero-copy receive state.
-	zcRecvActive bool
-	zcRecvSize   int
-	zcRecvDone   bool
-	zcRecvMR     *ib.MR
+	// Zero-copy receive state: the striping completion counter —
+	// zcReadsPending RDMA reads are in flight, one per stripe, each on its
+	// own rail; the transfer is done when the counter drains to zero.
+	zcRecvActive   bool
+	zcRecvSize     int
+	zcRecvDone     bool
+	zcReadsPending int
+	zcRecvMRs      []*ib.MR // per stripe rail
 
-	regc       *regcache.Cache
-	foreignCQE func(ib.CQE)
-	err        error
+	regcs       []*regcache.Cache // pin-down cache, by rail
+	railChunks  []uint64          // eager chunks posted, by rail
+	railZCBytes []uint64          // zero-copy stripe bytes pulled, by rail
+	foreignCQE  func(p *des.Proc, cqe ib.CQE)
+	err         error
 }
 
-func newChunkPair(p *des.Proc, cfg Config, ha, hb *ib.HCA) (Endpoint, Endpoint, error) {
-	if cfg.ChunkSize <= chunkOverhead+rtsPayloadLen {
+func newChunkPair(p *des.Proc, cfg Config, ra, rb []*ib.HCA) (Endpoint, Endpoint, error) {
+	if cfg.ChunkSize <= chunkOverhead+rtsPayloadMax {
 		return nil, nil, fmt.Errorf("rdmachan: chunk size %d too small", cfg.ChunkSize)
 	}
 	if cfg.RingSize%cfg.ChunkSize != 0 || cfg.RingSize/cfg.ChunkSize < 2 {
 		return nil, nil, fmt.Errorf("rdmachan: ring %d not a multiple (≥2) of chunk %d",
 			cfg.RingSize, cfg.ChunkSize)
 	}
-	a := &chunkEP{endpointBase: newBase(cfg, ha)}
-	b := &chunkEP{endpointBase: newBase(cfg, hb)}
+	a := &chunkEP{endpointBase: newBaseRails(cfg, ra)}
+	b := &chunkEP{endpointBase: newBaseRails(cfg, rb)}
 	for _, e := range []*chunkEP{a, b} {
 		e.pipelined = cfg.Design == DesignPipeline || cfg.Design == DesignZeroCopy
 		e.zc = cfg.Design == DesignZeroCopy
 		e.nChunks = cfg.RingSize / cfg.ChunkSize
 		e.maxPayload = cfg.ChunkSize - chunkOverhead
+		e.railChunks = make([]uint64, len(e.rails))
+		e.railZCBytes = make([]uint64, len(e.rails))
 	}
-	if err := ib.Connect(a.qp, b.qp); err != nil {
-		return nil, nil, err
+	for k := range a.rails {
+		if err := ib.Connect(a.rails[k].qp, b.rails[k].qp); err != nil {
+			return nil, nil, err
+		}
 	}
 	for _, e := range []*chunkEP{a, b} {
 		if err := e.setupLocal(p); err != nil {
@@ -120,16 +139,34 @@ func newChunkPair(p *des.Proc, cfg Config, ha, hb *ib.HCA) (Endpoint, Endpoint, 
 func (e *chunkEP) setupLocal(p *des.Proc) error {
 	n := e.cfg.RingSize
 	e.ringVA, e.ring = e.node.Mem.Alloc(n)
-	var err error
-	e.ringMR, err = e.hca.RegisterMR(p, e.pd, e.ringVA, n,
-		ib.AccessLocalWrite|ib.AccessRemoteWrite)
-	if err != nil {
-		return err
-	}
 	e.stagingVA, e.staging = e.node.Mem.Alloc(n)
-	if e.stagingMR, err = e.hca.RegisterMR(p, e.pd, e.stagingVA, n, ib.AccessLocalWrite); err != nil {
-		return err
+	// The ring and staging regions are registered on every rail's adapter:
+	// any rail may deliver a chunk into the ring (remote write) or gather
+	// one out of staging, and each HCA validates keys against its own
+	// tables, exactly as separate physical adapters would.
+	for i := range e.rails {
+		r := &e.rails[i]
+		ringMR, err := r.hca.RegisterMR(p, r.pd, e.ringVA, n,
+			ib.AccessLocalWrite|ib.AccessRemoteWrite)
+		if err != nil {
+			return err
+		}
+		e.ringMRs = append(e.ringMRs, ringMR)
+		stagingMR, err := r.hca.RegisterMR(p, r.pd, e.stagingVA, n, ib.AccessLocalWrite)
+		if err != nil {
+			return err
+		}
+		e.stagingMRs = append(e.stagingMRs, stagingMR)
+		cacheBytes := e.cfg.RegCacheBytes
+		if cacheBytes < 0 {
+			cacheBytes = 0
+		}
+		e.regcs = append(e.regcs, regcache.New(r.hca, r.pd, cacheBytes))
 	}
+	// Control counters (credits, zero-copy acks) live on rail 0 only: they
+	// are cumulative, so a single strictly ordered path keeps them simple,
+	// and their 8-byte writes are noise next to the data rails.
+	var err error
 	if e.creditsIn, err = newSlot8(p, e.hca, e.pd); err != nil {
 		return err
 	}
@@ -144,16 +181,15 @@ func (e *chunkEP) setupLocal(p *des.Proc) error {
 	}
 	e.creditOut.qp = e.qp
 	e.zcAckOut.qp = e.qp
-	cacheBytes := e.cfg.RegCacheBytes
-	if cacheBytes < 0 {
-		cacheBytes = 0
-	}
-	e.regc = regcache.New(e.hca, e.pd, cacheBytes)
 	return nil
 }
 
 func (e *chunkEP) exchange(peer *chunkEP) {
-	e.peerRing = remoteWindow{va: peer.ringVA, rkey: peer.ringMR.RKey(), size: peer.cfg.RingSize}
+	for k := range e.rails {
+		e.peerRings = append(e.peerRings, remoteWindow{
+			va: peer.ringVA, rkey: peer.ringMRs[k].RKey(), size: peer.cfg.RingSize,
+		})
+	}
 	e.creditOut.peerVA = peer.creditsIn.va
 	e.creditOut.peerKey = peer.creditsIn.mr.RKey()
 	e.zcAckOut.peerVA = peer.zcAckIn.va
@@ -170,43 +206,95 @@ type RawAccess interface {
 	RawPD() *ib.PD
 	RegCache() *regcache.Cache
 
+	// NRails reports the connection's rail count; RailQP and RailRegCache
+	// expose rail k's queue pair and pin-down cache (rail 0 equals
+	// RawQP/RegCache). The direct CH3 design stripes its rendezvous writes
+	// over these.
+	NRails() int
+	RailQP(k int) *ib.QP
+	RailRegCache(k int) *regcache.Cache
+
+	// StripeUnit is the granule a layer above should stripe bulk transfers
+	// in — the connection's chunk size, keeping rail striping aligned with
+	// the eager framing.
+	StripeUnit() int
+
+	// StripeCount is how many rails a bulk transfer of size bytes should
+	// spread over: 1 below the connection's striping threshold
+	// (Config.StripeThreshold), otherwise as many rails as the transfer
+	// has ChunkSize-aligned blocks for, up to the connection's rail count
+	// (an 80 KB transfer on 4 rails at 16 KB chunks yields 3).
+	StripeCount(size int) int
+
 	// SetForeignCQE installs a handler for completions on the endpoint's
-	// send CQ that the channel itself did not generate (signaled work
-	// requests posted directly on RawQP by a layer above).
-	SetForeignCQE(fn func(ib.CQE))
+	// send CQs that the channel itself did not generate (signaled work
+	// requests posted directly on RawQP or a RailQP by a layer above).
+	// The handler runs inside the endpoint's completion drain, on the
+	// polling process p.
+	SetForeignCQE(fn func(p *des.Proc, cqe ib.CQE))
 }
 
 // RawQP implements RawAccess.
 func (e *chunkEP) RawQP() *ib.QP { return e.qp }
 
 // SetForeignCQE implements RawAccess.
-func (e *chunkEP) SetForeignCQE(fn func(ib.CQE)) { e.foreignCQE = fn }
+func (e *chunkEP) SetForeignCQE(fn func(p *des.Proc, cqe ib.CQE)) { e.foreignCQE = fn }
 
 // RawPD implements RawAccess.
 func (e *chunkEP) RawPD() *ib.PD { return e.pd }
 
 // RegCache implements RawAccess.
-func (e *chunkEP) RegCache() *regcache.Cache { return e.regc }
+func (e *chunkEP) RegCache() *regcache.Cache { return e.regcs[0] }
+
+// NRails implements RawAccess.
+func (e *chunkEP) NRails() int { return len(e.rails) }
+
+// RailQP implements RawAccess.
+func (e *chunkEP) RailQP(k int) *ib.QP { return e.rails[k].qp }
+
+// RailRegCache implements RawAccess.
+func (e *chunkEP) RailRegCache(k int) *regcache.Cache { return e.regcs[k] }
+
+// StripeUnit implements RawAccess.
+func (e *chunkEP) StripeUnit() int { return e.cfg.ChunkSize }
+
+// StripeCount implements RawAccess.
+func (e *chunkEP) StripeCount(size int) int {
+	count, _ := e.stripePlan(size)
+	return count
+}
 
 // Footprint reports this side's dedicated per-connection memory: the
-// receive ring and its staging mirror (both pinned), the four replicated
-// 8-byte counters, and one queue pair. This is the O(np)-per-process cost
-// the SRQ mode exists to remove.
+// receive ring and its staging mirror (pinned once per rail — each
+// adapter pins independently), the four replicated 8-byte counters, and
+// one queue pair per rail. This is the O(np)-per-process cost the SRQ
+// mode exists to remove.
 func (e *chunkEP) Footprint() Footprint {
 	ringBytes := int64(2 * e.cfg.RingSize) // receive ring + send staging
+	pinned := ringBytes*int64(len(e.rails)) + 4*8
+	for _, rc := range e.regcs {
+		pinned += int64(rc.PinnedBytes())
+	}
 	return Footprint{
-		QPs:         1,
+		QPs:         len(e.rails),
 		EagerSlots:  e.nChunks,
 		EagerBytes:  ringBytes,
-		PinnedBytes: ringBytes + 4*8 + int64(e.regc.PinnedBytes()),
+		PinnedBytes: pinned,
 	}
 }
 
-// Stats returns endpoint counters including registration-cache behaviour.
+// Stats returns endpoint counters including registration-cache behaviour
+// (summed over rails) and the per-rail traffic split.
 func (e *chunkEP) Stats() Stats {
 	s := e.stats
-	cs := e.regc.Stats()
-	s.RegCache = regStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions}
+	for _, rc := range e.regcs {
+		cs := rc.Stats()
+		s.RegCache.Hits += cs.Hits
+		s.RegCache.Misses += cs.Misses
+		s.RegCache.Evictions += cs.Evictions
+	}
+	s.RailChunks = append([]uint64(nil), e.railChunks...)
+	s.RailZCBytes = append([]uint64(nil), e.railZCBytes...)
 	return s
 }
 
@@ -222,30 +310,64 @@ func (e *chunkEP) refreshCredits() {
 	}
 }
 
-// drainCQ reaps pending completions (zero-copy read completions and any
-// errors), charging reap cost only when something was pending.
+// drainCQ reaps pending completions on every rail's send CQ (zero-copy
+// stripe read completions and any errors), charging reap cost only when
+// something was pending. The striping completion counter drains here: each
+// stripe's read completes independently on its rail, and the transfer is
+// done when the last one lands.
 func (e *chunkEP) drainCQ(p *des.Proc) {
-	for {
-		cqe, ok := e.scq.TryPoll()
-		if !ok {
-			return
-		}
-		p.Sleep(e.prm.CQPollOverhead)
-		if cqe.WRID == wridZCRead {
-			if cqe.Status != ib.StatusSuccess {
-				e.err = fmt.Errorf("rdmachan(%s): wr %#x failed: %v", e.cfg.Design, cqe.WRID, cqe.Status)
+	for k := range e.rails {
+		scq := e.rails[k].scq
+		for {
+			cqe, ok := scq.TryPoll()
+			if !ok {
+				break
+			}
+			p.Sleep(e.prm.CQPollOverhead)
+			if cqe.WRID == wridZCRead {
+				if cqe.Status != ib.StatusSuccess {
+					e.err = fmt.Errorf("rdmachan(%s): wr %#x failed: %v", e.cfg.Design, cqe.WRID, cqe.Status)
+					continue
+				}
+				e.zcReadsPending--
+				if e.zcReadsPending == 0 {
+					e.zcRecvDone = true
+				}
 				continue
 			}
-			e.zcRecvDone = true
-			continue
+			if e.foreignCQE != nil {
+				e.foreignCQE(p, cqe)
+				continue
+			}
+			if cqe.Status != ib.StatusSuccess {
+				e.err = fmt.Errorf("rdmachan(%s): wr %#x failed: %v", e.cfg.Design, cqe.WRID, cqe.Status)
+			}
 		}
-		if e.foreignCQE != nil {
-			e.foreignCQE(cqe)
-			continue
+	}
+}
+
+// pickRail selects the rail for the next eager chunk per the configured
+// policy. Single-rail connections always answer 0.
+func (e *chunkEP) pickRail() int {
+	n := len(e.rails)
+	if n == 1 {
+		return 0
+	}
+	switch e.cfg.RailPolicy {
+	case RailFixed:
+		return e.cfg.FixedRail % n
+	case RailWeighted:
+		best, depth := 0, e.rails[0].qp.SendQueueDepth()
+		for k := 1; k < n; k++ {
+			if d := e.rails[k].qp.SendQueueDepth(); d < depth {
+				best, depth = k, d
+			}
 		}
-		if cqe.Status != ib.StatusSuccess {
-			e.err = fmt.Errorf("rdmachan(%s): wr %#x failed: %v", e.cfg.Design, cqe.WRID, cqe.Status)
-		}
+		return best
+	default: // RailRoundRobin
+		k := e.railRR % n
+		e.railRR++
+		return k
 	}
 }
 
@@ -266,23 +388,28 @@ func (e *chunkEP) stageChunk(seq uint64, ctype byte, payload []byte) {
 	slot[chunkHdrSize+len(payload)] = byte(seq + 1)
 }
 
-// postChunk RDMA-writes the framed chunk into the peer's ring slot.
-// Unsignaled: the slot is reusable once its credit returns, which implies
-// delivery, so no completion is needed.
+// postChunk RDMA-writes the framed chunk into the peer's ring slot, on the
+// rail the policy picks. Unsignaled: the slot is reusable once its credit
+// returns, which implies delivery, so no completion is needed. Chunks on
+// different rails may land out of order; the receiver consumes strictly by
+// sequence number and polls each chunk's own flags, so ordering across
+// rails is immaterial.
 func (e *chunkEP) postChunk(p *des.Proc, seq uint64, paylen int) {
 	i := uint64(seq % uint64(e.nChunks))
-	e.qp.PostSend(p, ib.SendWR{
+	k := e.pickRail()
+	e.rails[k].qp.PostSend(p, ib.SendWR{
 		Op: ib.OpRDMAWrite,
 		SGL: []ib.SGE{{
 			Addr: e.stagingVA + i*uint64(e.cfg.ChunkSize),
 			Len:  chunkOverhead + paylen,
-			LKey: e.stagingMR.LKey(),
+			LKey: e.stagingMRs[k].LKey(),
 		}},
-		RemoteAddr: e.peerRing.va + i*uint64(e.cfg.ChunkSize),
-		RKey:       e.peerRing.rkey,
+		RemoteAddr: e.peerRings[k].va + i*uint64(e.cfg.ChunkSize),
+		RKey:       e.peerRings[k].rkey,
 	})
 	e.announced = e.recvSeq // the chunk carried our consumed count
 	e.stats.ChunksSent++
+	e.railChunks[k]++
 }
 
 // Put implements the sender side of the piggyback (§4.3), pipeline (§4.4)
@@ -305,9 +432,12 @@ func (e *chunkEP) Put(p *des.Proc, bufs []Buffer) (int, error) {
 	if e.zcSendActive {
 		if e.zcAckIn.value() >= e.zcStarted {
 			n := e.zcSendBuf.Len
-			if err := e.regc.Release(p, e.zcSendMR); err != nil {
-				return 0, fmt.Errorf("rdmachan(zerocopy): %w", err)
+			for k, mr := range e.zcSendMRs {
+				if err := e.regcs[k].Release(p, mr); err != nil {
+					return 0, fmt.Errorf("rdmachan(zerocopy): %w", err)
+				}
 			}
+			e.zcSendMRs = nil
 			e.zcSendActive = false
 			e.stats.BytesPut += uint64(n)
 			return n, nil
@@ -356,20 +486,42 @@ func (e *chunkEP) Put(p *des.Proc, bufs []Buffer) (int, error) {
 			}
 			flushPlan()
 			b := bufs[bi]
-			mr, _, err := e.regc.Register(p, b.Addr, b.Len)
-			if err != nil {
-				return total, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
-			}
-			var rts [rtsPayloadLen]byte
+			// The transfer stripes over nStripes rails; each participating
+			// rail's adapter registers only its own contiguous block. A
+			// single-rail RTS is byte-identical to the historical form; a
+			// striped RTS additionally carries the block span and one rkey
+			// per stripe.
+			nStripes, span := e.stripePlan(b.Len)
+			var rts [rtsPayloadMax]byte
 			putLE64(rts[0:8], b.Addr)
 			putLE64(rts[8:16], uint64(b.Len))
-			putLE32(rts[16:20], mr.RKey())
-			e.stageChunk(e.sendSeq, chunkRTS, rts[:])
-			e.postChunk(p, e.sendSeq, rtsPayloadLen)
+			keys := rts[rtsPayloadBase:]
+			if nStripes > 1 {
+				putLE32(rts[rtsPayloadBase:rtsPayloadBase+4], uint32(span))
+				keys = rts[rtsPayloadBase+4:]
+			}
+			for k := 0; k < nStripes; k++ {
+				off := k * span
+				blk := b.Len - off
+				if blk > span {
+					blk = span
+				}
+				mr, _, err := e.regcs[k].Register(p, b.Addr+uint64(off), blk)
+				if err != nil {
+					return total, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+				}
+				e.zcSendMRs = append(e.zcSendMRs, mr)
+				putLE32(keys[4*k:4*k+4], mr.RKey())
+			}
+			paylen := rtsPayloadBase + 4*nStripes
+			if nStripes > 1 {
+				paylen += 4
+			}
+			e.stageChunk(e.sendSeq, chunkRTS, rts[:paylen])
+			e.postChunk(p, e.sendSeq, paylen)
 			e.sendSeq++
 			e.zcSendActive = true
 			e.zcSendBuf = b
-			e.zcSendMR = mr
 			e.zcStarted++
 			e.stats.ZCSends++
 			// The pipe is blocked behind the transfer; report what was
@@ -438,15 +590,19 @@ func (e *chunkEP) Get(p *des.Proc, bufs []Buffer) (int, error) {
 	got := 0
 	ws := Total(bufs)
 
-	// Finish an in-flight zero-copy receive: the RDMA read scattered the
-	// payload directly into the user buffer; acknowledge and deliver.
+	// Finish an in-flight zero-copy receive: the striped RDMA reads
+	// scattered the payload directly into the user buffer (the completion
+	// counter drained in drainCQ); acknowledge and deliver.
 	if e.zcRecvActive {
 		if !e.zcRecvDone {
 			return 0, nil
 		}
-		if err := e.regc.Release(p, e.zcRecvMR); err != nil {
-			return 0, fmt.Errorf("rdmachan(zerocopy): %w", err)
+		for k, mr := range e.zcRecvMRs {
+			if err := e.regcs[k].Release(p, mr); err != nil {
+				return 0, fmt.Errorf("rdmachan(zerocopy): %w", err)
+			}
 		}
+		e.zcRecvMRs = nil
 		e.zcCompleted++
 		e.zcAckOut.write(p, e.zcCompleted)
 		got += e.zcRecvSize
@@ -500,26 +656,59 @@ func (e *chunkEP) Get(p *des.Proc, bufs []Buffer) (int, error) {
 			if !e.zc {
 				return got, fmt.Errorf("rdmachan(%s): unexpected RTS chunk", e.cfg.Design)
 			}
+			if paylen < rtsPayloadBase+4 || (paylen-rtsPayloadBase)%4 != 0 {
+				return got, fmt.Errorf("rdmachan(zerocopy): corrupt RTS length %d", paylen)
+			}
 			addr := le64(slot[chunkHdrSize : chunkHdrSize+8])
 			size := int(le64(slot[chunkHdrSize+8 : chunkHdrSize+16]))
-			rkey := le32(slot[chunkHdrSize+16 : chunkHdrSize+20])
+			// Historical 20-byte RTS = one stripe spanning the whole
+			// transfer; the striped form prepends the block span to its
+			// rkey list (see the payload layout note at the top).
+			nStripes, per := 1, size
+			keys := slot[chunkHdrSize+rtsPayloadBase:]
+			if paylen > rtsPayloadBase+4 {
+				nStripes = (paylen - rtsPayloadBase - 4) / 4
+				per = int(le32(keys[0:4]))
+				keys = keys[4:]
+			}
+			if nStripes < 1 || nStripes > len(e.rails) {
+				return got, fmt.Errorf("rdmachan(zerocopy): RTS names %d rails, connection has %d",
+					nStripes, len(e.rails))
+			}
+			if per < 1 || (nStripes > 1 && (per*(nStripes-1) >= size || per*nStripes < size)) {
+				return got, fmt.Errorf("rdmachan(zerocopy): corrupt RTS span %d for %d stripes of %d bytes",
+					per, nStripes, size)
+			}
 			if len(bufs) == 0 || bufs[0].Len < size {
 				return got, fmt.Errorf("rdmachan(zerocopy): target buffer %d < message %d",
 					Total(bufs), size)
 			}
 			e.advanceChunk(p)
-			mr, _, err := e.regc.Register(p, bufs[0].Addr, size)
-			if err != nil {
-				return got, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+			// Stripe the pull: one RDMA read per contiguous block, block k
+			// on rail k against the sender's rail-k rkey (which covers
+			// exactly that block). Each read is signaled; the completion
+			// counter (zcReadsPending) drains in drainCQ.
+			for k, off := 0, 0; off < size; k, off = k+1, off+per {
+				blk := size - off
+				if blk > per {
+					blk = per
+				}
+				rkey := le32(keys[4*k : 4*k+4])
+				mr, _, err := e.regcs[k].Register(p, bufs[0].Addr+uint64(off), blk)
+				if err != nil {
+					return got, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+				}
+				e.zcRecvMRs = append(e.zcRecvMRs, mr)
+				e.rails[k].qp.PostSend(p, ib.SendWR{
+					WRID: wridZCRead, Op: ib.OpRDMARead, Signaled: true,
+					SGL:        []ib.SGE{{Addr: bufs[0].Addr + uint64(off), Len: blk, LKey: mr.LKey()}},
+					RemoteAddr: addr + uint64(off), RKey: rkey,
+				})
+				e.zcReadsPending++
+				e.railZCBytes[k] += uint64(blk)
 			}
-			e.qp.PostSend(p, ib.SendWR{
-				WRID: wridZCRead, Op: ib.OpRDMARead, Signaled: true,
-				SGL:        []ib.SGE{{Addr: bufs[0].Addr, Len: size, LKey: mr.LKey()}},
-				RemoteAddr: addr, RKey: rkey,
-			})
 			e.zcRecvActive = true
 			e.zcRecvSize = size
-			e.zcRecvMR = mr
 			e.stats.ZCRecvs++
 			// The read is in flight; deliver what preceded it.
 			if copied > 0 {
@@ -536,6 +725,25 @@ func (e *chunkEP) Get(p *des.Proc, bufs []Buffer) (int, error) {
 	}
 	e.stats.BytesGot += uint64(got)
 	return got, nil
+}
+
+// stripePlan decides how a zero-copy transfer of size bytes spreads over
+// the rails: (1, size) below the striping threshold (or when striping is
+// disabled, or on a single-rail connection), otherwise one contiguous
+// ChunkSize-aligned block of span bytes per stripe, stripe k covering
+// [k*span, min((k+1)*span, size)). The count is derived from the rounded
+// span, so it never exceeds what the data fills (an 80 KB transfer over
+// 4 rails at 16 KB chunks yields 3 × 32 KB-aligned blocks, not 4).
+func (e *chunkEP) stripePlan(size int) (count, span int) {
+	n := len(e.rails)
+	if n == 1 || e.cfg.StripeThreshold < 0 ||
+		(e.cfg.StripeThreshold > 0 && size < e.cfg.StripeThreshold) {
+		return 1, size
+	}
+	span = (size + n - 1) / n
+	span = (span + e.cfg.ChunkSize - 1) / e.cfg.ChunkSize * e.cfg.ChunkSize
+	count = (size + span - 1) / span
+	return count, span
 }
 
 // advanceChunk retires the current chunk and applies the delayed

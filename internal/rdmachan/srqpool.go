@@ -155,6 +155,10 @@ func (sp *SRQPool) CreateQP() *ib.QP {
 // Bind routes packets arriving on qp to d.
 func (sp *SRQPool) Bind(qp *ib.QP, d SRQDispatch) { sp.conns[qp.Num()] = d }
 
+// Bound reports the connections attached to this pool — the load signal
+// the weighted rail policy assigns new SRQ connections by.
+func (sp *SRQPool) Bound() int { return len(sp.conns) }
+
 // PD returns the pool's protection domain.
 func (sp *SRQPool) PD() *ib.PD { return sp.pd }
 

@@ -1,0 +1,30 @@
+// Package regcache implements the pin-down registration cache of §5 of the
+// paper (after Tezuka et al., IPPS 1998): deregistration of user buffers is
+// deferred and the registration is cached, so that a buffer reused for
+// communication pays the full pinning cost only once. Deregistration
+// happens lazily, when the cached pinned footprint exceeds a budget.
+//
+// The paper: "To reduce the number of registrations and deregistrations,
+// we have implemented a registration cache. ... Deregistration happens
+// only when there are too many registered user buffers." Its effectiveness
+// depends on the application's buffer-reuse rate, which the NAS benchmarks
+// satisfy (§5); the ablation-regcache figure measures the no-cache
+// baseline.
+//
+// Layer boundaries: one Cache serves exactly one (HCA, PD) pair — callers
+// on a multi-rail connection hold one cache per rail, and the shared-memory
+// channel and SRQ pools hold their own. The cache sits directly on
+// internal/ib; the channel designs (rdmachan), the CH3 rendezvous (ch3),
+// the shm single-copy path (shmchan) and the one-sided extension (mpi) all
+// register through it rather than through ib.HCA.RegisterMR.
+//
+// Invariants:
+//
+//   - Entries are refcounted; an MR returned by Register stays valid until
+//     its Release, even across evictions (referenced entries never evict).
+//   - Eviction is LRU over unreferenced entries only, triggered when
+//     cached pinned bytes exceed the budget; the evicting caller pays the
+//     deregistration cost, matching the lazy scheme's accounting.
+//   - maxBytes <= 0 disables caching entirely: every Register pins at full
+//     cost, every Release unpins — the paper's no-cache baseline.
+package regcache

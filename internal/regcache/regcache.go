@@ -1,14 +1,3 @@
-// Package regcache implements the pin-down registration cache of §5 of the
-// paper (after Tezuka et al., IPPS 1998): deregistration of user buffers is
-// deferred and the registration is cached, so that a buffer reused for
-// communication pays the full pinning cost only once. Deregistration
-// happens lazily, when the cached pinned footprint exceeds a budget.
-//
-// The paper: "To reduce the number of registrations and deregistrations,
-// we have implemented a registration cache. ... Deregistration happens
-// only when there are too many registered user buffers." Its effectiveness
-// depends on the application's buffer-reuse rate, which the NAS benchmarks
-// satisfy (§5).
 package regcache
 
 import (

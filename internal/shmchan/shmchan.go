@@ -1,43 +1,3 @@
-// Package shmchan is the intra-node transport: a transport.Endpoint over
-// the node's shared memory, for rank pairs that the cluster places on the
-// same SMP node. The paper evaluates one process per node and flags
-// multi-process SMP nodes as the natural next scenario; this package opens
-// that axis (see DESIGN.md §6).
-//
-// The design is the classic shared-memory MPI channel — the very scheme
-// the paper's Figure 3 shows the RDMA designs emulating over the network,
-// here implemented natively:
-//
-//   - Eager path: small messages travel through a lock-free ring of
-//     fixed-size cells. The sender copies the payload into a free cell and
-//     flips its flag; the receiver polls the head cell, copies the payload
-//     out into the matched (or unexpected) buffer, and clears the flag.
-//     "Lock-free" is single-producer/single-consumer: each direction has
-//     exactly one writer and one reader, so head and tail never contend.
-//   - Segment path: messages above EagerMax copy through a shared segment
-//     in chunks. A descriptor goes through the ring (preserving FIFO order
-//     with eager traffic), then the sender streams chunks into segment
-//     slots while the receiver drains them — a two-copy pipeline.
-//   - Rendezvous path (RndvThreshold > 0): messages at or above the
-//     threshold announce an RTS descriptor through the ring and wait for
-//     the progress engine to post the receive; the payload then moves with
-//     a single kernel-assisted copy straight from the sender's user buffer
-//     into the receiver's — one bus crossing instead of the segment path's
-//     two. Both user buffers are pinned through the same pin-down
-//     registration cache the InfiniBand rendezvous uses (§5), so repeated
-//     buffer reuse pays the pinning cost once. This mirrors CMA/LiMIC-style
-//     single-copy large-message transfer in real SMP channels.
-//
-// Every copy crosses the node's memory bus (model.Bus.Memcpy), so
-// co-located ranks — and the HCA DMA of their inter-node traffic — contend
-// for memory bandwidth exactly as the paper observes for its pipelined
-// design ("the memory bus clearly becomes a performance bottleneck", §4.4).
-// That contention is the SMP trade-off the benchmarks measure: cores
-// sharing a node get ~1 µs latency but split one bus.
-//
-// Wakeups reuse the node HCA's memory-event counter (ib.NotifyMemWrite):
-// a flag flipped by a neighbouring core wakes a polling progress loop the
-// same way a flag written by the HCA's DMA engine does.
 package shmchan
 
 import (

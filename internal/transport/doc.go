@@ -1,0 +1,36 @@
+// Package transport is the unified transport abstraction of the MPI stack
+// (DESIGN.md §2, "Layering"). It defines the one Endpoint interface every
+// transport implements — the four RDMA Channel designs framed by the CH3
+// packet engine (internal/ch3), the direct CH3 InfiniBand design with its
+// RDMA-write rendezvous (also internal/ch3), the SRQ-backed eager mode,
+// and the intra-node shared-memory channel (internal/shmchan) — plus the
+// per-process progress Engine that owns the posted/unexpected queues,
+// request lifecycle and round-robin polling on top of them.
+//
+// The split mirrors the MPICH2 layering argument of the paper (§3 of
+// conf_ipps_LiuJWPABGT04): the device above sees messages and matching;
+// the endpoint below sees only how bytes move.
+//
+// Layer boundaries: transport sits between the ADI3 device (internal/adi3,
+// above) and the endpoints (internal/ch3, internal/shmchan, below). It
+// holds THE single matching loop of the stack; no endpoint and no device
+// duplicates it. Lazy connection establishment lives here too (Stub), with
+// the cluster supplying the dial logic.
+//
+// Invariants:
+//
+//   - Exactly one matching engine per rank, and matching is by (context,
+//     source, tag) with the context compared first — traffic on sibling
+//     communicators can never cross-match, wildcards included.
+//   - Rendezvous answers go back on the endpoint the RTS arrived on: with
+//     a wildcard receive, that endpoint is the only record of the peer.
+//   - The single-driver promotion rule (PR 4 / DESIGN.md §9): a fulfilled
+//     connector stub is promoted, and its queued sends flushed, only by
+//     the OWNING rank's progress pass — never by the connection manager —
+//     so sends racing the handshake drain in posted order on one process.
+//   - Receives never force a connection; only sends dial.
+//   - The engine polls endpoints round-robin from a rotating cursor, and
+//     snapshots the node's memory-event counter before each pass so a
+//     delivery racing the pass (on any rail) cannot be lost before a
+//     blocking wait.
+package transport

@@ -1,30 +1,3 @@
-// Package transport is the unified transport abstraction of the MPI stack
-// (DESIGN.md, "Layering"). It defines the one Endpoint interface every
-// transport implements — the four RDMA Channel designs framed by the CH3
-// packet engine (internal/ch3), the direct CH3 InfiniBand design with its
-// RDMA-write rendezvous (also internal/ch3), and the intra-node
-// shared-memory channel (internal/shmchan) — plus the per-process progress
-// Engine that owns the posted/unexpected queues, request lifecycle and
-// round-robin polling on top of them.
-//
-// The split mirrors the MPICH2 layering argument of the paper (§3): the
-// device above sees messages and matching; the endpoint below sees only
-// how bytes move. An endpoint carries three responsibilities:
-//
-//   - Eager sends: the payload moves immediately, landing in a matched or
-//     unexpected buffer chosen by the engine's upcall (ArriveEager).
-//   - Rendezvous: SendRendezvous announces the message (RTS); the engine
-//     answers with AcceptRendezvous once a receive is posted (CTS), and the
-//     transport moves the payload straight into the user buffer (FIN).
-//     Transports that handle large messages below the pipe abstraction —
-//     the RDMA Channel designs — report RendezvousThreshold 0 and never
-//     see these calls.
-//   - Completion polling: Poll advances the endpoint's state machines one
-//     pass, delivering arrivals to the engine.
-//
-// Exactly one matching loop exists in the whole stack: the Engine's. The
-// per-connection matching that PR 1 duplicated across OverChannel, IBConn
-// and the ADI3 device is gone.
 package transport
 
 import (

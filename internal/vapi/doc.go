@@ -1,0 +1,15 @@
+// Package vapi is a thin facade over the InfiniBand simulator with the
+// naming of Mellanox's VAPI — "the programming interface for our
+// InfiniBand cards" (§6 of conf_ipps_LiuJWPABGT04). The raw
+// microbenchmarks of §4.2.1 and Figure 15 are VAPI-level programs; this
+// package lets them read like their originals while delegating to
+// internal/ib.
+//
+// Layer boundaries: vapi wraps internal/ib one-to-one (handles, work
+// requests, completions) and is consumed only by raw-verbs benchmarks and
+// tests; the MPI stack drives internal/ib directly.
+//
+// Invariant: pure renaming — no cost, state or semantics may live here,
+// so a VAPI-phrased benchmark and an ib-phrased one measure the same
+// simulation.
+package vapi

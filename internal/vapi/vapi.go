@@ -1,8 +1,3 @@
-// Package vapi is a thin facade over the InfiniBand simulator with the
-// naming of Mellanox's VAPI — "the programming interface for our
-// InfiniBand cards" (§6 of the paper). The raw microbenchmarks of §4.2.1
-// and Figure 15 are VAPI-level programs; this package lets them read like
-// their originals while delegating to internal/ib.
 package vapi
 
 import (
