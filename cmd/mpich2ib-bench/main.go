@@ -16,6 +16,8 @@
 //	mpich2ib-bench -connect lazy -nps 8,64,512          # chosen job sizes
 //	mpich2ib-bench -rails 1,2,4                         # bandwidth vs rails
 //	mpich2ib-bench -rails 1,2 -rail-policy weighted     # chosen eager policy
+//	mpich2ib-bench -faults 0,2,4,8                      # resilience sweep
+//	mpich2ib-bench -faults 4 -fault-seed 7              # one seeded schedule
 //
 // The -transport flag sweeps any subset of the unified stack's transports
 // (basic, piggyback, pipeline, zerocopy/ib, ch3, shm, shm-rndv) on the
@@ -38,6 +40,12 @@
 // The -rails flag sweeps multi-rail striping (DESIGN.md §10): the
 // zero-copy design's bandwidth with N adapters per node, the eager
 // rail-policy comparison, and the striping-threshold ablation.
+//
+// The -faults flag sweeps the fault-injection subsystem (DESIGN.md §11):
+// seeded schedules of link outages and drop bursts (internal/fault)
+// against fixed traffic on the resilient lazy-SRQ two-rail stack, one
+// point per failure count, reporting completed traffic and mean
+// connection-recovery latency.
 package main
 
 import (
@@ -65,12 +73,24 @@ func main() {
 	nps := flag.String("nps", "", "rank counts for -connect sweeps, e.g. 8,16,32 (default 8..512)")
 	rails := flag.String("rails", "", "multi-rail sweep (comma list of rail counts, e.g. 1,2,4): bandwidth-vs-rails figure + rail-policy comparison + striping-threshold ablation; overrides -fig")
 	railPolicy := flag.String("rail-policy", "round-robin", "eager rail policy for -rails sweeps: round-robin, weighted or fixed")
+	faults := flag.String("faults", "", "resilience sweep (comma list of per-run failure counts, e.g. 0,2,4,8): completed traffic + recovery latency vs failure rate on the lazy SRQ rails=2 stack; overrides -fig")
+	faultSeed := flag.Int64("fault-seed", 1, "schedule seed base for -faults sweeps (same seed, same schedule, same run)")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("baseline headline fig3-lat fig3-bw fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 rails-bw rails-policy ablation-rail-stripe ablations all")
+		fmt.Println("baseline headline fig3-lat fig3-bw fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 rails-bw rails-policy ablation-rail-stripe fault-recovery ablations all")
 		fmt.Println("collective algorithms:", strings.Join(mpi.Algorithms(), " "))
 		fmt.Println("rail policies: round-robin weighted fixed")
+		return
+	}
+
+	if *faults != "" {
+		counts, err := bench.ParseFaultCounts(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatFigure(bench.FaultRecovery(counts, *faultSeed)))
 		return
 	}
 

@@ -22,6 +22,12 @@
 //
 //	nasbench -rails 1,2,4 -class A -np 4          # NAS CG rail sweep
 //	nasbench -bench cg -class A -np 4 -rails 2    # one multi-rail run
+//
+// Fault injection (DESIGN.md §11) kills one rail on every node mid-run
+// and reports the recovery counters alongside the verified result:
+//
+//	nasbench -bench cg -class S -np 4 -rails 2 -connect lazy -srq \
+//	    -fault-rail 1 -fault-at 200
 package main
 
 import (
@@ -32,6 +38,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/nas"
 	"repro/internal/rdmachan"
 )
@@ -47,6 +55,8 @@ func main() {
 	srq := flag.Bool("srq", false, "SRQ-backed eager mode: shared per-process receive pool instead of per-connection rings")
 	rails := flag.String("rails", "", "HCAs (rails) per node: a single count for -bench runs (e.g. -rails 2), or a comma list for the NAS CG rail sweep (e.g. -rails 1,2,4)")
 	railPolicy := flag.String("rail-policy", "round-robin", "eager rail policy: round-robin, weighted or fixed")
+	faultRail := flag.Int("fault-rail", -1, "kill this rail on every node mid-run (permanent HCA failure; needs -bench and -rails ≥ 2; rail 0 carries chunk-mode flow control, so target it only with -srq)")
+	faultAt := flag.Float64("fault-at", 100, "µs after startup at which the -fault-rail failure strikes")
 	flag.Parse()
 
 	cl := nas.Class((*class)[0])
@@ -96,6 +106,21 @@ func main() {
 			return
 		}
 		railCount = counts[0]
+	}
+
+	if *faultRail >= 0 {
+		if *benchName == "" || *smp {
+			fmt.Fprintln(os.Stderr, "nasbench: -fault-rail runs a single benchmark; use -bench (and drop -smp)")
+			os.Exit(1)
+		}
+		if railCount < 2 || *faultRail >= railCount {
+			fmt.Fprintf(os.Stderr, "nasbench: -fault-rail %d needs a surviving rail; use -rails ≥ 2 with -fault-rail < rails\n", *faultRail)
+			os.Exit(1)
+		}
+		if *faultAt < 0 {
+			fmt.Fprintln(os.Stderr, "nasbench: -fault-at must be ≥ 0")
+			os.Exit(1)
+		}
 	}
 
 	// The NPB decompositions constrain the rank count: SP and BT need a
@@ -176,6 +201,24 @@ func main() {
 			Transport: tr, ConnectMode: mode}
 		cfg.Chan.UseSRQ = *srq
 		cfg.Chan.RailPolicy = pol
+		if *faultRail >= 0 {
+			nodes := (*np + maxInt(*ppn, 1) - 1) / maxInt(*ppn, 1)
+			plan := &fault.Plan{}
+			for n := 0; n < nodes; n++ {
+				plan.Events = append(plan.Events, fault.Event{
+					At:   des.Time(*faultAt * float64(des.Microsecond)),
+					Kind: fault.HCADown, Node: n, Rail: *faultRail,
+				})
+			}
+			cfg.Fault = plan
+			c := cluster.MustNew(cfg)
+			res := nas.RunOn(c, *benchName, cl)
+			fs := c.FaultStats()
+			c.Close()
+			fmt.Printf("%-22s %s  [%d rails downed, %d re-dials, mean recovery %v]\n",
+				tr, res, fs.LinksDowned, fs.Redials, fs.MeanRecovery())
+			return
+		}
 		res := nas.Run(*benchName, cl, cfg)
 		fmt.Printf("%-22s %s\n", tr, res)
 	}
@@ -196,6 +239,13 @@ func main() {
 	} {
 		run(tr)
 	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // isSquare reports whether n is a perfect square ≥ 1 (SP/BT grids).

@@ -202,6 +202,7 @@ func FigureByID(id string) (Figure, error) {
 		"rails-bw":             func() Figure { return RailBandwidth(DefaultRailCounts(), rdmachan.RailRoundRobin) },
 		"rails-policy":         RailPolicyFigure,
 		"ablation-rail-stripe": AblationRailStripe,
+		"fault-recovery":       func() Figure { return FaultRecovery(DefaultFaultCounts(), 1) },
 	}
 	p, ok := producers[id]
 	if !ok {

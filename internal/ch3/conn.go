@@ -55,6 +55,10 @@ type Stats struct {
 	EagerSends uint64
 	RndvSends  uint64
 	RndvRecvs  uint64
+
+	// Fault-recovery counters (resilient mode only).
+	Reconnects uint64 // re-dialed queue pairs adopted
+	Resends    uint64 // retained packets re-queued after a re-dial
 }
 
 type conOp struct {
@@ -75,10 +79,11 @@ type hdrSlot struct {
 type rndvSend struct {
 	payload transport.Buffer
 	onDone  func(p *des.Proc)
+	env     transport.Envelope // retained for re-announcement after recovery
 }
 
 type rndvRecv struct {
-	mrs  []*ib.MR // one per rail the buffer was advertised on
+	mrs  []*ib.MR // indexed by rail; nil = rail not advertised (resilient)
 	done func(p *des.Proc)
 }
 
@@ -86,18 +91,35 @@ type rndvRecv struct {
 // completion counter — one signaled RDMA write per ChunkSize stripe, spread
 // round-robin over the rails — and the FIN is queued only once it drains,
 // because completions (acked end-to-end) are the only cross-rail ordering
-// guarantee there is.
+// guarantee there is. In resilient mode the send additionally retains the
+// per-stripe layout and the receiver's advertisement, so a stripe whose
+// rail dies can be re-written over a surviving advertised rail.
 type stripeSend struct {
 	pending int
-	mrs     []*ib.MR
+	mrs     []*ib.MR // indexed by rail; nil = rail not registered
 	onDone  func(p *des.Proc)
+
+	// Resilient re-issue state.
+	payload transport.Buffer
+	raddr   uint64
+	rkeys   [maxHdrRails]uint32
+	parts   []stripePart // indexed by the stripe tag in the work-request ID
+}
+
+// stripePart is one stripe's layout and current rail assignment.
+type stripePart struct {
+	off, blk int
+	rail     int
 }
 
 // wridStripe marks stripe-write completions; the low bits carry the
-// rendezvous request id.
+// rendezvous request id. Resilient sends additionally carry the stripe
+// index in bits 32..55, so an error completion identifies which block to
+// re-issue (request ids stay well below 2³² in any simulated run).
 const (
-	wridStripeMark = uint64(0x3D) << 56
-	wridStripeMask = uint64(0xFF) << 56
+	wridStripeMark    = uint64(0x3D) << 56
+	wridStripeMask    = uint64(0xFF) << 56
+	wridStripeIdxMask = uint64(0xFFFFFF) << 32
 )
 
 // NewOverChannel builds the packet engine in over-channel mode: every MPI
@@ -220,20 +242,50 @@ func (c *Conn) AcceptRendezvous(p *des.Proc, reqID uint64, dst transport.Buffer,
 	if c.threshold == 0 {
 		panic("ch3: AcceptRendezvous in over-channel mode")
 	}
-	// The receiver decides the stripe count (it advertises the rkeys), and
-	// the connection's striping threshold is honoured here exactly as in
-	// the zero-copy design: small rendezvous payloads stay on rail 0.
-	nRails := c.raw.StripeCount(dst.Len)
-	h := header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, nRails: byte(nRails)}
 	rr := &rndvRecv{done: done}
-	for k := 0; k < nRails; k++ {
-		mr, _, err := c.raw.RailRegCache(k).Register(p, dst.Addr, dst.Len)
-		if err != nil {
-			c.onErr(errf("rendezvous register: %w", err))
+	var h header
+	if c.resilient() {
+		// Resilient advertisement: one rkey slot per connection rail, zero
+		// for rails that died. The buffer is registered in full on every
+		// surviving rail, so the sender may move any stripe to any
+		// advertised rail if its first choice fails mid-transfer.
+		n := c.raw.NRails()
+		h = header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, nRails: byte(n)}
+		rr.mrs = make([]*ib.MR, n)
+		alive := 0
+		for k := 0; k < n; k++ {
+			if !c.raw.RailAlive(k) {
+				continue
+			}
+			mr, _, err := c.raw.RailRegCache(k).Register(p, dst.Addr, dst.Len)
+			if err != nil {
+				c.onErr(errf("rendezvous register: %w", err))
+				return
+			}
+			rr.mrs[k] = mr
+			h.rkeys[k] = mr.RKey()
+			alive++
+		}
+		if alive == 0 {
+			c.onErr(errf("rendezvous accept: no surviving rail"))
 			return
 		}
-		rr.mrs = append(rr.mrs, mr)
-		h.rkeys[k] = mr.RKey()
+	} else {
+		// The receiver decides the stripe count (it advertises the rkeys),
+		// and the connection's striping threshold is honoured here exactly
+		// as in the zero-copy design: small rendezvous payloads stay on
+		// rail 0.
+		nRails := c.raw.StripeCount(dst.Len)
+		h = header{kind: pktCTS, reqID: reqID, raddr: dst.Addr, nRails: byte(nRails)}
+		for k := 0; k < nRails; k++ {
+			mr, _, err := c.raw.RailRegCache(k).Register(p, dst.Addr, dst.Len)
+			if err != nil {
+				c.onErr(errf("rendezvous register: %w", err))
+				return
+			}
+			rr.mrs = append(rr.mrs, mr)
+			h.rkeys[k] = mr.RKey()
+		}
 	}
 	c.recvRndv[reqID] = rr
 	c.stats.RndvRecvs++
@@ -260,6 +312,10 @@ func (c *Conn) handleCTS(p *des.Proc, h header) {
 		return
 	}
 	delete(c.sendRndv, h.reqID)
+	if c.resilient() && c.raw.NRails() > 1 {
+		c.handleCTSResilient(p, h, rs)
+		return
+	}
 	nRails := int(h.nRails)
 	if nRails < 1 {
 		nRails = 1
@@ -324,6 +380,75 @@ func (c *Conn) handleCTS(p *des.Proc, h header) {
 	c.stripes[h.reqID] = st
 }
 
+// resilient reports whether the connection participates in fault recovery
+// (direct mode over a resilient chunk endpoint).
+func (c *Conn) resilient() bool { return c.raw != nil && c.raw.Resilient() }
+
+// handleCTSResilient is handleCTS for a resilient multi-rail connection:
+// the payload is registered in full on every surviving advertised rail and
+// striped round-robin over them, each stripe's work-request ID carrying its
+// index so a failed write can be retargeted (DESIGN.md §11).
+func (c *Conn) handleCTSResilient(p *des.Proc, h header, rs *rndvSend) {
+	n := int(h.nRails)
+	if n < 1 || n > c.raw.NRails() {
+		c.onErr(errf("CTS advertises %d rails, connection has %d", n, c.raw.NRails()))
+		return
+	}
+	var cands []int
+	for k := 0; k < n; k++ {
+		if h.rkeys[k] != 0 && c.raw.RailAlive(k) {
+			cands = append(cands, k)
+		}
+	}
+	if len(cands) == 0 {
+		c.onErr(errf("rendezvous send: no surviving advertised rail"))
+		return
+	}
+	st := &stripeSend{
+		onDone: rs.onDone, payload: rs.payload,
+		raddr: h.raddr, rkeys: h.rkeys,
+		mrs: make([]*ib.MR, c.raw.NRails()),
+	}
+	for _, k := range cands {
+		mr, _, err := c.raw.RailRegCache(k).Register(p, rs.payload.Addr, rs.payload.Len)
+		if err != nil {
+			c.onErr(errf("rendezvous source register: %w", err))
+			return
+		}
+		st.mrs[k] = mr
+	}
+	unit := c.raw.StripeUnit()
+	if len(cands) == 1 || c.raw.StripeCount(rs.payload.Len) == 1 {
+		unit = rs.payload.Len
+	}
+	for off, i := 0, 0; off < rs.payload.Len; off, i = off+unit, i+1 {
+		blk := rs.payload.Len - off
+		if blk > unit {
+			blk = unit
+		}
+		st.parts = append(st.parts, stripePart{off: off, blk: blk, rail: cands[i%len(cands)]})
+		c.postStripe(p, h.reqID, st, i)
+	}
+	c.stripes[h.reqID] = st
+}
+
+// postStripe posts (or re-posts) stripe idx of a resilient rendezvous send
+// on the rail its part currently names.
+func (c *Conn) postStripe(p *des.Proc, reqID uint64, st *stripeSend, idx int) {
+	pt := st.parts[idx]
+	c.raw.RailQP(pt.rail).PostSend(p, ib.SendWR{
+		WRID: wridStripeMark | uint64(idx)<<32 | (reqID & 0xFFFFFFFF),
+		Op:   ib.OpRDMAWrite, Signaled: true,
+		SGL: []ib.SGE{{
+			Addr: st.payload.Addr + uint64(pt.off), Len: pt.blk,
+			LKey: st.mrs[pt.rail].LKey(),
+		}},
+		RemoteAddr: st.raddr + uint64(pt.off),
+		RKey:       st.rkeys[pt.rail],
+	})
+	st.pending++
+}
+
 // handleStripeCQE drains the striping completion counter: when the last
 // stripe of a rendezvous payload is acked, release the per-rail
 // registrations and queue the FIN.
@@ -332,14 +457,40 @@ func (c *Conn) handleStripeCQE(p *des.Proc, cqe ib.CQE) {
 		c.onErr(errf("unexpected completion, wr %#x status %v", cqe.WRID, cqe.Status))
 		return
 	}
-	if cqe.Status != ib.StatusSuccess {
-		c.onErr(errf("stripe write failed: %v", cqe.Status))
-		return
-	}
 	reqID := cqe.WRID &^ wridStripeMask
+	if c.resilient() {
+		reqID = cqe.WRID & 0xFFFFFFFF
+	}
 	st, ok := c.stripes[reqID]
 	if !ok {
 		c.onErr(errf("stripe completion for unknown rendezvous %d", reqID))
+		return
+	}
+	if cqe.Status != ib.StatusSuccess {
+		if !c.resilient() {
+			c.onErr(errf("stripe write failed: %v", cqe.Status))
+			return
+		}
+		// The stripe definitively did not land (an error completion rules
+		// delivery out): evict its rail and re-write the block over a
+		// surviving advertised rail.
+		idx := int((cqe.WRID & wridStripeIdxMask) >> 32)
+		pt := &st.parts[idx]
+		c.raw.EvictRail(pt.rail)
+		next := -1
+		for k := 0; k < c.raw.NRails(); k++ {
+			if st.rkeys[k] != 0 && st.mrs[k] != nil && c.raw.RailAlive(k) {
+				next = k
+				break
+			}
+		}
+		if next < 0 {
+			c.onErr(errf("no surviving rail for rendezvous stripe %d", idx))
+			return
+		}
+		pt.rail = next
+		st.pending-- // the failed write is off the wire; postStripe re-adds it
+		c.postStripe(p, reqID, st, idx)
 		return
 	}
 	st.pending--
@@ -348,6 +499,9 @@ func (c *Conn) handleStripeCQE(p *des.Proc, cqe ib.CQE) {
 	}
 	delete(c.stripes, reqID)
 	for k, mr := range st.mrs {
+		if mr == nil {
+			continue
+		}
 		if err := c.raw.RailRegCache(k).Release(p, mr); err != nil {
 			c.onErr(errf("rendezvous source release: %w", err))
 			return
@@ -369,6 +523,9 @@ func (c *Conn) handleFIN(p *des.Proc, h header) {
 	}
 	delete(c.recvRndv, h.reqID)
 	for k, mr := range rr.mrs {
+		if mr == nil {
+			continue
+		}
 		if err := c.raw.RailRegCache(k).Release(p, mr); err != nil {
 			c.onErr(errf("rendezvous dest release: %w", err))
 			return

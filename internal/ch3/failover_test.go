@@ -1,0 +1,172 @@
+package ch3_test
+
+// Failover edge-case coverage: a rail that dies at every point of the
+// rendezvous protocol — before the dial, between RTS and CTS, between CTS
+// and FIN, after FIN — must leave the transfer correct. Rather than
+// hand-placing one failure per protocol window, these tests sweep the
+// LinkDown instant across the whole transfer in fine steps under the
+// deterministic engine, so every window (including the ones between
+// packets of the same phase, and SRQ refill in progress) is hit by some
+// offset. Runs compare payload checksums against the failure-free run.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/rdmachan"
+)
+
+func fnvSum(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// runRendezvousExchange sends three 256 KiB rendezvous messages from rank
+// 0 to rank 1 under the given config and returns the receiver's payload
+// checksum and the finish time.
+func runRendezvousExchange(t *testing.T, cfg cluster.Config) (sum uint64, took des.Time) {
+	t.Helper()
+	cfg.NP = 2
+	c := cluster.MustNew(cfg)
+	defer c.Close()
+	const size = 256 << 10
+	c.Launch(func(comm *mpi.Comm) {
+		if comm.Rank() == 0 {
+			buf, b := comm.Alloc(size)
+			for round := 0; round < 3; round++ {
+				for i := range b {
+					b[i] = byte(i*7 + round)
+				}
+				comm.Send2(buf, 1, 9)
+			}
+			return
+		}
+		buf, b := comm.Alloc(size)
+		for round := 0; round < 3; round++ {
+			comm.Recv2(buf, 0, 9)
+			sum = sum*1099511628211 ^ fnvSum(b)
+		}
+	})
+	return sum, c.Now()
+}
+
+// sweepRailLoss runs the exchange failure-free, then replays it with one
+// rail downed at offsets sweeping the whole transfer, checking the
+// checksum every time.
+func sweepRailLoss(t *testing.T, mk func(plan *fault.Plan) cluster.Config, rail int) {
+	want, took := runRendezvousExchange(t, mk(&fault.Plan{}))
+	if want == 0 {
+		t.Fatal("degenerate failure-free checksum")
+	}
+	step := took / 12
+	if step <= 0 {
+		t.Fatalf("transfer too short to sweep: %v", took)
+	}
+	for off := des.Time(0); off <= took+step; off += step {
+		off := off
+		t.Run(fmt.Sprintf("down@%v", off), func(t *testing.T) {
+			got, _ := runRendezvousExchange(t, mk(&fault.Plan{Events: []fault.Event{
+				{At: off, Kind: fault.HCADown, Node: 0, Rail: rail},
+				{At: off, Kind: fault.HCADown, Node: 1, Rail: rail},
+			}}))
+			if got != want {
+				t.Fatalf("rail %d down at %v corrupted the transfer: checksum %#x, want %#x",
+					rail, off, got, want)
+			}
+		})
+	}
+}
+
+// TestSRQRailLossSweep kills rail 0 — the rail the single SRQ connection
+// lives on — at every protocol window of a rendezvous sequence: the
+// connection must re-dial onto rail 1 and resend whatever the outage ate,
+// wherever it struck (RTS posted but CTS not yet back, CTS back but the
+// data write in flight, FIN pending, refill in progress).
+func TestSRQRailLossSweep(t *testing.T) {
+	sweepRailLoss(t, func(plan *fault.Plan) cluster.Config {
+		return cluster.Config{
+			Transport:    cluster.TransportZeroCopy,
+			ConnectMode:  cluster.ConnectLazy,
+			RailsPerNode: 2,
+			Chan:         rdmachan.Config{UseSRQ: true},
+			Fault:        plan,
+		}
+	}, 0)
+}
+
+// TestChunkStripeRailLossSweep kills rail 1 under the chunk transport's
+// striped zero-copy reads: stripes issued to the dead rail must re-issue
+// on rail 0 (rail 0 itself carries the flow-control counters and is
+// connection-fatal by design, so it is the one that must survive).
+func TestChunkStripeRailLossSweep(t *testing.T) {
+	sweepRailLoss(t, func(plan *fault.Plan) cluster.Config {
+		return cluster.Config{
+			Transport:    cluster.TransportZeroCopy,
+			RailsPerNode: 2,
+			Fault:        plan,
+		}
+	}, 1)
+}
+
+// TestSRQRefillUnderRailFlap drives an eager burst through a deliberately
+// tiny SRQ while the connection's rail flaps down and up repeatedly: every
+// message must arrive intact, through reposts, re-dials and refills.
+func TestSRQRefillUnderRailFlap(t *testing.T) {
+	const msgs, size = 48, 1024
+	plan := &fault.Plan{}
+	for i := 0; i < 6; i++ {
+		plan.Events = append(plan.Events, fault.Event{
+			At:   des.Time(i+1) * 40 * des.Microsecond,
+			Kind: fault.LinkDown, Node: i % 2, Rail: 0,
+			For: 15 * des.Microsecond,
+		})
+	}
+	c := cluster.MustNew(cluster.Config{
+		NP:           2,
+		Transport:    cluster.TransportZeroCopy,
+		ConnectMode:  cluster.ConnectLazy,
+		RailsPerNode: 2,
+		Chan: rdmachan.Config{
+			UseSRQ: true, SRQSlots: 4, SRQLowWater: 2, SRQSendSlots: 2,
+		},
+		Fault: plan,
+	})
+	defer c.Close()
+	var got []uint64
+	c.Launch(func(comm *mpi.Comm) {
+		if comm.Rank() == 0 {
+			buf, b := comm.Alloc(size)
+			for i := 0; i < msgs; i++ {
+				for j := range b {
+					b[j] = byte(i + j*3)
+				}
+				comm.Send2(buf, 1, 4)
+			}
+			return
+		}
+		buf, b := comm.Alloc(size)
+		for i := 0; i < msgs; i++ {
+			comm.Recv2(buf, 0, 4)
+			got = append(got, fnvSum(b))
+		}
+	})
+	for i, sum := range got {
+		b := make([]byte, size)
+		for j := range b {
+			b[j] = byte(i + j*3)
+		}
+		if want := fnvSum(b); sum != want {
+			t.Fatalf("message %d corrupted under rail flap: %#x, want %#x", i, sum, want)
+		}
+	}
+	if len(got) != msgs {
+		t.Fatalf("received %d of %d messages", len(got), msgs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/adi3"
 	"repro/internal/ch3"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/ib"
 	"repro/internal/model"
 	"repro/internal/mpi"
@@ -118,6 +119,17 @@ type Config struct {
 
 	// Params overrides the testbed cost model (nil = calibrated defaults).
 	Params *model.Params
+
+	// Fault schedules failure injection: the plan's events fire at their
+	// offsets from the end of cluster setup, downing links, whole
+	// adapters, or opening packet-drop windows (internal/fault). A
+	// non-nil plan — even an empty one — switches the transport stack
+	// into resilient mode: chunk rings and stripe engines tag their work
+	// requests for rail eviction and re-issue, SRQ connections retain
+	// packets for resend, and broken pairs re-dial on a surviving rail.
+	// With Fault nil every recovery path is compiled out of the hot path
+	// and runs are bit-identical to the fault-free stack (DESIGN.md §11).
+	Fault *fault.Plan
 }
 
 // Cluster is a built simulation. Nodes and HCAs are indexed by node id,
@@ -142,7 +154,33 @@ type Cluster struct {
 	pools       [][]*rdmachan.SRQPool // per-rank, per-rail SRQ pools (Chan.UseSRQ only)
 	srqRR       int                   // round-robin cursor for SRQ rail assignment
 	pairStarted map[uint64]bool       // pairs whose establishment has begun
+
+	srqConns  map[uint64][2]*ch3.SRQConn // SRQ pairs eligible for re-dial (resilient only)
+	redialing map[uint64]bool            // pairs with a re-dial in flight
+	fstats    FaultStats
 }
+
+// FaultStats counts injected failures and the recovery work they caused.
+type FaultStats struct {
+	LinksDowned   uint64 // LinkDown / HCADown events applied
+	LinksRestored uint64 // links brought back up (scheduled or explicit)
+	DropBursts    uint64 // packet-drop windows opened
+	Redials       uint64 // SRQ connections re-established after an outage
+	RecoverySum   des.Time
+	Recoveries    uint64 // samples in RecoverySum
+}
+
+// MeanRecovery returns the mean outage-detection-to-rebind latency, or 0
+// when no connection has been re-dialed.
+func (s FaultStats) MeanRecovery() des.Time {
+	if s.Recoveries == 0 {
+		return 0
+	}
+	return s.RecoverySum / des.Time(s.Recoveries)
+}
+
+// FaultStats returns the failure-injection counters accumulated so far.
+func (c *Cluster) FaultStats() FaultStats { return c.fstats }
 
 // New builds the cluster. In eager mode all rank-pair connections are
 // wired before New returns, running to completion in simulated time (the
@@ -197,6 +235,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.Fabric = ib.NewFabric(c.Eng, prm)
 	nNodes := (cfg.NP + cpn - 1) / cpn
+	if cfg.Fault != nil {
+		if err := cfg.Fault.Validate(nNodes, rails); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.srqConns = make(map[uint64][2]*ch3.SRQConn)
+		c.redialing = make(map[uint64]bool)
+	}
 	for n := 0; n < nNodes; n++ {
 		node := model.NewNode(n, prm)
 		c.Nodes = append(c.Nodes, node)
@@ -226,6 +271,12 @@ func New(cfg Config) (*Cluster, error) {
 		c.chanCfg.Design = rdmachan.DesignZeroCopy
 	case TransportCH3:
 		c.chanCfg.Design = rdmachan.DesignPipeline // eager ring only
+	}
+	if cfg.Fault != nil {
+		// Resilient mode must be on before any pool or endpoint is built:
+		// the recovery machinery (WRID tagging, packet retention, rekeyed
+		// rendezvous) is wired at construction, not toggled later.
+		c.chanCfg.Resilient = true
 	}
 
 	var setupErr error
@@ -265,7 +316,44 @@ func New(cfg Config) (*Cluster, error) {
 		c.Eng.Shutdown()
 		return nil, setupErr
 	}
+	if cfg.Fault != nil {
+		// Event offsets are relative to the end of setup, so a plan means
+		// the same thing under eager and lazy wiring. The closures fire
+		// during the next Run — the workload the faults are aimed at.
+		base := c.Eng.Now()
+		for _, ev := range cfg.Fault.Sorted() {
+			ev := ev
+			c.Eng.Schedule(base+ev.At, func() { c.applyFault(ev) })
+		}
+	}
 	return c, nil
+}
+
+// applyFault performs one scheduled failure event against the fabric.
+func (c *Cluster) applyFault(ev fault.Event) {
+	h := c.Rails[ev.Node][ev.Rail]
+	switch ev.Kind {
+	case fault.LinkDown:
+		h.LinkDown()
+		c.fstats.LinksDowned++
+		if ev.For > 0 {
+			c.Eng.After(ev.For, func() {
+				h.LinkUp()
+				c.fstats.LinksRestored++
+			})
+		}
+	case fault.LinkUp:
+		h.LinkUp()
+		c.fstats.LinksRestored++
+	case fault.HCADown:
+		// Adapter death is a link failure that never heals: the rail
+		// stays out of every live set for the rest of the run.
+		h.LinkDown()
+		c.fstats.LinksDowned++
+	case fault.DropBurst:
+		h.InjectDropBurst(c.Eng.Now() + ev.For)
+		c.fstats.DropBursts++
+	}
 }
 
 // MustNew is New for harnesses where a construction failure is fatal
@@ -348,12 +436,25 @@ func (c *Cluster) wirePair(p *des.Proc, i, j int) error {
 		return nil
 	}
 	if c.chanCfg.UseSRQ {
-		k := c.pickSRQRail(i, j)
+		k, ok := c.pickSRQRail(i, j)
+		for !ok {
+			// Every rail between the pair is down. Wait for a link to heal
+			// (LinkDown events carry a restore time) rather than failing a
+			// dial the fault plan made momentarily impossible.
+			p.Sleep(10 * c.Prm.WireLatency)
+			k, ok = c.pickSRQRail(i, j)
+		}
 		ei, ej, err := ch3.NewSRQPair(c.pools[i][k], c.pools[j][k],
 			c.Devs[i].Engine(), c.Devs[j].Engine(),
 			c.Devs[i].OnErr(), c.Devs[j].OnErr())
 		if err != nil {
 			return err
+		}
+		if c.chanCfg.Resilient {
+			key := pairKey(i, j)
+			c.srqConns[key] = [2]*ch3.SRQConn{ei, ej}
+			ei.SetRedial(func() { c.startRedial(i, j) })
+			ej.SetRedial(func() { c.startRedial(i, j) })
 		}
 		c.Devs[i].Engine().Fulfill(int32(j), ei)
 		c.Devs[j].Engine().Fulfill(int32(i), ej)
@@ -372,27 +473,113 @@ func (c *Cluster) wirePair(p *des.Proc, i, j int) error {
 // pickSRQRail assigns a whole SRQ-mode connection to one rail: the SRQ
 // eager path is two-sided sends into one adapter's shared queue, so rails
 // spread by connection rather than by chunk, steered by the same policy
-// knob as the chunk designs.
-func (c *Cluster) pickSRQRail(i, j int) int {
+// knob as the chunk designs. In resilient mode downed rails are excluded
+// from the candidate set — the policies degrade to the survivors, with
+// RailFixed falling back to the first live rail — and ok is false when no
+// rail between the pair is up. With every rail live the selection is
+// identical to the fault-free cluster, cursor state included.
+func (c *Cluster) pickSRQRail(i, j int) (int, bool) {
+	live := make([]int, 0, c.rails)
+	for k := 0; k < c.rails; k++ {
+		if c.chanCfg.Resilient && c.railDown(i, j, k) {
+			continue
+		}
+		live = append(live, k)
+	}
+	if len(live) == 0 {
+		return 0, false
+	}
 	if c.rails == 1 {
-		return 0
+		return 0, true
 	}
 	switch c.chanCfg.RailPolicy {
 	case rdmachan.RailFixed:
-		return c.chanCfg.FixedRail % c.rails
+		k := c.chanCfg.FixedRail % c.rails
+		for _, l := range live {
+			if l == k {
+				return k, true
+			}
+		}
+		return live[0], true
 	case rdmachan.RailWeighted:
-		best, load := 0, c.pools[i][0].Bound()+c.pools[j][0].Bound()
-		for k := 1; k < c.rails; k++ {
+		best, load := live[0], c.pools[i][live[0]].Bound()+c.pools[j][live[0]].Bound()
+		for _, k := range live[1:] {
 			if l := c.pools[i][k].Bound() + c.pools[j][k].Bound(); l < load {
 				best, load = k, l
 			}
 		}
-		return best
+		return best, true
 	default: // round-robin over establishment order
-		k := c.srqRR % c.rails
+		k := live[c.srqRR%len(live)]
 		c.srqRR++
-		return k
+		return k, true
 	}
+}
+
+// railDown reports whether rail k is unusable between ranks i and j —
+// the adapter on either end's node is down.
+func (c *Cluster) railDown(i, j, k int) bool {
+	return c.Rails[c.nodeOf[i]][k].Down() || c.Rails[c.nodeOf[j]][k].Down()
+}
+
+// redialMaxTries bounds how long a re-dial waits for any rail between the
+// pair to come back before declaring the partition permanent.
+const redialMaxTries = 1000
+
+// startRedial begins re-establishing a broken SRQ connection on a
+// surviving rail unless a re-dial for the pair is already in flight —
+// both ends' progress loops detect the outage, and the race resolves to a
+// single establishment, mirroring startConnect. The replacement queue
+// pair is created, connected and bound out of band; each endpoint then
+// adopts it through SRQConn.Reconnect once its retained-packet set is
+// final, resending from there.
+func (c *Cluster) startRedial(i, j int) {
+	key := pairKey(i, j)
+	if c.redialing[key] {
+		return
+	}
+	c.redialing[key] = true
+	start := c.Eng.Now()
+	c.Eng.Spawn(fmt.Sprintf("connmgr.redial.%d-%d", i, j), func(p *des.Proc) {
+		// Fresh QP numbers and keys cross the wire out of band, as in the
+		// original dial.
+		p.Sleep(2 * c.Prm.WireLatency)
+		k, ok := c.pickSRQRail(i, j)
+		for tries := 0; !ok; tries++ {
+			if tries >= redialMaxTries {
+				err := fmt.Errorf("cluster: redial %d-%d: no surviving rail", i, j)
+				c.Devs[i].Engine().Fail(err)
+				c.Devs[j].Engine().Fail(err)
+				delete(c.redialing, key)
+				c.HCAs[c.nodeOf[i]].NotifyMemWrite()
+				c.HCAs[c.nodeOf[j]].NotifyMemWrite()
+				return
+			}
+			p.Sleep(10 * c.Prm.WireLatency)
+			k, ok = c.pickSRQRail(i, j)
+		}
+		conns := c.srqConns[key]
+		qi, qj := c.pools[i][k].CreateQP(), c.pools[j][k].CreateQP()
+		if err := ib.Connect(qi, qj); err != nil {
+			err = fmt.Errorf("cluster: redial %d-%d: %w", i, j, err)
+			c.Devs[i].Engine().Fail(err)
+			c.Devs[j].Engine().Fail(err)
+			delete(c.redialing, key)
+			c.HCAs[c.nodeOf[i]].NotifyMemWrite()
+			c.HCAs[c.nodeOf[j]].NotifyMemWrite()
+			return
+		}
+		c.pools[i][k].Bind(qi, conns[0])
+		c.pools[j][k].Bind(qj, conns[1])
+		conns[0].Reconnect(c.pools[i][k], qi)
+		conns[1].Reconnect(c.pools[j][k], qj)
+		delete(c.redialing, key)
+		c.fstats.Redials++
+		c.fstats.RecoverySum += c.Eng.Now() - start
+		c.fstats.Recoveries++
+		c.HCAs[c.nodeOf[i]].NotifyMemWrite()
+		c.HCAs[c.nodeOf[j]].NotifyMemWrite()
+	})
 }
 
 // NodeOf returns the node id hosting a rank.

@@ -53,6 +53,9 @@ type Engine struct {
 	down    bool
 	panicV  interface{}
 	events  uint64 // total events executed, for stats/tests
+
+	fpOn bool   // mix a fingerprint of the dispatched schedule
+	fp   uint64 // FNV-style accumulator over event timestamps
 }
 
 // NewEngine returns an engine with the clock at the epoch.
@@ -65,6 +68,20 @@ func (e *Engine) Now() Time { return e.now }
 
 // EventsExecuted returns the number of events the engine has dispatched.
 func (e *Engine) EventsExecuted() uint64 { return e.events }
+
+// EnableTrace starts fingerprinting the dispatched event schedule: every
+// event's timestamp is folded into an FNV-style accumulator as it fires.
+// Two runs of the same program are behaviourally identical exactly when
+// their fingerprints (and event counts) match — the determinism witness
+// the seed-replay suites assert on.
+func (e *Engine) EnableTrace() {
+	e.fpOn = true
+	e.fp = 14695981039346656037 // FNV-1a offset basis
+}
+
+// TraceFingerprint returns the schedule fingerprint accumulated since
+// EnableTrace.
+func (e *Engine) TraceFingerprint() uint64 { return e.fp }
 
 // Schedule runs fn at absolute simulated time at (clamped to now).
 func (e *Engine) Schedule(at Time, fn func()) {
@@ -115,6 +132,9 @@ func (e *Engine) Run() {
 		ev := heap.Pop(&e.pq).(*event)
 		e.now = ev.at
 		e.events++
+		if e.fpOn {
+			e.fp = (e.fp ^ uint64(ev.at)) * 1099511628211
+		}
 		ev.fn()
 		if e.panicV != nil {
 			v := e.panicV
@@ -136,6 +156,9 @@ func (e *Engine) RunUntil(deadline Time) {
 		ev := heap.Pop(&e.pq).(*event)
 		e.now = ev.at
 		e.events++
+		if e.fpOn {
+			e.fp = (e.fp ^ uint64(ev.at)) * 1099511628211
+		}
 		ev.fn()
 		if e.panicV != nil {
 			v := e.panicV

@@ -1,0 +1,9 @@
+// Package fault schedules failure events against the simulated cluster:
+// link down/up, adapter death and packet-drop bursts, drawn from an
+// explicit schedule or generated from a seed. A plan is threaded through
+// cluster.Config; the cluster applies each event to the targeted rail's
+// adapter at its simulated time, and — because the schedule is data, not
+// wall-clock chance — every chaos run is exactly replayable: the same
+// seed produces the same failures, the same recoveries and the same
+// event-by-event simulated execution (see DESIGN.md §11).
+package fault

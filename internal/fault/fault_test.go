@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	gc := GenConfig{
+		Seed: 7, Nodes: 4, Rails: 2,
+		Horizon: des.Millisecond, Events: 16, SpareRail: -1,
+	}
+	a, b := Generate(gc), Generate(gc)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a.Events, b.Events)
+	}
+	gc.Seed = 8
+	if c := Generate(gc); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestGenerateBoundsAndSpareRail(t *testing.T) {
+	gc := GenConfig{
+		Seed: 42, Nodes: 3, Rails: 4,
+		Horizon: des.Millisecond, Events: 64, SpareRail: 0,
+	}
+	p := Generate(gc)
+	if len(p.Events) != gc.Events {
+		t.Fatalf("drew %d events, want %d", len(p.Events), gc.Events)
+	}
+	if err := p.Validate(gc.Nodes, gc.Rails); err != nil {
+		t.Fatalf("generated plan fails its own validation: %v", err)
+	}
+	for _, ev := range p.Events {
+		if ev.Rail == 0 {
+			t.Fatalf("%v targets the spare rail", ev)
+		}
+		if ev.At <= 0 || ev.At > gc.Horizon {
+			t.Fatalf("%v lands outside (0, horizon]", ev)
+		}
+		if ev.For <= 0 {
+			t.Fatalf("%v has nonpositive duration", ev)
+		}
+	}
+}
+
+func TestGenerateOutagesDisjoint(t *testing.T) {
+	p := Generate(GenConfig{
+		Seed: 3, Nodes: 4, Rails: 2,
+		Horizon: des.Millisecond, Events: 32, SpareRail: -1,
+	})
+	evs := p.Sorted()
+	for i := 1; i < len(evs); i++ {
+		prev := evs[i-1]
+		if end := prev.At + prev.For; evs[i].At < end {
+			t.Fatalf("overlapping outages: %v runs past the start of %v", prev, evs[i])
+		}
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	bad := []Plan{
+		{Events: []Event{{Kind: LinkDown, Node: 4, Rail: 0}}},
+		{Events: []Event{{Kind: LinkDown, Node: -1, Rail: 0}}},
+		{Events: []Event{{Kind: LinkDown, Node: 0, Rail: 2}}},
+		{Events: []Event{{Kind: LinkDown, Node: 0, Rail: -1}}},
+	}
+	for _, p := range bad {
+		p := p
+		if err := p.Validate(4, 2); err == nil {
+			t.Errorf("Validate accepted %v", p.Events[0])
+		}
+	}
+	ok := Plan{Events: []Event{{Kind: DropBurst, Node: 3, Rail: 1}}}
+	if err := ok.Validate(4, 2); err != nil {
+		t.Errorf("Validate rejected in-range event: %v", err)
+	}
+}
+
+func TestSortedStableOrder(t *testing.T) {
+	p := Plan{Events: []Event{
+		{At: 30, Kind: LinkUp, Node: 2},
+		{At: 10, Kind: LinkDown, Node: 0},
+		{At: 10, Kind: DropBurst, Node: 1},
+	}}
+	got := p.Sorted()
+	if got[0].Node != 0 || got[1].Node != 1 || got[2].Node != 2 {
+		t.Fatalf("unexpected firing order: %v", got)
+	}
+	if p.Events[0].At != 30 {
+		t.Fatal("Sorted mutated the plan")
+	}
+}
+
+func TestZeroConfigsYieldEmptyPlans(t *testing.T) {
+	for _, gc := range []GenConfig{
+		{},
+		{Seed: 1, Nodes: 4, Rails: 2, Events: 8}, // no horizon
+		{Seed: 1, Nodes: 4, Rails: 2, Horizon: des.Second},  // no events
+		{Seed: 1, Rails: 2, Horizon: des.Second, Events: 8}, // no nodes
+		{Seed: 1, Nodes: 4, Horizon: des.Second, Events: 8}, // no rails
+	} {
+		if p := Generate(gc); len(p.Events) != 0 {
+			t.Errorf("%+v generated %d events, want none", gc, len(p.Events))
+		}
+	}
+}

@@ -23,6 +23,10 @@ type HCA struct {
 	lkeys  map[uint32]*MR
 	rkeys  map[uint32]*MR
 
+	qps       []*QP    // every QP created on this adapter (fault fan-out)
+	down      bool     // link administratively down (LinkDown)
+	dropUntil des.Time // packet-drop window end (InjectDropBurst)
+
 	rxq   des.Queue[rxItem]
 	readq des.Queue[*readRequest]
 
@@ -74,6 +78,53 @@ func (h *HCA) Rail() int { return h.rail }
 // a dedicated rail (PCI segment) bus otherwise. All of a node's buses
 // share the node memory controller.
 func (h *HCA) Bus() *model.Bus { return h.bus }
+
+// Down reports whether the adapter's link is down (fault injection).
+func (h *HCA) Down() bool { return h.down }
+
+// LinkDown fails the adapter's link: every connected queue pair through it
+// — and each one's remote peer — transitions to the error state with
+// queued work flushed (QP.Fail). The fault-injection entry point for link
+// and adapter failures.
+func (h *HCA) LinkDown() {
+	if h.down {
+		return
+	}
+	h.down = true
+	for _, qp := range h.qps {
+		if qp.state != QPReadyToSend {
+			continue
+		}
+		peer := qp.peer
+		qp.fail()
+		if peer != nil {
+			peer.fail()
+		}
+	}
+	h.notifyMemWrite()
+}
+
+// LinkUp restores a downed link. Queue pairs errored by the outage stay
+// errored — as on real adapters, recovery means tearing the connection
+// down and re-dialing — but new connections may be established through the
+// adapter again.
+func (h *HCA) LinkUp() {
+	if !h.down {
+		return
+	}
+	h.down = false
+	h.notifyMemWrite()
+}
+
+// InjectDropBurst opens a packet-drop window on the link until the given
+// absolute simulated time: sends crossing the adapter in that window back
+// off and retransmit with a bounded retry budget (QP.awaitClearWire),
+// modelling a lossy interval rather than a hard failure.
+func (h *HCA) InjectDropBurst(until des.Time) {
+	if until > h.dropUntil {
+		h.dropUntil = until
+	}
+}
 
 // notifyMemWrite wakes processes polling host memory for remotely written
 // flags (WaitMemory). The counter is node-wide: with multiple rails a

@@ -44,6 +44,7 @@ const (
 	StatusRemoteInvalidErr
 	StatusWRFlushErr
 	StatusRNRRetryExc // receiver-not-ready retries exhausted (SRQ ran dry)
+	StatusRetryExc    // transport retries exhausted (lossy or dead link)
 )
 
 func (s Status) String() string {
@@ -60,6 +61,8 @@ func (s Status) String() string {
 		return "WR_FLUSH_ERR"
 	case StatusRNRRetryExc:
 		return "RNR_RETRY_EXC_ERR"
+	case StatusRetryExc:
+		return "RETRY_EXC_ERR"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }

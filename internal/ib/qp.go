@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/model"
 )
 
 // QP is a reliable-connection queue pair. Work requests posted to the send
@@ -46,6 +47,7 @@ type QPStats struct {
 	BytesSent     uint64
 	BytesRead     uint64
 	ErrsCompleted uint64
+	Retries       uint64 // transport retransmission attempts (drop windows)
 }
 
 type seqEntry struct {
@@ -54,10 +56,11 @@ type seqEntry struct {
 }
 
 type sendWork struct {
-	wr   SendWR
-	seq  uint64
-	data []byte // gather snapshot, filled by the engine
-	rnr  int    // receiver-not-ready retries attempted so far
+	wr      SendWR
+	seq     uint64
+	data    []byte // gather snapshot, filled by the engine
+	rnr     int    // receiver-not-ready retries attempted so far
+	retries int    // transport retries attempted so far (drop windows)
 }
 
 // CreateQP allocates a queue pair with the given PD and completion queues.
@@ -74,6 +77,7 @@ func (h *HCA) CreateQP(pd *PD, scq, rcq *CQ) *QP {
 		readSlots: des.NewResource(h.prm.MaxRDMAReads),
 		seqBuf:    make(map[uint64]*seqEntry),
 	}
+	h.qps = append(h.qps, qp)
 	h.eng.SpawnDaemon(fmt.Sprintf("hca%d.qp%d.send", h.node.ID, qp.num), qp.runSendEngine)
 	return qp
 }
@@ -136,11 +140,41 @@ func (qp *QP) complete(seq uint64, cqe *CQE) {
 }
 
 // completeErr finishes a work request in error and transitions the QP to
-// the error state. Errors are always signaled, matching the spec.
+// the error state, flushing everything else still queued on it. Errors are
+// always signaled, matching the spec.
 func (qp *QP) completeErr(w *sendWork, st Status) {
-	qp.state = QPError
 	qp.stats.ErrsCompleted++
 	qp.complete(w.seq, &CQE{WRID: w.wr.WRID, Status: st, Op: w.wr.Op, QPNum: qp.num})
+	qp.fail()
+}
+
+// Fail transitions the QP to the error state, flushing queued work exactly
+// once: posted receives complete with flush errors immediately, queued
+// sends flush when the send engine reaches them, and undelivered two-sided
+// sends parked in the responder-delivery FIFO complete in error at the
+// requester (they never consumed a receive descriptor, so "error CQE"
+// still means "definitively not delivered"). An operation the engine has
+// already put on the wire is not recalled: it lands and completes
+// normally, keeping recovery protocols exact. Idempotent.
+func (qp *QP) Fail() { qp.fail() }
+
+func (qp *QP) fail() {
+	if qp.state == QPError {
+		return
+	}
+	qp.state = QPError
+	for _, r := range qp.rq {
+		qp.stats.ErrsCompleted++
+		qp.rcq.insert(CQE{WRID: r.WRID, Status: StatusWRFlushErr, Op: OpRecv, QPNum: qp.num})
+	}
+	qp.rq = nil
+	dq := qp.deliverq
+	qp.deliverq = nil
+	for _, w := range dq {
+		qp.stats.ErrsCompleted++
+		qp.complete(w.seq, &CQE{WRID: w.wr.WRID, Status: StatusWRFlushErr, Op: w.wr.Op, QPNum: qp.num})
+	}
+	qp.hca.notifyMemWrite()
 }
 
 // cqeFor builds the success completion for w, or nil if unsignaled.
@@ -165,6 +199,9 @@ func (qp *QP) runSendEngine(p *des.Proc) {
 			qp.completeErr(w, StatusWRFlushErr)
 			continue
 		}
+		if !qp.awaitClearWire(p, w) {
+			continue
+		}
 		p.Sleep(qp.hca.prm.HCAProc)
 		switch w.wr.Op {
 		case OpRDMAWrite:
@@ -179,6 +216,67 @@ func (qp *QP) runSendEngine(p *des.Proc) {
 			qp.completeErr(w, StatusLocalProtErr)
 		}
 	}
+}
+
+// awaitClearWire models transport-level retransmission under an injected
+// packet-drop window: while either endpoint's link is dropping, each
+// attempt burns an exponentially backed-off (capped) retry timer plus the
+// NAK round trip, up to the bounded retry budget. Exhausting the budget
+// errors the work request and breaks the connection — both queue pairs
+// transition to the error state, as on real adapters, where transport
+// retry exhaustion is fatal to the RC. It reports false when the work
+// request completed in error instead of clearing the wire.
+func (qp *QP) awaitClearWire(p *des.Proc, w *sendWork) bool {
+	for qp.dropActive() {
+		if w.retries >= retryLimit(qp.hca.prm) {
+			peer := qp.peer
+			qp.completeErr(w, StatusRetryExc)
+			if peer != nil {
+				peer.fail()
+			}
+			return false
+		}
+		w.retries++
+		qp.stats.Retries++
+		shift := w.retries - 1
+		if shift > 6 {
+			shift = 6
+		}
+		p.Sleep(2*qp.hca.prm.WireLatency + retryTimeout(qp.hca.prm)<<uint(shift))
+		if qp.state == QPError {
+			qp.complete(w.seq, &CQE{WRID: w.wr.WRID, Status: StatusWRFlushErr, Op: w.wr.Op, QPNum: qp.num})
+			return false
+		}
+	}
+	return true
+}
+
+// dropActive reports whether either endpoint's link is inside an injected
+// packet-drop window right now.
+func (qp *QP) dropActive() bool {
+	now := qp.hca.eng.Now()
+	if qp.hca.dropUntil > now {
+		return true
+	}
+	return qp.peer != nil && qp.peer.hca.dropUntil > now
+}
+
+// retryTimeout returns the transport retry timer, defaulting when the
+// parameter set predates the fault extension.
+func retryTimeout(prm *model.Params) des.Time {
+	if prm.RetryTimeout > 0 {
+		return prm.RetryTimeout
+	}
+	return 100 * des.Microsecond
+}
+
+// retryLimit returns how many transport retries a requester attempts
+// before erroring the connection.
+func retryLimit(prm *model.Params) int {
+	if prm.MaxRetry > 0 {
+		return prm.MaxRetry
+	}
+	return 7
 }
 
 // execWrite performs an RDMA write: gather locally, validate the remote
@@ -264,6 +362,16 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 	peer := qp.peer
 	prm := qp.hca.prm
 	data := w.data
+	// A send arriving at an errored endpoint — either end failed while the
+	// payload was on the wire, or while the head was parked on an RNR
+	// retry — completes in error without consuming a receive descriptor,
+	// preserving "error CQE means definitively not delivered".
+	if qp.state == QPError || peer.state == QPError {
+		qp.hca.eng.After(prm.WireLatency, func() {
+			qp.completeErr(w, StatusWRFlushErr)
+		})
+		return true
+	}
 	var rwr *RecvWR
 	if peer.srq != nil {
 		r, ok := peer.srq.pop()
@@ -299,8 +407,11 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 	}
 	seq := w.seq
 	if err := peer.hca.scatter(rwr.SGL, peer.pd, data); err != nil {
-		peer.state = QPError
+		// The consumed descriptor completes with the fault; the peer's
+		// remaining posted receives drain through fail, exactly once.
+		peer.stats.ErrsCompleted++
 		peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusLocalProtErr, Op: OpRecv, QPNum: peer.num})
+		peer.fail()
 		qp.hca.eng.After(prm.WireLatency, func() {
 			qp.completeErr(w, StatusRemoteAccessErr)
 		})

@@ -25,6 +25,8 @@ type Params struct {
 	RNRTimeout     des.Time // receiver-not-ready NAK retry timer (SRQ mode)
 	MaxRNRRetry    int      // RNR retries before erroring; 7 = retry forever
 	// (the verbs convention)
+	RetryTimeout des.Time // transport retry timer (packet-drop windows)
+	MaxRetry     int      // transport retries before erroring the QP
 
 	// Memory subsystem.
 	BusMaxRate   float64 // MB/s ceiling for any single bus flow
@@ -74,6 +76,8 @@ func Testbed() *Params {
 		MaxRDMAReads:   1,
 		RNRTimeout:     10 * des.Microsecond,
 		MaxRNRRetry:    7,
+		RetryTimeout:   100 * des.Microsecond,
+		MaxRetry:       7,
 
 		BusMaxRate:          2000.0,
 		BusGranule:          16384,

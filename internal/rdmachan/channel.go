@@ -162,6 +162,11 @@ type Stats struct {
 	ZCRecvs      uint64
 	RegCache     regStats
 
+	// Fault-recovery counters (resilient mode only; see DESIGN.md §11).
+	RailEvictions  uint64 // rails removed from the live set after an error
+	ChunkReposts   uint64 // eager chunks re-posted on a surviving rail
+	StripeReissues uint64 // zero-copy stripe reads re-issued on a surviving rail
+
 	// Per-rail traffic (len = rail count; nil for single-rail designs
 	// predating rails): eager chunks posted on each rail by this side, and
 	// zero-copy stripe bytes this side pulled over each rail.
@@ -241,6 +246,15 @@ type Config struct {
 	// peer (senders stall, not ring-buffer credits, when it is exhausted).
 	// Default 16.
 	SRQSendSlots int
+
+	// Resilient switches the stack into fault-survival mode, set by the
+	// cluster when a fault-injection plan is configured (DESIGN.md §11).
+	// Chunk endpoints evict rails that die and re-issue their outstanding
+	// work on survivors; SRQ connections retain packets until acknowledged
+	// and recover through re-dial. Off (the default) none of the recovery
+	// machinery runs and the stack behaves bit-identically to a build
+	// without it.
+	Resilient bool
 }
 
 func (c Config) withDefaults() Config {

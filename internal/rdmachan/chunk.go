@@ -44,7 +44,35 @@ const (
 	rtsPayloadMax  = rtsPayloadBase + 4 + 4*MaxRails
 
 	wridZCRead = 0x2C00
+
+	// Resilient-mode work-request tags (DESIGN.md §11): recovery needs to
+	// know, from an error completion alone, which chunk or stripe to
+	// re-issue, so resilient posts carry a kind tag in the top byte and the
+	// chunk sequence / stripe index below it. Disjoint from the CH3 stripe
+	// mark (0x3D) so foreign completions still route to the layer above.
+	wridKindMask  = uint64(0xFF) << 56
+	wridChunkMark = uint64(0x43) << 56 // eager chunk write, | seq
+	wridZCMark    = uint64(0x2C) << 56 // zero-copy stripe read, | stripe idx
 )
+
+// railMR is a registration pinned on one rail's adapter — zero-copy
+// transfer state tracks the rail so re-issued stripes can land on a
+// different adapter than the stripe index implies.
+type railMR struct {
+	rail int
+	mr   *ib.MR
+}
+
+// zcRecvPlan is the receiver's re-issue state for an in-flight resilient
+// zero-copy transfer: enough to rebuild any stripe's read on a surviving
+// rail (stripe idx covers [idx*per, min((idx+1)*per, size))).
+type zcRecvPlan struct {
+	addr uint64 // sender buffer base (remote)
+	dst  uint64 // local buffer base
+	size int
+	per  int      // stripe span
+	keys []uint32 // sender rkey per connection rail; 0 = rail not offered
+}
 
 // chunkEP implements the piggyback, pipeline and zero-copy designs; the
 // three differ only in the pipelined and zc flags set from cfg.Design.
@@ -81,7 +109,7 @@ type chunkEP struct {
 	// its acknowledgement complete).
 	zcSendActive bool
 	zcSendBuf    Buffer
-	zcSendMRs    []*ib.MR // per stripe rail
+	zcSendMRs    []railMR // registrations backing the current send, by rail
 	zcStarted    uint64   // cumulative zero-copy sends initiated
 	zcAckIn      slot8    // peer writes cumulative completions
 	zcAckOut     counterWriter
@@ -94,7 +122,12 @@ type chunkEP struct {
 	zcRecvSize     int
 	zcRecvDone     bool
 	zcReadsPending int
-	zcRecvMRs      []*ib.MR // per stripe rail
+	zcRecvMRs      []railMR // registrations backing the in-flight reads
+	zcPlan         *zcRecvPlan
+
+	// railDead marks rails evicted by fault recovery (resilient mode);
+	// nil until the first eviction, so the zero-fault path never touches it.
+	railDead []bool
 
 	regcs       []*regcache.Cache // pin-down cache, by rail
 	railChunks  []uint64          // eager chunks posted, by rail
@@ -232,6 +265,16 @@ type RawAccess interface {
 	// The handler runs inside the endpoint's completion drain, on the
 	// polling process p.
 	SetForeignCQE(fn func(p *des.Proc, cqe ib.CQE))
+
+	// Resilient reports whether the connection runs in fault-survival mode
+	// (Config.Resilient); RailAlive reports whether rail k is still usable
+	// — not evicted by fault recovery and its queue pair ready — and
+	// EvictRail removes a rail from the live set. The direct CH3 design
+	// shares the endpoint's rail-liveness view so its rendezvous stripes
+	// and the channel's eager chunks agree on which rails are dead.
+	Resilient() bool
+	RailAlive(k int) bool
+	EvictRail(k int)
 }
 
 // RawQP implements RawAccess.
@@ -254,6 +297,20 @@ func (e *chunkEP) RailQP(k int) *ib.QP { return e.rails[k].qp }
 
 // RailRegCache implements RawAccess.
 func (e *chunkEP) RailRegCache(k int) *regcache.Cache { return e.regcs[k] }
+
+// Resilient implements RawAccess.
+func (e *chunkEP) Resilient() bool { return e.cfg.Resilient }
+
+// RailAlive implements RawAccess.
+func (e *chunkEP) RailAlive(k int) bool {
+	if e.railDead != nil && e.railDead[k] {
+		return false
+	}
+	return e.rails[k].qp.State() == ib.QPReadyToSend
+}
+
+// EvictRail implements RawAccess.
+func (e *chunkEP) EvictRail(k int) { e.evictRail(k) }
 
 // StripeUnit implements RawAccess.
 func (e *chunkEP) StripeUnit() int { return e.cfg.ChunkSize }
@@ -335,6 +392,9 @@ func (e *chunkEP) drainCQ(p *des.Proc) {
 				}
 				continue
 			}
+			if e.cfg.Resilient && e.handleResilientCQE(p, k, cqe) {
+				continue
+			}
 			if e.foreignCQE != nil {
 				e.foreignCQE(p, cqe)
 				continue
@@ -344,6 +404,160 @@ func (e *chunkEP) drainCQ(p *des.Proc) {
 			}
 		}
 	}
+}
+
+// handleResilientCQE dispatches a completion by its work-request tag when
+// the connection runs in resilient mode: a failed chunk write or stripe
+// read evicts its rail and re-issues the work on a survivor; a failed
+// control write (credits and zero-copy acks, untagged WRID 0 on rail 0) is
+// connection-fatal by design — the cumulative counters need one strictly
+// ordered path, so rail 0 is the connection's lifeline (DESIGN.md §11).
+// Returns false for completions belonging to a layer above.
+func (e *chunkEP) handleResilientCQE(p *des.Proc, k int, cqe ib.CQE) bool {
+	switch cqe.WRID & wridKindMask {
+	case wridZCMark:
+		if cqe.Status == ib.StatusSuccess {
+			e.zcReadsPending--
+			if e.zcReadsPending == 0 {
+				e.zcRecvDone = true
+			}
+		} else {
+			e.evictRail(k)
+			e.reissueStripe(p, int(cqe.WRID&^wridKindMask))
+		}
+		return true
+	case wridChunkMark:
+		// Success completions never appear (chunk writes are unsignaled);
+		// an error means the chunk definitively did not land.
+		if cqe.Status != ib.StatusSuccess {
+			e.evictRail(k)
+			e.repostChunk(p, cqe.WRID&^wridKindMask)
+		}
+		return true
+	}
+	if cqe.WRID == 0 {
+		if cqe.Status != ib.StatusSuccess {
+			e.err = fmt.Errorf("rdmachan(%s): control write on rail %d failed: %v",
+				e.cfg.Design, k, cqe.Status)
+		}
+		return true
+	}
+	return false
+}
+
+// evictRail removes rail k from the live set.
+func (e *chunkEP) evictRail(k int) {
+	if e.railDead == nil {
+		e.railDead = make([]bool, len(e.rails))
+	}
+	if !e.railDead[k] {
+		e.railDead[k] = true
+		e.stats.RailEvictions++
+	}
+}
+
+// liveRailList returns the rails still usable for new work: not evicted
+// and with a ready queue pair.
+func (e *chunkEP) liveRailList() []int {
+	live := make([]int, 0, len(e.rails))
+	for k := range e.rails {
+		if e.railDead != nil && e.railDead[k] {
+			continue
+		}
+		if e.rails[k].qp.State() != ib.QPReadyToSend {
+			continue
+		}
+		live = append(live, k)
+	}
+	return live
+}
+
+// pickRailLive is pickRail restricted to surviving rails. With every rail
+// alive it defers to pickRail, so zero-fault resilient runs make identical
+// choices; with casualties the policy degrades gracefully — a dead fixed
+// rail falls back to the first survivor, weighted and round-robin operate
+// on the live set.
+func (e *chunkEP) pickRailLive() (int, error) {
+	live := e.liveRailList()
+	if len(live) == 0 {
+		return 0, fmt.Errorf("rdmachan(%s): no surviving rail", e.cfg.Design)
+	}
+	if len(live) == len(e.rails) {
+		return e.pickRail(), nil
+	}
+	switch e.cfg.RailPolicy {
+	case RailFixed:
+		want := e.cfg.FixedRail % len(e.rails)
+		for _, k := range live {
+			if k == want {
+				return k, nil
+			}
+		}
+		return live[0], nil
+	case RailWeighted:
+		best, depth := live[0], e.rails[live[0]].qp.SendQueueDepth()
+		for _, k := range live[1:] {
+			if d := e.rails[k].qp.SendQueueDepth(); d < depth {
+				best, depth = k, d
+			}
+		}
+		return best, nil
+	default: // RailRoundRobin
+		k := live[e.railRR%len(live)]
+		e.railRR++
+		return k, nil
+	}
+}
+
+// repostChunk re-sends an errored eager chunk on a surviving rail. The
+// staging slot is guaranteed intact: a slot is only reused once the peer's
+// credit returns, a credit implies delivery, and the error completion rules
+// delivery out. The stale piggybacked credit in the slot is harmless —
+// credits are cumulative and merged with max at the peer.
+func (e *chunkEP) repostChunk(p *des.Proc, seq uint64) {
+	k, err := e.pickRailLive()
+	if err != nil {
+		e.err = err
+		return
+	}
+	paylen := int(le32(e.slotBytes(seq)[8:12]))
+	e.postChunkOn(p, seq, paylen, k)
+	e.stats.ChunkReposts++
+}
+
+// reissueStripe re-reads an errored zero-copy stripe over a surviving rail
+// that the sender offered an rkey for. Resilient senders register the full
+// buffer on every live rail, so any offered rail can serve any stripe.
+func (e *chunkEP) reissueStripe(p *des.Proc, idx int) {
+	e.zcReadsPending-- // the failed read is no longer in flight
+	pl := e.zcPlan
+	if pl == nil {
+		e.err = fmt.Errorf("rdmachan(%s): stripe %d failed with no transfer in flight",
+			e.cfg.Design, idx)
+		return
+	}
+	off := idx * pl.per
+	blk := pl.size - off
+	if blk > pl.per {
+		blk = pl.per
+	}
+	next := -1
+	for _, k := range e.liveRailList() {
+		if pl.keys[k] != 0 {
+			next = k
+			break
+		}
+	}
+	if next < 0 {
+		e.err = fmt.Errorf("rdmachan(%s): no surviving rail for zero-copy stripe %d",
+			e.cfg.Design, idx)
+		return
+	}
+	if err := e.postStripeRead(p, idx, off, blk, next, pl.addr, pl.keys[next], pl.dst); err != nil {
+		e.err = err
+		return
+	}
+	e.stats.StripeReissues++
 }
 
 // pickRail selects the rail for the next eager chunk per the configured
@@ -395,10 +609,34 @@ func (e *chunkEP) stageChunk(seq uint64, ctype byte, payload []byte) {
 // sequence number and polls each chunk's own flags, so ordering across
 // rails is immaterial.
 func (e *chunkEP) postChunk(p *des.Proc, seq uint64, paylen int) {
+	var k int
+	if e.cfg.Resilient {
+		var err error
+		if k, err = e.pickRailLive(); err != nil {
+			e.err = err
+			return
+		}
+	} else {
+		k = e.pickRail()
+	}
+	e.postChunkOn(p, seq, paylen, k)
+	e.announced = e.recvSeq // the chunk carried our consumed count
+	e.stats.ChunksSent++
+}
+
+// postChunkOn posts the RDMA write for seq's staging slot on rail k. In
+// resilient mode the request carries a tagged work-request ID so a failure
+// completion identifies the chunk to re-post; success completions stay
+// unsignaled either way, so the tag never surfaces on the fault-free path.
+func (e *chunkEP) postChunkOn(p *des.Proc, seq uint64, paylen, k int) {
 	i := uint64(seq % uint64(e.nChunks))
-	k := e.pickRail()
+	var wrid uint64
+	if e.cfg.Resilient {
+		wrid = wridChunkMark | seq
+	}
 	e.rails[k].qp.PostSend(p, ib.SendWR{
-		Op: ib.OpRDMAWrite,
+		WRID: wrid,
+		Op:   ib.OpRDMAWrite,
 		SGL: []ib.SGE{{
 			Addr: e.stagingVA + i*uint64(e.cfg.ChunkSize),
 			Len:  chunkOverhead + paylen,
@@ -407,9 +645,30 @@ func (e *chunkEP) postChunk(p *des.Proc, seq uint64, paylen int) {
 		RemoteAddr: e.peerRings[k].va + i*uint64(e.cfg.ChunkSize),
 		RKey:       e.peerRings[k].rkey,
 	})
-	e.announced = e.recvSeq // the chunk carried our consumed count
-	e.stats.ChunksSent++
 	e.railChunks[k]++
+}
+
+// postStripeRead registers stripe idx's block on rail k and posts the RDMA
+// read pulling it from the sender's buffer. Resilient reads are tagged with
+// the stripe index so an error completion can re-issue exactly that block.
+func (e *chunkEP) postStripeRead(p *des.Proc, idx, off, blk, k int, addr uint64, rkey uint32, dst uint64) error {
+	mr, _, err := e.regcs[k].Register(p, dst+uint64(off), blk)
+	if err != nil {
+		return fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+	}
+	e.zcRecvMRs = append(e.zcRecvMRs, railMR{rail: k, mr: mr})
+	wrid := uint64(wridZCRead)
+	if e.cfg.Resilient {
+		wrid = wridZCMark | uint64(idx)
+	}
+	e.rails[k].qp.PostSend(p, ib.SendWR{
+		WRID: wrid, Op: ib.OpRDMARead, Signaled: true,
+		SGL:        []ib.SGE{{Addr: dst + uint64(off), Len: blk, LKey: mr.LKey()}},
+		RemoteAddr: addr + uint64(off), RKey: rkey,
+	})
+	e.zcReadsPending++
+	e.railZCBytes[k] += uint64(blk)
+	return nil
 }
 
 // Put implements the sender side of the piggyback (§4.3), pipeline (§4.4)
@@ -432,8 +691,8 @@ func (e *chunkEP) Put(p *des.Proc, bufs []Buffer) (int, error) {
 	if e.zcSendActive {
 		if e.zcAckIn.value() >= e.zcStarted {
 			n := e.zcSendBuf.Len
-			for k, mr := range e.zcSendMRs {
-				if err := e.regcs[k].Release(p, mr); err != nil {
+			for _, m := range e.zcSendMRs {
+				if err := e.regcs[m.rail].Release(p, m.mr); err != nil {
 					return 0, fmt.Errorf("rdmachan(zerocopy): %w", err)
 				}
 			}
@@ -486,36 +745,60 @@ func (e *chunkEP) Put(p *des.Proc, bufs []Buffer) (int, error) {
 			}
 			flushPlan()
 			b := bufs[bi]
-			// The transfer stripes over nStripes rails; each participating
-			// rail's adapter registers only its own contiguous block. A
-			// single-rail RTS is byte-identical to the historical form; a
-			// striped RTS additionally carries the block span and one rkey
-			// per stripe.
-			nStripes, span := e.stripePlan(b.Len)
 			var rts [rtsPayloadMax]byte
 			putLE64(rts[0:8], b.Addr)
 			putLE64(rts[8:16], uint64(b.Len))
-			keys := rts[rtsPayloadBase:]
-			if nStripes > 1 {
+			var paylen int
+			if e.cfg.Resilient {
+				// Resilient RTS: span + one rkey slot per connection rail
+				// (0 = rail not offered). The full buffer is registered on
+				// every live rail so the receiver can pull any stripe over
+				// any offered rail — the property stripe re-issue relies on.
+				live := e.liveRailList()
+				if len(live) == 0 {
+					return total, fmt.Errorf("rdmachan(%s): no surviving rail", e.cfg.Design)
+				}
+				_, span := e.stripePlanOver(b.Len, len(live))
 				putLE32(rts[rtsPayloadBase:rtsPayloadBase+4], uint32(span))
-				keys = rts[rtsPayloadBase+4:]
-			}
-			for k := 0; k < nStripes; k++ {
-				off := k * span
-				blk := b.Len - off
-				if blk > span {
-					blk = span
+				keys := rts[rtsPayloadBase+4:]
+				for _, k := range live {
+					mr, _, err := e.regcs[k].Register(p, b.Addr, b.Len)
+					if err != nil {
+						return total, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+					}
+					e.zcSendMRs = append(e.zcSendMRs, railMR{rail: k, mr: mr})
+					putLE32(keys[4*k:4*k+4], mr.RKey())
 				}
-				mr, _, err := e.regcs[k].Register(p, b.Addr+uint64(off), blk)
-				if err != nil {
-					return total, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+				paylen = rtsPayloadBase + 4 + 4*len(e.rails)
+			} else {
+				// The transfer stripes over nStripes rails; each
+				// participating rail's adapter registers only its own
+				// contiguous block. A single-rail RTS is byte-identical to
+				// the historical form; a striped RTS additionally carries
+				// the block span and one rkey per stripe.
+				nStripes, span := e.stripePlan(b.Len)
+				keys := rts[rtsPayloadBase:]
+				if nStripes > 1 {
+					putLE32(rts[rtsPayloadBase:rtsPayloadBase+4], uint32(span))
+					keys = rts[rtsPayloadBase+4:]
 				}
-				e.zcSendMRs = append(e.zcSendMRs, mr)
-				putLE32(keys[4*k:4*k+4], mr.RKey())
-			}
-			paylen := rtsPayloadBase + 4*nStripes
-			if nStripes > 1 {
-				paylen += 4
+				for k := 0; k < nStripes; k++ {
+					off := k * span
+					blk := b.Len - off
+					if blk > span {
+						blk = span
+					}
+					mr, _, err := e.regcs[k].Register(p, b.Addr+uint64(off), blk)
+					if err != nil {
+						return total, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+					}
+					e.zcSendMRs = append(e.zcSendMRs, railMR{rail: k, mr: mr})
+					putLE32(keys[4*k:4*k+4], mr.RKey())
+				}
+				paylen = rtsPayloadBase + 4*nStripes
+				if nStripes > 1 {
+					paylen += 4
+				}
 			}
 			e.stageChunk(e.sendSeq, chunkRTS, rts[:paylen])
 			e.postChunk(p, e.sendSeq, paylen)
@@ -597,12 +880,13 @@ func (e *chunkEP) Get(p *des.Proc, bufs []Buffer) (int, error) {
 		if !e.zcRecvDone {
 			return 0, nil
 		}
-		for k, mr := range e.zcRecvMRs {
-			if err := e.regcs[k].Release(p, mr); err != nil {
+		for _, m := range e.zcRecvMRs {
+			if err := e.regcs[m.rail].Release(p, m.mr); err != nil {
 				return 0, fmt.Errorf("rdmachan(zerocopy): %w", err)
 			}
 		}
 		e.zcRecvMRs = nil
+		e.zcPlan = nil
 		e.zcCompleted++
 		e.zcAckOut.write(p, e.zcCompleted)
 		got += e.zcRecvSize
@@ -661,51 +945,81 @@ func (e *chunkEP) Get(p *des.Proc, bufs []Buffer) (int, error) {
 			}
 			addr := le64(slot[chunkHdrSize : chunkHdrSize+8])
 			size := int(le64(slot[chunkHdrSize+8 : chunkHdrSize+16]))
-			// Historical 20-byte RTS = one stripe spanning the whole
-			// transfer; the striped form prepends the block span to its
-			// rkey list (see the payload layout note at the top).
-			nStripes, per := 1, size
-			keys := slot[chunkHdrSize+rtsPayloadBase:]
-			if paylen > rtsPayloadBase+4 {
-				nStripes = (paylen - rtsPayloadBase - 4) / 4
-				per = int(le32(keys[0:4]))
-				keys = keys[4:]
-			}
-			if nStripes < 1 || nStripes > len(e.rails) {
-				return got, fmt.Errorf("rdmachan(zerocopy): RTS names %d rails, connection has %d",
-					nStripes, len(e.rails))
-			}
-			if per < 1 || (nStripes > 1 && (per*(nStripes-1) >= size || per*nStripes < size)) {
-				return got, fmt.Errorf("rdmachan(zerocopy): corrupt RTS span %d for %d stripes of %d bytes",
-					per, nStripes, size)
-			}
 			if len(bufs) == 0 || bufs[0].Len < size {
 				return got, fmt.Errorf("rdmachan(zerocopy): target buffer %d < message %d",
 					Total(bufs), size)
 			}
-			e.advanceChunk(p)
-			// Stripe the pull: one RDMA read per contiguous block, block k
-			// on rail k against the sender's rail-k rkey (which covers
-			// exactly that block). Each read is signaled; the completion
-			// counter (zcReadsPending) drains in drainCQ.
-			for k, off := 0, 0; off < size; k, off = k+1, off+per {
-				blk := size - off
-				if blk > per {
-					blk = per
+			if e.cfg.Resilient {
+				// Resilient RTS: span + one rkey slot per connection rail.
+				// Candidate rails are those the sender offered (nonzero key)
+				// that are still alive here; stripes round-robin over them.
+				if paylen != rtsPayloadBase+4+4*len(e.rails) {
+					return got, fmt.Errorf("rdmachan(zerocopy): corrupt resilient RTS length %d", paylen)
 				}
-				rkey := le32(keys[4*k : 4*k+4])
-				mr, _, err := e.regcs[k].Register(p, bufs[0].Addr+uint64(off), blk)
-				if err != nil {
-					return got, fmt.Errorf("rdmachan(zerocopy): register: %w", err)
+				kb := slot[chunkHdrSize+rtsPayloadBase:]
+				per := int(le32(kb[0:4]))
+				if per < 1 {
+					return got, fmt.Errorf("rdmachan(zerocopy): corrupt RTS span %d", per)
 				}
-				e.zcRecvMRs = append(e.zcRecvMRs, mr)
-				e.rails[k].qp.PostSend(p, ib.SendWR{
-					WRID: wridZCRead, Op: ib.OpRDMARead, Signaled: true,
-					SGL:        []ib.SGE{{Addr: bufs[0].Addr + uint64(off), Len: blk, LKey: mr.LKey()}},
-					RemoteAddr: addr + uint64(off), RKey: rkey,
-				})
-				e.zcReadsPending++
-				e.railZCBytes[k] += uint64(blk)
+				keys := make([]uint32, len(e.rails))
+				for k := range keys {
+					keys[k] = le32(kb[4+4*k : 8+4*k])
+				}
+				var cands []int
+				for _, k := range e.liveRailList() {
+					if keys[k] != 0 {
+						cands = append(cands, k)
+					}
+				}
+				if len(cands) == 0 {
+					return got, fmt.Errorf("rdmachan(zerocopy): no surviving rail offered by RTS")
+				}
+				e.advanceChunk(p)
+				e.zcPlan = &zcRecvPlan{addr: addr, dst: bufs[0].Addr, size: size, per: per, keys: keys}
+				for idx, off := 0, 0; off < size; idx, off = idx+1, off+per {
+					blk := size - off
+					if blk > per {
+						blk = per
+					}
+					k := cands[idx%len(cands)]
+					if err := e.postStripeRead(p, idx, off, blk, k, addr, keys[k], bufs[0].Addr); err != nil {
+						return got, err
+					}
+				}
+			} else {
+				// Historical 20-byte RTS = one stripe spanning the whole
+				// transfer; the striped form prepends the block span to its
+				// rkey list (see the payload layout note at the top).
+				nStripes, per := 1, size
+				keys := slot[chunkHdrSize+rtsPayloadBase:]
+				if paylen > rtsPayloadBase+4 {
+					nStripes = (paylen - rtsPayloadBase - 4) / 4
+					per = int(le32(keys[0:4]))
+					keys = keys[4:]
+				}
+				if nStripes < 1 || nStripes > len(e.rails) {
+					return got, fmt.Errorf("rdmachan(zerocopy): RTS names %d rails, connection has %d",
+						nStripes, len(e.rails))
+				}
+				if per < 1 || (nStripes > 1 && (per*(nStripes-1) >= size || per*nStripes < size)) {
+					return got, fmt.Errorf("rdmachan(zerocopy): corrupt RTS span %d for %d stripes of %d bytes",
+						per, nStripes, size)
+				}
+				e.advanceChunk(p)
+				// Stripe the pull: one RDMA read per contiguous block, block
+				// k on rail k against the sender's rail-k rkey (which covers
+				// exactly that block). Each read is signaled; the completion
+				// counter (zcReadsPending) drains in drainCQ.
+				for k, off := 0, 0; off < size; k, off = k+1, off+per {
+					blk := size - off
+					if blk > per {
+						blk = per
+					}
+					rkey := le32(keys[4*k : 4*k+4])
+					if err := e.postStripeRead(p, k, off, blk, k, addr, rkey, bufs[0].Addr); err != nil {
+						return got, err
+					}
+				}
 			}
 			e.zcRecvActive = true
 			e.zcRecvSize = size
@@ -735,7 +1049,12 @@ func (e *chunkEP) Get(p *des.Proc, bufs []Buffer) (int, error) {
 // span, so it never exceeds what the data fills (an 80 KB transfer over
 // 4 rails at 16 KB chunks yields 3 × 32 KB-aligned blocks, not 4).
 func (e *chunkEP) stripePlan(size int) (count, span int) {
-	n := len(e.rails)
+	return e.stripePlanOver(size, len(e.rails))
+}
+
+// stripePlanOver is stripePlan over an explicit rail count — resilient
+// transfers plan over the surviving rails rather than the configured set.
+func (e *chunkEP) stripePlanOver(size, n int) (count, span int) {
 	if n == 1 || e.cfg.StripeThreshold < 0 ||
 		(e.cfg.StripeThreshold > 0 && size < e.cfg.StripeThreshold) {
 		return 1, size

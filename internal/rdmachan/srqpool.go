@@ -169,6 +169,14 @@ func (sp *SRQPool) RegCache() *regcache.Cache { return sp.regc }
 // included).
 func (sp *SRQPool) SlotSize() int { return sp.cfg.SRQSlotSize }
 
+// Resilient reports whether the pool runs in fault-survival mode
+// (Config.Resilient): connections on it retain packets until acknowledged
+// and recover from link failures by re-dialing.
+func (sp *SRQPool) Resilient() bool { return sp.cfg.Resilient }
+
+// HCA returns the adapter the pool lives on.
+func (sp *SRQPool) HCA() *ib.HCA { return sp.hca }
+
 // Stats returns pool counters, folding in the SRQ's own.
 func (sp *SRQPool) Stats() SRQPoolStats {
 	s := sp.stats
@@ -204,12 +212,29 @@ func (sp *SRQPool) Send(p *des.Proc, qp *ib.QP, hdr []byte, payload Buffer,
 		return false, fmt.Errorf("rdmachan(srq): packet of %d bytes exceeds %d-byte slot",
 			total, sp.cfg.SRQSlotSize)
 	}
-	var src []byte
+	pkt := make([]byte, 0, total)
+	pkt = append(pkt, hdr...)
 	if payload.Len > 0 {
-		var err error
-		if src, err = sp.node.Mem.Resolve(payload.Addr, payload.Len); err != nil {
+		src, err := sp.node.Mem.Resolve(payload.Addr, payload.Len)
+		if err != nil {
 			return false, fmt.Errorf("rdmachan(srq): send: %w", err)
 		}
+		pkt = append(pkt, src...)
+	}
+	return sp.SendPkt(p, qp, pkt, payload.Len, onSent, nil)
+}
+
+// SendPkt stages one pre-assembled packet and posts it, like Send.
+// eagerBytes is the payload portion, for accounting. onFail, when non-nil,
+// runs instead of onSent when the send completes in error — connections
+// recovering from injected faults retain the packet and resend it after
+// re-establishment; without onFail an error completion is fatal to the
+// rank, the pre-fault behaviour.
+func (sp *SRQPool) SendPkt(p *des.Proc, qp *ib.QP, pkt []byte, eagerBytes int,
+	onSent, onFail func(p *des.Proc)) (bool, error) {
+	if len(pkt) > sp.cfg.SRQSlotSize {
+		return false, fmt.Errorf("rdmachan(srq): packet of %d bytes exceeds %d-byte slot",
+			len(pkt), sp.cfg.SRQSlotSize)
 	}
 	if len(sp.sendFree) == 0 {
 		sp.drainSend(p)
@@ -221,10 +246,9 @@ func (sp *SRQPool) Send(p *des.Proc, qp *ib.QP, hdr []byte, payload Buffer,
 	slot := sp.sendFree[len(sp.sendFree)-1]
 	sp.sendFree = sp.sendFree[:len(sp.sendFree)-1]
 	dst := sp.send[slot*sp.cfg.SRQSlotSize:]
-	n := copy(dst, hdr)
-	if payload.Len > 0 {
-		n += copy(dst[n:], src)
-		sp.stats.BytesEager += uint64(payload.Len)
+	n := copy(dst, pkt)
+	if eagerBytes > 0 {
+		sp.stats.BytesEager += uint64(eagerBytes)
 	}
 	// The staging copy crosses the memory bus, like any eager sender copy.
 	sp.node.Bus.Memcpy(p, n, n)
@@ -233,6 +257,10 @@ func (sp *SRQPool) Send(p *des.Proc, qp *ib.QP, hdr []byte, payload Buffer,
 	sp.onSend[id] = func(q *des.Proc, cqe ib.CQE) {
 		sp.sendFree = append(sp.sendFree, slot)
 		if cqe.Status != ib.StatusSuccess {
+			if onFail != nil {
+				onFail(q)
+				return
+			}
 			sp.fail(fmt.Errorf("rdmachan(srq): send completed %v", cqe.Status))
 			return
 		}
@@ -244,7 +272,7 @@ func (sp *SRQPool) Send(p *des.Proc, qp *ib.QP, hdr []byte, payload Buffer,
 		WRID: id, Op: ib.OpSend, Signaled: true,
 		SGL: []ib.SGE{{
 			Addr: sp.sendVA + uint64(slot*sp.cfg.SRQSlotSize),
-			Len:  total,
+			Len:  len(pkt),
 			LKey: sp.sendMR.LKey(),
 		}},
 	})

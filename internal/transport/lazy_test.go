@@ -11,6 +11,8 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/rdmachan"
 )
@@ -194,5 +196,57 @@ func TestSRQRefillBurst(t *testing.T) {
 	}
 	if st.LimitWakes == 0 {
 		t.Error("low-watermark limit event never fired")
+	}
+}
+
+// TestRedialRacesSimultaneousDial extends the simultaneous-dial race into
+// recovery: both ranks dial at once (one establishment), the connection's
+// rail dies mid-conversation, and both ends detect the outage in the same
+// engine pass — the two re-dial requests must collapse into a single
+// re-establishment, exactly like the original dials, and the second
+// exchange must complete intact on the surviving rail.
+func TestRedialRacesSimultaneousDial(t *testing.T) {
+	cfg := lazyVariants()["srq"]
+	cfg.NP = 2
+	cfg.RailsPerNode = 2
+	// The lone SRQ connection lands on rail 0 (round-robin from zero);
+	// killing it mid-run breaks both ends at the same simulated instant.
+	cfg.Fault = &fault.Plan{Events: []fault.Event{
+		{At: 30 * des.Microsecond, Kind: fault.HCADown, Node: 0, Rail: 0},
+		{At: 30 * des.Microsecond, Kind: fault.HCADown, Node: 1, Rail: 0},
+	}}
+	c := cluster.MustNew(cfg)
+	defer c.Close()
+	var ok [2][2]bool
+	c.Launch(func(comm *mpi.Comm) {
+		rank := comm.Rank()
+		peer := 1 - rank
+		send, sb := comm.Alloc(128)
+		recv, rb := comm.Alloc(128)
+		for round := 0; round < 2; round++ {
+			sb[7] = byte(10 + rank + round)
+			sr := comm.Isend(send, peer, 1)
+			rr := comm.Irecv(recv, peer, 1)
+			comm.WaitAll(sr, rr)
+			ok[round][rank] = rb[7] == byte(10+peer+round)
+			if round == 0 {
+				// Park both ranks past the outage so round 2 runs on a
+				// connection that has been broken and re-dialed.
+				comm.Compute(1e5)
+			}
+		}
+	})
+	for round := range ok {
+		if !ok[round][0] || !ok[round][1] {
+			t.Fatalf("round %d payload corrupted across the re-dial: %+v", round, ok)
+		}
+	}
+	fs := c.FaultStats()
+	if fs.Redials != 1 {
+		t.Fatalf("%d re-establishments, want exactly 1 (the race must collapse): %+v",
+			fs.Redials, fs)
+	}
+	if fs.MeanRecovery() <= 0 {
+		t.Errorf("re-dial recorded no recovery latency: %+v", fs)
 	}
 }
