@@ -1,0 +1,127 @@
+// Command enginebench measures the DES kernel's speed under real MPI load
+// and maintains the committed BENCH_engine.json baseline (DESIGN.md §12).
+// Each row runs a NAS kernel on the scalable stack (zero-copy transport,
+// lazy connections, SRQ) and records the simulated results exactly —
+// event count, schedule fingerprint, simulated time, verification — next
+// to the harness wall-clock rates (events/sec, wall-clock-per-simulated-
+// second).
+//
+// Usage:
+//
+//	enginebench -np 64,256,1024 -repeat 3 -out BENCH_engine.json   # cheap rows
+//	enginebench -np 4096 -out BENCH_engine.json -merge     # the ~25-minute row
+//	enginebench -np 64 -compare BENCH_engine.json          # CI regression gate
+//	enginebench -np 1024 -queue heap                       # the fallback queue
+//	enginebench -np 1024 -repeat 3                         # fastest of 3 walls
+//	enginebench -np 1024 -cpuprofile cpu.prof              # profile the run
+//
+// In comparison mode the simulated metrics must match the baseline
+// exactly — a mismatch means the simulation changed, which is never a
+// mere performance regression — and wall-clock-per-simulated-second may
+// not regress beyond -tolerance. Exits non-zero on any violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/des"
+	"repro/internal/nas"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	nps := flag.String("np", "1024", "comma-separated rank counts to measure")
+	benchName := flag.String("bench", "cg", "NAS kernel to drive the engine with")
+	class := flag.String("class", "S", "problem class: S, A or B")
+	queue := flag.String("queue", "calendar", "pending-event queue: calendar, heap, or both")
+	repeat := flag.Int("repeat", 1, "runs per row; the fastest wall clock is recorded")
+	out := flag.String("out", "", "write the report as JSON to this path")
+	merge := flag.Bool("merge", false, "with -out: update rows in an existing report instead of replacing the file (regenerate one np without re-running the rest)")
+	compare := flag.String("compare", "", "compare against this baseline report instead of just printing")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed wall-clock-per-simulated-second regression for -compare")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
+	gogc := flag.Int("gogc", 300, "GC percent for the measurement (a wide cluster's heap is mostly live, so the default collector cadence mostly re-marks it; 0 keeps the runtime default)")
+	flag.Parse()
+
+	if *gogc > 0 {
+		debug.SetGCPercent(*gogc)
+	}
+
+	stop, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stop()
+
+	var kinds []des.QueueKind
+	switch *queue {
+	case "calendar":
+		kinds = []des.QueueKind{des.QueueCalendar}
+	case "heap":
+		kinds = []des.QueueKind{des.QueueHeap}
+	case "both":
+		kinds = []des.QueueKind{des.QueueCalendar, des.QueueHeap}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -queue %q (calendar, heap, both)\n", *queue)
+		return 2
+	}
+
+	rep := bench.NewEngineReport()
+	for _, f := range strings.Split(*nps, ",") {
+		np, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || np < 2 {
+			fmt.Fprintf(os.Stderr, "bad -np entry %q\n", f)
+			return 2
+		}
+		for _, kind := range kinds {
+			r := bench.MeasureEngine(*benchName, nas.Class((*class)[0]), np, *repeat, kind)
+			rep.Runs = append(rep.Runs, r)
+			fmt.Printf("%s.%s np=%d queue=%s: events=%d fp=%s sim=%.6fs wall=%.2fs ev/s=%.0f wall/simsec=%.1f verified=%v\n",
+				r.Bench, r.Class, r.NP, r.Queue, r.Events, r.Fingerprint,
+				r.SimSeconds, r.WallSeconds, r.EventsPerSec, r.WallPerSimSec, r.Verified)
+		}
+	}
+
+	if *out != "" {
+		final := rep
+		if *merge {
+			if prev, err := bench.ReadEngineReport(*out); err == nil {
+				final = bench.MergeEngineReports(prev, rep)
+			} else if !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+		if err := bench.WriteEngineReport(*out, final); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *compare != "" {
+		base, err := bench.ReadEngineReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if errs := bench.CompareEngineReports(base, rep, *tolerance); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "FAIL: %v\n", e)
+			}
+			return 1
+		}
+		fmt.Printf("within tolerance of %s (%.0f%%)\n", *compare, 100**tolerance)
+	}
+	return 0
+}

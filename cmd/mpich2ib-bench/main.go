@@ -75,7 +75,16 @@ func main() {
 	railPolicy := flag.String("rail-policy", "round-robin", "eager rail policy for -rails sweeps: round-robin, weighted or fixed")
 	faults := flag.String("faults", "", "resilience sweep (comma list of per-run failure counts, e.g. 0,2,4,8): completed traffic + recovery latency vs failure rate on the lazy SRQ rails=2 stack; overrides -fig")
 	faultSeed := flag.Int64("fault-seed", 1, "schedule seed base for -faults sweeps (same seed, same schedule, same run)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC live memory) to this path")
 	flag.Parse()
+
+	stopProf, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("baseline headline fig3-lat fig3-bw fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig13 fig14 fig15 rails-bw rails-policy ablation-rail-stripe fault-recovery ablations all")

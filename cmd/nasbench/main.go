@@ -57,7 +57,16 @@ func main() {
 	railPolicy := flag.String("rail-policy", "round-robin", "eager rail policy: round-robin, weighted or fixed")
 	faultRail := flag.Int("fault-rail", -1, "kill this rail on every node mid-run (permanent HCA failure; needs -bench and -rails ≥ 2; rail 0 carries chunk-mode flow control, so target it only with -srq)")
 	faultAt := flag.Float64("fault-at", 100, "µs after startup at which the -fault-rail failure strikes")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC live memory) to this path")
 	flag.Parse()
+
+	stopProf, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nasbench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cl := nas.Class((*class)[0])
 	if cl != nas.ClassS && cl != nas.ClassA && cl != nas.ClassB {

@@ -31,6 +31,21 @@ import (
 // It implements transport.Endpoint with an engine-level rendezvous
 // threshold of one slot payload, exactly like the direct CH3 design.
 type SRQConn struct {
+	// The idle-check fields lead the struct so Poll's fast path — taken by
+	// every connected-but-quiet peer every progress pass — reads a single
+	// cache line per connection.
+	//
+	// sharedPoll and resilient cache pool properties, uniform across every
+	// pool of a cluster, so the hot path avoids the method calls. ctrlq and
+	// dataq are the send side: strict FIFO per queue; control packets (CTS,
+	// FIN) win so rendezvous answers do not starve behind bulk eager
+	// traffic. Eager and RTS packets share dataq, preserving MPI envelope
+	// order.
+	sharedPoll bool // pool.SharedProgress(): the engine polls the pool
+	resilient  bool // pool.Resilient()
+	ctrlq      []*srqOp
+	dataq      []*srqOp
+
 	pool  *rdmachan.SRQPool
 	qp    *ib.QP
 	h     transport.Handler
@@ -41,12 +56,6 @@ type SRQConn struct {
 
 	sendRndv map[uint64]*rndvSend
 	recvRndv map[uint64]*srqRndvRecv
-
-	// Send side: strict FIFO per queue; control packets (CTS, FIN) win so
-	// rendezvous answers do not starve behind bulk eager traffic. Eager
-	// and RTS packets share dataq, preserving MPI envelope order.
-	ctrlq []*srqOp
-	dataq []*srqOp
 
 	hdrScratch [hdrSize]byte
 
@@ -121,13 +130,15 @@ func NewSRQPair(pa, pb *rdmachan.SRQPool, ha, hb transport.Handler,
 func newSRQConn(pool *rdmachan.SRQPool, qp *ib.QP, h transport.Handler,
 	onErr func(error)) *SRQConn {
 	c := &SRQConn{
-		pool:      pool,
-		qp:        qp,
-		h:         h,
-		onErr:     onErr,
-		threshold: pool.SlotSize() - hdrSize,
-		sendRndv:  make(map[uint64]*rndvSend),
-		recvRndv:  make(map[uint64]*srqRndvRecv),
+		pool:       pool,
+		qp:         qp,
+		h:          h,
+		onErr:      onErr,
+		sharedPoll: pool.SharedProgress(),
+		resilient:  pool.Resilient(),
+		threshold:  pool.SlotSize() - hdrSize,
+		sendRndv:   make(map[uint64]*rndvSend),
+		recvRndv:   make(map[uint64]*srqRndvRecv),
 	}
 	if pool.Resilient() {
 		c.pendingWrites = make(map[uint64]*rndvSend)
@@ -272,7 +283,7 @@ func (c *SRQConn) SendRendezvous(p *des.Proc, env transport.Envelope, payload tr
 // a CTS packet.
 func (c *SRQConn) AcceptRendezvous(p *des.Proc, reqID uint64, dst transport.Buffer,
 	done func(p *des.Proc)) {
-	if c.pool.Resilient() {
+	if c.resilient {
 		// Registration is deferred to packet build time (rekey): if the
 		// connection re-dials onto another rail before the CTS goes out,
 		// the buffer is registered on the pool that is current then.
@@ -303,7 +314,7 @@ func (c *SRQConn) AcceptRendezvous(p *des.Proc, reqID uint64, dst transport.Buff
 func (c *SRQConn) handleCTS(p *des.Proc, h header) {
 	rs, ok := c.sendRndv[h.reqID]
 	if !ok {
-		if c.pool.Resilient() {
+		if c.resilient {
 			// A stale duplicate: the transfer is already past the CTS
 			// (its write is in flight or done) under an earlier answer.
 			return
@@ -318,7 +329,7 @@ func (c *SRQConn) handleCTS(p *des.Proc, h header) {
 		c.onErr(errf("srq rendezvous source register: %w", err))
 		return
 	}
-	if c.pool.Resilient() {
+	if c.resilient {
 		// Signaled write: the FIN is queued only at the write's success
 		// completion (an error restores the rendezvous for re-announcement
 		// after recovery — the RC ordering shortcut below can't tell
@@ -388,7 +399,7 @@ func (c *SRQConn) handleFIN(p *des.Proc, h header) {
 		return
 	}
 	delete(c.recvRndv, h.reqID)
-	if c.pool.Resilient() {
+	if c.resilient {
 		delete(c.gotRTS, h.reqID)
 		// Release only a registration made on the pool that is still
 		// current; one made on a rail that died is abandoned with its
@@ -413,7 +424,7 @@ func (c *SRQConn) handleFIN(p *des.Proc, h header) {
 // broken resilient connection it stages nothing and instead triggers the
 // re-dial (once per outage).
 func (c *SRQConn) flush(p *des.Proc) bool {
-	resilient := c.pool.Resilient()
+	resilient := c.resilient
 	if resilient && (c.broken() || c.nextQP != nil) {
 		c.maybeRedial()
 		return false
@@ -547,7 +558,7 @@ func (c *SRQConn) HandleSRQPacket(p *des.Proc, pkt []byte) {
 			sink.Done(p)
 		}
 	case pktRTS:
-		if c.pool.Resilient() {
+		if c.resilient {
 			c.handleRTSResilient(p, h)
 			return
 		}
@@ -597,8 +608,18 @@ func (c *SRQConn) handleRTSResilient(p *des.Proc, h header) {
 // completions have fully drained (the pool poll above reaps them), and a
 // broken connection with work pending asks the cluster for a re-dial.
 func (c *SRQConn) Poll(p *des.Proc) bool {
-	prog := c.pool.Poll(p)
-	if c.pool.Resilient() {
+	// When the pool is registered as shared progress work the transport
+	// engine polled it at the top of this pass; an idle fault-free
+	// connection then has nothing at all to do. This is the single hottest
+	// call in wide runs — every rank polls every connected peer every pass.
+	if c.sharedPoll && !c.resilient && len(c.ctrlq) == 0 && len(c.dataq) == 0 {
+		return false
+	}
+	prog := false
+	if !c.sharedPoll {
+		prog = c.pool.Poll(p)
+	}
+	if c.resilient {
 		// Adoption waits for the old queue pair's completions to fully
 		// drain — staged packets AND signaled rendezvous writes. A large
 		// write occupies the wire long past the outage, and its flush

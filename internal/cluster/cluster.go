@@ -120,6 +120,12 @@ type Config struct {
 	// Params overrides the testbed cost model (nil = calibrated defaults).
 	Params *model.Params
 
+	// EngineQueue selects the simulation kernel's pending-event structure
+	// (des.QueueDefault = the calendar queue). The determinism cross-check
+	// suites run identical workloads under des.QueueHeap and
+	// des.QueueCalendar and assert equal trace fingerprints.
+	EngineQueue des.QueueKind
+
 	// Fault schedules failure injection: the plan's events fire at their
 	// offsets from the end of cluster setup, downing links, whole
 	// adapters, or opening packet-drop windows (internal/fault). A
@@ -227,7 +233,7 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: the basic design is single-rail; use piggyback, pipeline, zerocopy or ch3 with RailsPerNode > 1")
 	}
 	c := &Cluster{
-		Eng:         des.NewEngine(),
+		Eng:         des.NewEngineWithQueue(cfg.EngineQueue),
 		Prm:         prm,
 		cfg:         cfg,
 		rails:       rails,
@@ -294,12 +300,17 @@ func New(cfg Config) (*Cluster, error) {
 						setupErr = fmt.Errorf("cluster: rank %d rail %d SRQ pool: %w", r, k, err)
 						return
 					}
+					// The rank's transport engine polls each pool once per
+					// progress pass; connections built on a marked pool skip
+					// the redundant per-connection pool poll.
+					pool.MarkShared()
+					c.Devs[r].Engine().AddSharedPoll(pool.Poll)
 					c.pools[r][k] = pool
 				}
 			}
 		}
 		if cfg.ConnectMode == ConnectLazy {
-			c.installStubs()
+			c.installDialers()
 			return
 		}
 		for i := 0; i < cfg.NP; i++ {
@@ -374,22 +385,20 @@ func pairKey(i, j int) uint64 {
 	return uint64(i)<<32 | uint64(j)
 }
 
-// installStubs points every engine slot at a lazy connector. The dial
+// installDialers hands every engine one dial callback; the engine creates
+// connector stubs on demand at the first send toward a peer. Lazy setup is
+// therefore O(np) — one closure per rank — where the first version
+// pre-installed np² per-pair stubs before any rank had spoken. The dial
 // callback runs on the process posting the first send; establishment
 // itself runs on a spawned connection-manager process so both sides'
 // setup costs stay off the application's critical path, exactly like the
 // on-demand connection threads of post-paper MPICH2 stacks.
-func (c *Cluster) installStubs() {
+func (c *Cluster) installDialers() {
 	for i := 0; i < c.cfg.NP; i++ {
-		for j := 0; j < c.cfg.NP; j++ {
-			if i == j {
-				continue
-			}
-			i, j := i, j
-			c.Devs[i].Engine().SetStub(int32(j), func(*des.Proc) {
-				c.startConnect(i, j)
-			})
-		}
+		i := i
+		c.Devs[i].Engine().SetDialer(func(_ *des.Proc, peer int32) {
+			c.startConnect(i, int(peer))
+		})
 	}
 }
 
@@ -642,15 +651,12 @@ func (c *Cluster) RankMemStats(rank int) MemStats {
 	eng := c.Devs[rank].Engine()
 	var fp transport.Footprint
 	conns := 0
-	for peer := 0; peer < c.cfg.NP; peer++ {
-		if peer == rank || !eng.Connected(int32(peer)) {
-			continue
-		}
+	eng.ForEachEndpoint(func(peer int32, ep transport.Endpoint) {
 		conns++
-		if a, ok := eng.Endpoint(int32(peer)).(transport.Accountable); ok {
+		if a, ok := ep.(transport.Accountable); ok {
 			fp.Add(a.Footprint())
 		}
-	}
+	})
 	if c.pools != nil {
 		for _, pool := range c.pools[rank] {
 			fp.Add(pool.Footprint())
@@ -693,8 +699,7 @@ func (c *Cluster) RegCacheStats() regcache.Stats {
 		total.Evictions += s.Evictions
 	}
 	for _, d := range c.Devs {
-		for peer := 0; peer < c.cfg.NP; peer++ {
-			ep := d.Endpoint(int32(peer))
+		d.Engine().ForEachEndpoint(func(_ int32, ep transport.Endpoint) {
 			switch e := ep.(type) {
 			case *ch3.Conn:
 				if raw, ok := e.Endpoint().(rdmachan.RawAccess); ok {
@@ -707,7 +712,7 @@ func (c *Cluster) RegCacheStats() regcache.Stats {
 			case *shmchan.Conn:
 				addCache(e.RegCache())
 			}
-		}
+		})
 	}
 	return total
 }

@@ -1,66 +1,59 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
 )
 
-// event is a scheduled callback. Events with equal times fire in scheduling
-// order (seq), which is what makes the simulation deterministic.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is a discrete-event simulation kernel. It is not safe for
 // concurrent use from multiple host goroutines; all interaction must happen
 // from the goroutine that calls Run (or from simulated processes, which the
 // engine serializes itself).
+//
+// Dispatch is baton-passing: the event loop runs on whichever goroutine
+// currently holds control — the Run caller (the driver) or a process
+// blocked in a kernel primitive. A process that pauses keeps dispatching
+// events on its own goroutine until one resumes another process (one
+// channel send hands the baton directly, with no trip through a central
+// scheduler goroutine) or resumes the pausing process itself, which costs
+// no channel operation at all. The driver parks on runCh while processes
+// pass the baton among themselves and gets it back when the loop must stop
+// or a process terminates.
 type Engine struct {
-	now     Time
-	pq      eventHeap
-	seq     uint64
-	alive   int // spawned non-daemon processes that have not terminated
-	daemons int // spawned daemon processes that have not terminated
-	blocked map[*Proc]string
-	procs   []*Proc
-	current *Proc
-	stopped bool
-	down    bool
-	panicV  interface{}
-	events  uint64 // total events executed, for stats/tests
+	now       Time
+	q         eventQueue
+	seq       uint64
+	alive     int // spawned non-daemon processes that have not terminated
+	daemons   int // spawned daemon processes that have not terminated
+	procs     []*Proc
+	deadProcs int           // dead entries still in procs; triggers compaction
+	runCh     chan struct{} // returns the baton to the driver
+	deadline  Time          // events after this instant stay queued
+	stopped   bool
+	down      bool
+	panicV    interface{}
+	events    uint64 // total events executed, for stats/tests
 
 	fpOn bool   // mix a fingerprint of the dispatched schedule
 	fp   uint64 // FNV-style accumulator over event timestamps
 }
 
-// NewEngine returns an engine with the clock at the epoch.
-func NewEngine() *Engine {
-	return &Engine{blocked: make(map[*Proc]string)}
+// timeMax is the Run deadline: dispatch everything.
+const timeMax = Time(math.MaxInt64)
+
+// NewEngine returns an engine with the clock at the epoch, using the
+// default (calendar) event queue.
+func NewEngine() *Engine { return NewEngineWithQueue(QueueDefault) }
+
+// NewEngineWithQueue returns an engine using the given pending-event
+// structure. Both kinds dispatch in the identical (time, seq) order — the
+// determinism cross-check suites run the same workload under each and
+// assert equal schedule fingerprints.
+func NewEngineWithQueue(kind QueueKind) *Engine {
+	return &Engine{q: newQueue(kind), runCh: make(chan struct{})}
 }
 
 // Now returns the current simulated time.
@@ -89,7 +82,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+	e.q.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After runs fn after delay d.
@@ -113,12 +106,83 @@ func (e *Engine) Shutdown() {
 		if p.dead {
 			continue
 		}
-		p.toProc <- struct{}{} // resume; the process observes down and exits
-		<-p.toEng
+		p.ch <- struct{}{} // resume; the process observes down and exits
+		<-p.ch
 	}
 	e.procs = nil
-	e.pq = nil
-	e.blocked = nil
+	e.deadProcs = 0
+	if e.q != nil {
+		e.q.clear()
+	}
+}
+
+// account advances the clock to ev and charges it to the event count and
+// fingerprint. Every popped event, stale wakeups included, is accounted, so
+// the trace is comparable across queue implementations and engine versions.
+func (e *Engine) account(ev *event) {
+	e.now = ev.at
+	e.events++
+	if e.fpOn {
+		e.fp = (e.fp ^ uint64(ev.at)) * 1099511628211
+	}
+}
+
+// runDriver is the dispatch loop on the Run caller's goroutine. Handing a
+// wakeup to a process lends it the baton; the driver parks on runCh until
+// the process chain returns it (a stop condition was reached, or a process
+// terminated — possibly by panic, re-raised here).
+func (e *Engine) runDriver() {
+	for !e.stopped {
+		ev, ok := e.q.popLE(e.deadline)
+		if !ok {
+			return
+		}
+		e.account(&ev)
+		if p := ev.proc; p != nil {
+			if p.dead || p.gen != ev.gen || !p.waiting {
+				continue
+			}
+			p.ch <- struct{}{}
+			<-e.runCh
+			if e.panicV != nil {
+				v := e.panicV
+				e.panicV = nil
+				panic(v)
+			}
+		} else {
+			ev.fn()
+		}
+	}
+}
+
+// runOn is the dispatch loop on a paused process's goroutine. It returns
+// when p's own wakeup is dispatched: either p pops it itself (no channel
+// operation — the dominant case for sleep/poll cycles) or another holder
+// pops it and sends p the baton. A stop condition hands the baton back to
+// the driver and parks p until its wakeup eventually arrives (a later Run)
+// or Shutdown kills it.
+func (e *Engine) runOn(p *Proc) {
+	for !e.stopped {
+		ev, ok := e.q.popLE(e.deadline)
+		if !ok {
+			break
+		}
+		e.account(&ev)
+		if t := ev.proc; t != nil {
+			if t.dead || t.gen != ev.gen || !t.waiting {
+				continue
+			}
+			if t == p {
+				return
+			}
+			t.ch <- struct{}{}
+			<-p.ch
+			return
+		}
+		ev.fn()
+	}
+	e.runCh <- struct{}{}
+	<-p.ch
 }
 
 // Run dispatches events until the queue drains, Stop is called, or a
@@ -128,20 +192,8 @@ func (e *Engine) Shutdown() {
 // the layers above is a bug, and silent termination would mask it.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.pq) > 0 && !e.stopped {
-		ev := heap.Pop(&e.pq).(*event)
-		e.now = ev.at
-		e.events++
-		if e.fpOn {
-			e.fp = (e.fp ^ uint64(ev.at)) * 1099511628211
-		}
-		ev.fn()
-		if e.panicV != nil {
-			v := e.panicV
-			e.panicV = nil
-			panic(v)
-		}
-	}
+	e.deadline = timeMax
+	e.runDriver()
 	if !e.stopped && e.alive > 0 {
 		panic("des: deadlock: " + e.deadlockReport())
 	}
@@ -152,20 +204,8 @@ func (e *Engine) Run() {
 // server-style simulations are driven.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.pq) > 0 && e.pq[0].at <= deadline && !e.stopped {
-		ev := heap.Pop(&e.pq).(*event)
-		e.now = ev.at
-		e.events++
-		if e.fpOn {
-			e.fp = (e.fp ^ uint64(ev.at)) * 1099511628211
-		}
-		ev.fn()
-		if e.panicV != nil {
-			v := e.panicV
-			e.panicV = nil
-			panic(v)
-		}
-	}
+	e.deadline = deadline
+	e.runDriver()
 	if e.now < deadline {
 		e.now = deadline
 	}
@@ -173,11 +213,11 @@ func (e *Engine) RunUntil(deadline Time) {
 
 func (e *Engine) deadlockReport() string {
 	var names []string
-	for p, where := range e.blocked {
-		if p.daemon {
+	for _, p := range e.procs {
+		if p.daemon || p.dead || !p.waiting {
 			continue
 		}
-		names = append(names, fmt.Sprintf("%s (%s)", p.name, where))
+		names = append(names, fmt.Sprintf("%s (%s)", p.name, p.where))
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
@@ -188,14 +228,21 @@ func (e *Engine) deadlockReport() string {
 
 // Proc is a simulated process. Exactly one Proc executes at any instant;
 // kernel primitives are the only legal blocking points.
+//
+// Control transfers ride each process's unbuffered rendezvous channel, but
+// only when the baton actually changes goroutines: a process that pauses
+// keeps dispatching on its own goroutine (Engine.runOn), so resuming
+// another process costs one send and resuming itself costs nothing. Exactly
+// one goroutine — the driver or one process — runs at any moment, which
+// keeps the shared engine state race-free.
 type Proc struct {
 	eng     *Engine
 	name    string
-	toProc  chan struct{}
-	toEng   chan struct{}
+	ch      chan struct{}
 	dead    bool
 	daemon  bool
 	waiting bool
+	where   string // block site label for deadlock reports
 	gen     uint64 // pause generation; stale wakeups are dropped
 }
 
@@ -214,22 +261,24 @@ func (e *Engine) SpawnDaemon(name string, body func(p *Proc)) *Proc {
 
 func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		daemon: daemon,
-		toProc: make(chan struct{}),
-		toEng:  make(chan struct{}),
+		eng:     e,
+		name:    name,
+		daemon:  daemon,
+		ch:      make(chan struct{}),
+		waiting: true,
+		where:   "start",
 	}
 	if daemon {
 		e.daemons++
 	} else {
 		e.alive++
 	}
-	e.procs = append(e.procs, p)
+	e.addProc(p)
 	go func() {
-		<-p.toProc // wait for the start event
+		<-p.ch // wait for the start event
 		defer func() {
 			p.dead = true
+			e.deadProcs++
 			if p.daemon {
 				e.daemons--
 			} else {
@@ -238,34 +287,59 @@ func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 			if r := recover(); r != nil {
 				e.panicV = fmt.Sprintf("des: process %q panicked: %v", name, r)
 			}
-			p.toEng <- struct{}{}
+			if e.down {
+				p.ch <- struct{}{} // Shutdown handshake
+			} else {
+				e.runCh <- struct{}{} // death returns the baton to the driver
+			}
 		}()
 		if !e.down {
+			p.waiting = false
+			p.gen++
 			body(p)
 		}
 	}()
-	e.Schedule(e.now, func() { p.step() })
+	// The start is an ordinary wakeup bound to generation 0; Shutdown
+	// before it fires kills the parked goroutine and the event is dropped
+	// with the queue.
+	e.seq++
+	e.q.push(event{at: e.now, seq: e.seq, proc: p})
 	return p
 }
 
-// step hands control to the process goroutine and waits for it to block on
-// a kernel primitive (or terminate).
-func (p *Proc) step() {
-	prev := p.eng.current
-	p.eng.current = p
-	p.toProc <- struct{}{}
-	<-p.toEng
-	p.eng.current = prev
+// addProc records a process for Shutdown and deadlock reporting. Dead
+// entries are compacted away once they dominate the slice, so churn-heavy
+// runs (thousands of short-lived connection dials) keep the slice — and
+// every Shutdown walk — proportional to the live population.
+func (e *Engine) addProc(p *Proc) {
+	if e.deadProcs > 64 && e.deadProcs > len(e.procs)/2 {
+		live := e.procs[:0]
+		for _, q := range e.procs {
+			if !q.dead {
+				live = append(live, q)
+			}
+		}
+		for i := len(live); i < len(e.procs); i++ {
+			e.procs[i] = nil
+		}
+		e.procs = live
+		e.deadProcs = 0
+	}
+	e.procs = append(e.procs, p)
 }
 
-// pause yields control back to the engine; the process resumes when a
-// wakeup targeting this pause generation fires. where labels the block site
-// for deadlock reports.
+// procsLen reports the current length of the process table (tests assert
+// compaction keeps it bounded).
+func (e *Engine) procsLen() int { return len(e.procs) }
+
+// pause blocks the process until a wakeup targeting this pause generation
+// fires. The pausing goroutine becomes the dispatcher (Engine.runOn) rather
+// than handing control anywhere. where labels the block site for deadlock
+// reports.
 func (p *Proc) pause(where string) {
-	p.eng.blocked[p] = where
+	p.where = where
 	p.waiting = true
-	p.toEng <- struct{}{}
-	<-p.toProc
+	p.eng.runOn(p)
 	if p.eng.down {
 		// Engine shutdown: unwind this goroutine; the spawn defer notifies
 		// the engine.
@@ -273,7 +347,6 @@ func (p *Proc) pause(where string) {
 	}
 	p.waiting = false
 	p.gen++
-	delete(p.eng.blocked, p)
 }
 
 // wake schedules the process to resume at absolute time at. A wakeup is
@@ -282,13 +355,12 @@ func (p *Proc) pause(where string) {
 // the event is a no-op. A wakeup issued while the process is running (e.g.
 // Sleep schedules its own wakeup before pausing) targets the next pause.
 func (p *Proc) wake(at Time) {
-	g := p.gen
-	p.eng.Schedule(at, func() {
-		if p.dead || p.gen != g || !p.waiting {
-			return
-		}
-		p.step()
-	})
+	e := p.eng
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.q.push(event{at: at, seq: e.seq, proc: p, gen: p.gen})
 }
 
 // Engine returns the engine this process belongs to.

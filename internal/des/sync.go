@@ -44,14 +44,18 @@ func (c *Cond) WaitFor(p *Proc, pred func() bool) {
 	}
 }
 
-// Queue is an unbounded FIFO mailbox between simulated processes.
+// Queue is an unbounded FIFO mailbox between simulated processes. The item
+// buffer is a head-indexed ring over one slice: dequeues advance head so the
+// array's capacity is reused instead of being resliced away and reallocated
+// on every burst.
 type Queue[T any] struct {
 	items []T
+	head  int
 	cond  Cond
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Put appends v and wakes one waiting receiver. It never blocks.
 func (q *Queue[T]) Put(v T) {
@@ -61,26 +65,31 @@ func (q *Queue[T]) Put(v T) {
 
 // Get blocks p until an item is available, then dequeues and returns it.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		q.cond.Wait(p)
 	}
-	v := q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v
+	return q.popHead()
 }
 
 // TryGet dequeues an item if one is available.
 func (q *Queue[T]) TryGet() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	return q.popHead(), true
+}
+
+func (q *Queue[T]) popHead() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
 }
 
 // Resource is a counting semaphore with FIFO admission, used to model
@@ -124,7 +133,9 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	for {
 		p.pause("resource.Acquire")
 		if len(r.waiters) > 0 && r.waiters[0].p == p && r.inUse+n <= r.capacity {
-			r.waiters = r.waiters[1:]
+			copy(r.waiters, r.waiters[1:])
+			r.waiters[len(r.waiters)-1] = resWaiter{}
+			r.waiters = r.waiters[:len(r.waiters)-1]
 			r.inUse += n
 			r.admitNext()
 			return

@@ -6,9 +6,14 @@ import "repro/internal/des"
 // queue pair; consumers either poll non-blockingly (TryPoll) or block until
 // an entry arrives (Poll), which models the spin-poll loop of the real
 // implementation with a condition wakeup plus the reap cost.
+//
+// The entry buffer is a head-indexed ring over one slice: dequeues advance
+// head instead of reslicing away the front, which kept discarding the
+// array's capacity and reallocated it on every completion burst.
 type CQ struct {
 	hca     *HCA
 	entries []CQE
+	head    int
 	cond    des.Cond
 	total   uint64
 }
@@ -29,30 +34,41 @@ func (cq *CQ) insert(e CQE) {
 }
 
 // Len reports pending, unreaped completions.
-func (cq *CQ) Len() int { return len(cq.entries) }
+func (cq *CQ) Len() int { return len(cq.entries) - cq.head }
 
 // Total reports the number of completions ever generated.
 func (cq *CQ) Total() uint64 { return cq.total }
 
+// pop removes and returns the head entry; callers check Len() > 0 first.
+func (cq *CQ) pop() CQE {
+	e := cq.entries[cq.head]
+	cq.head++
+	if cq.head == len(cq.entries) {
+		cq.entries = cq.entries[:0]
+		cq.head = 0
+	} else if cq.head > 64 && cq.head*2 > len(cq.entries) {
+		n := copy(cq.entries, cq.entries[cq.head:])
+		cq.entries = cq.entries[:n]
+		cq.head = 0
+	}
+	return e
+}
+
 // TryPoll dequeues a completion if one is pending. It charges no simulated
 // time; callers model their own poll-loop costs.
 func (cq *CQ) TryPoll() (CQE, bool) {
-	if len(cq.entries) == 0 {
+	if cq.Len() == 0 {
 		return CQE{}, false
 	}
-	e := cq.entries[0]
-	cq.entries = cq.entries[1:]
-	return e, true
+	return cq.pop(), true
 }
 
 // Poll blocks the process until a completion is available, then reaps it,
 // charging the per-CQE reap overhead.
 func (cq *CQ) Poll(p *des.Proc) CQE {
-	for len(cq.entries) == 0 {
+	for cq.Len() == 0 {
 		cq.cond.Wait(p)
 	}
 	p.Sleep(cq.hca.prm.CQPollOverhead)
-	e := cq.entries[0]
-	cq.entries = cq.entries[1:]
-	return e
+	return cq.pop()
 }

@@ -236,7 +236,8 @@ func (h *HCA) runReadResponder(p *des.Proc) {
 				qp.completeErr(w, StatusLocalProtErr)
 			} else {
 				reqHCA.notifyMemWrite()
-				qp.complete(w.seq, qp.cqeFor(w, len(data)))
+				cqe, has := qp.cqeFor(w, len(data))
+				qp.complete(w.seq, cqe, has)
 			}
 			qp.readSlots.Release(1)
 		}

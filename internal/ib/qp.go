@@ -28,14 +28,20 @@ type QP struct {
 	// Responder-side delivery FIFO for two-sided sends. An RNR NAK blocks
 	// the head until its retry fires, so later sends on the same QP cannot
 	// overtake it — RC in-order delivery, which MPI non-overtaking rides on.
+	// Head-indexed ring: dequeues advance dqHead, keeping the array's
+	// capacity instead of reallocating it every burst.
 	deliverq []*sendWork
+	dqHead   int
 
 	readSlots *des.Resource
 
-	// Completion sequencing.
+	// Completion sequencing. The common case — work requests completing in
+	// posted order — takes a comparison against seqNext and never touches
+	// the reorder buffer, which is allocated lazily for the out-of-order
+	// tail (RDMA reads overtaken by later writes).
 	wrSeq   uint64
 	seqNext uint64
-	seqBuf  map[uint64]*seqEntry
+	seqBuf  map[uint64]seqEntry
 
 	stats QPStats
 }
@@ -51,8 +57,8 @@ type QPStats struct {
 }
 
 type seqEntry struct {
-	cqe *CQE // nil for unsignaled operations
-	cq  *CQ
+	cqe CQE
+	has bool // false for unsignaled operations
 }
 
 type sendWork struct {
@@ -75,7 +81,6 @@ func (h *HCA) CreateQP(pd *PD, scq, rcq *CQ) *QP {
 		rcq:       rcq,
 		state:     QPReset,
 		readSlots: des.NewResource(h.prm.MaxRDMAReads),
-		seqBuf:    make(map[uint64]*seqEntry),
 	}
 	h.qps = append(h.qps, qp)
 	h.eng.SpawnDaemon(fmt.Sprintf("hca%d.qp%d.send", h.node.ID, qp.num), qp.runSendEngine)
@@ -123,9 +128,20 @@ func (qp *QP) PostRecv(p *des.Proc, wr RecvWR) {
 }
 
 // complete records the outcome of the work request with sequence seq and
-// drains the in-order completion buffer.
-func (qp *QP) complete(seq uint64, cqe *CQE) {
-	qp.seqBuf[seq] = &seqEntry{cqe: cqe, cq: qp.scq}
+// drains the in-order completion buffer. has marks a signaled operation
+// whose CQE must reach the send CQ.
+func (qp *QP) complete(seq uint64, cqe CQE, has bool) {
+	if seq == qp.seqNext+1 && len(qp.seqBuf) == 0 {
+		qp.seqNext = seq
+		if has {
+			qp.scq.insert(cqe)
+		}
+		return
+	}
+	if qp.seqBuf == nil {
+		qp.seqBuf = make(map[uint64]seqEntry)
+	}
+	qp.seqBuf[seq] = seqEntry{cqe: cqe, has: has}
 	for {
 		e, ok := qp.seqBuf[qp.seqNext+1]
 		if !ok {
@@ -133,8 +149,8 @@ func (qp *QP) complete(seq uint64, cqe *CQE) {
 		}
 		delete(qp.seqBuf, qp.seqNext+1)
 		qp.seqNext++
-		if e.cqe != nil {
-			e.cq.insert(*e.cqe)
+		if e.has {
+			qp.scq.insert(e.cqe)
 		}
 	}
 }
@@ -144,7 +160,7 @@ func (qp *QP) complete(seq uint64, cqe *CQE) {
 // always signaled, matching the spec.
 func (qp *QP) completeErr(w *sendWork, st Status) {
 	qp.stats.ErrsCompleted++
-	qp.complete(w.seq, &CQE{WRID: w.wr.WRID, Status: st, Op: w.wr.Op, QPNum: qp.num})
+	qp.complete(w.seq, CQE{WRID: w.wr.WRID, Status: st, Op: w.wr.Op, QPNum: qp.num}, true)
 	qp.fail()
 }
 
@@ -168,21 +184,21 @@ func (qp *QP) fail() {
 		qp.rcq.insert(CQE{WRID: r.WRID, Status: StatusWRFlushErr, Op: OpRecv, QPNum: qp.num})
 	}
 	qp.rq = nil
-	dq := qp.deliverq
-	qp.deliverq = nil
+	dq := qp.deliverq[qp.dqHead:]
+	qp.deliverq, qp.dqHead = nil, 0
 	for _, w := range dq {
 		qp.stats.ErrsCompleted++
-		qp.complete(w.seq, &CQE{WRID: w.wr.WRID, Status: StatusWRFlushErr, Op: w.wr.Op, QPNum: qp.num})
+		qp.complete(w.seq, CQE{WRID: w.wr.WRID, Status: StatusWRFlushErr, Op: w.wr.Op, QPNum: qp.num}, true)
 	}
 	qp.hca.notifyMemWrite()
 }
 
-// cqeFor builds the success completion for w, or nil if unsignaled.
-func (qp *QP) cqeFor(w *sendWork, n int) *CQE {
+// cqeFor builds the success completion for w; has is false if unsignaled.
+func (qp *QP) cqeFor(w *sendWork, n int) (cqe CQE, has bool) {
 	if !w.wr.Signaled {
-		return nil
+		return CQE{}, false
 	}
-	return &CQE{WRID: w.wr.WRID, Status: StatusSuccess, Op: w.wr.Op, ByteLen: n, QPNum: qp.num}
+	return CQE{WRID: w.wr.WRID, Status: StatusSuccess, Op: w.wr.Op, ByteLen: n, QPNum: qp.num}, true
 }
 
 // runSendEngine is the per-QP HCA send engine: it drains the send queue in
@@ -192,7 +208,7 @@ func (qp *QP) runSendEngine(p *des.Proc) {
 	for {
 		w := qp.sq.Get(p)
 		if qp.state == QPError {
-			qp.complete(w.seq, &CQE{WRID: w.wr.WRID, Status: StatusWRFlushErr, Op: w.wr.Op, QPNum: qp.num})
+			qp.complete(w.seq, CQE{WRID: w.wr.WRID, Status: StatusWRFlushErr, Op: w.wr.Op, QPNum: qp.num}, true)
 			continue
 		}
 		if qp.state != QPReadyToSend || qp.peer == nil {
@@ -244,7 +260,7 @@ func (qp *QP) awaitClearWire(p *des.Proc, w *sendWork) bool {
 		}
 		p.Sleep(2*qp.hca.prm.WireLatency + retryTimeout(qp.hca.prm)<<uint(shift))
 		if qp.state == QPError {
-			qp.complete(w.seq, &CQE{WRID: w.wr.WRID, Status: StatusWRFlushErr, Op: w.wr.Op, QPNum: qp.num})
+			qp.complete(w.seq, CQE{WRID: w.wr.WRID, Status: StatusWRFlushErr, Op: w.wr.Op, QPNum: qp.num}, true)
 			return false
 		}
 	}
@@ -302,7 +318,8 @@ func (qp *QP) execWrite(p *des.Proc, w *sendWork) {
 		copy(dst, data)
 		peer.hca.notifyMemWrite()
 		qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
-			qp.complete(seq, qp.cqeFor(w, len(data)))
+			cqe, has := qp.cqeFor(w, len(data))
+			qp.complete(seq, cqe, has)
 		})
 	}
 	qp.inject(p, peer.hca, len(data), last)
@@ -328,7 +345,7 @@ func (qp *QP) execSend(p *des.Proc, w *sendWork) {
 // receiver-not-ready retry.
 func (qp *QP) enqueueDeliver(w *sendWork) {
 	qp.deliverq = append(qp.deliverq, w)
-	if len(qp.deliverq) == 1 {
+	if len(qp.deliverq)-qp.dqHead == 1 {
 		qp.drainDeliverq()
 	}
 }
@@ -337,12 +354,16 @@ func (qp *QP) enqueueDeliver(w *sendWork) {
 // NAK'd (SRQ empty) the queue stalls until the scheduled retry re-enters,
 // so no later send overtakes it.
 func (qp *QP) drainDeliverq() {
-	for len(qp.deliverq) > 0 {
-		if !qp.tryDeliver(qp.deliverq[0]) {
+	for qp.dqHead < len(qp.deliverq) {
+		if !qp.tryDeliver(qp.deliverq[qp.dqHead]) {
 			return
 		}
-		qp.deliverq[0] = nil
-		qp.deliverq = qp.deliverq[1:]
+		qp.deliverq[qp.dqHead] = nil
+		qp.dqHead++
+		if qp.dqHead == len(qp.deliverq) {
+			qp.deliverq = qp.deliverq[:0]
+			qp.dqHead = 0
+		}
 	}
 }
 
@@ -372,7 +393,7 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 		})
 		return true
 	}
-	var rwr *RecvWR
+	var rwr RecvWR
 	if peer.srq != nil {
 		r, ok := peer.srq.pop()
 		if !ok {
@@ -402,7 +423,7 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 			panic(fmt.Sprintf("ib: RNR on qp%d: send of %d bytes with no posted receive",
 				peer.num, len(data)))
 		}
-		rwr = peer.rq[0]
+		rwr = *peer.rq[0]
 		peer.rq = peer.rq[1:]
 	}
 	seq := w.seq
@@ -420,7 +441,8 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 	peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusSuccess, Op: OpRecv, ByteLen: len(data), QPNum: peer.num})
 	peer.hca.notifyMemWrite()
 	qp.hca.eng.After(prm.WireLatency, func() {
-		qp.complete(seq, qp.cqeFor(w, len(data)))
+		cqe, has := qp.cqeFor(w, len(data))
+		qp.complete(seq, cqe, has)
 	})
 	return true
 }

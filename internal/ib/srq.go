@@ -25,7 +25,12 @@ import (
 type SRQ struct {
 	hca *HCA
 	pd  *PD
-	rq  []*RecvWR
+	// Head-indexed ring of descriptor values: pops advance head so the
+	// array's capacity is reused, and posting copies the descriptor into
+	// the slice instead of boxing it — the refill path runs once per
+	// delivered packet, so both matter at np=4096.
+	rq     []RecvWR
+	rqHead int
 
 	limit   int
 	onLimit func()
@@ -54,13 +59,12 @@ func (h *HCA) CreateSRQ(pd *PD) *SRQ {
 // posting CPU overhead.
 func (s *SRQ) PostRecv(p *des.Proc, wr RecvWR) {
 	p.Sleep(s.hca.prm.PostOverhead)
-	rw := wr
-	s.rq = append(s.rq, &rw)
+	s.rq = append(s.rq, wr)
 	s.stats.RecvsPosted++
 }
 
 // Posted reports the number of receive descriptors currently queued.
-func (s *SRQ) Posted() int { return len(s.rq) }
+func (s *SRQ) Posted() int { return len(s.rq) - s.rqHead }
 
 // Stats returns a copy of the SRQ counters.
 func (s *SRQ) Stats() SRQStats { return s.stats }
@@ -75,14 +79,18 @@ func (s *SRQ) Arm(limit int, fn func()) {
 
 // pop takes the head descriptor, firing the armed limit event when the
 // queue falls below the watermark.
-func (s *SRQ) pop() (*RecvWR, bool) {
-	if len(s.rq) == 0 {
-		return nil, false
+func (s *SRQ) pop() (RecvWR, bool) {
+	if s.rqHead == len(s.rq) {
+		return RecvWR{}, false
 	}
-	wr := s.rq[0]
-	s.rq = s.rq[1:]
+	wr := s.rq[s.rqHead]
+	s.rqHead++
+	if s.rqHead == len(s.rq) {
+		s.rq = s.rq[:0]
+		s.rqHead = 0
+	}
 	s.stats.RecvsConsumed++
-	if s.onLimit != nil && len(s.rq) < s.limit {
+	if s.onLimit != nil && s.Posted() < s.limit {
 		fn := s.onLimit
 		s.onLimit = nil
 		s.stats.LimitEvents++

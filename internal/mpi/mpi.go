@@ -44,6 +44,7 @@ type Comm struct {
 	t   *topo
 
 	group   []int32 // comm rank → world rank, comm rank order
+	ident   bool    // group is the identity map (world and dup-of-world)
 	inverse []int32 // world rank → comm rank; -1 outside the communicator
 	rank    int     // the caller's rank in this communicator
 	pt2pt   int32   // point-to-point context id
@@ -91,8 +92,12 @@ func newComm(p *des.Proc, dev *adi3.Device, group []int32, rank int,
 	for i := range c.inverse {
 		c.inverse[i] = -1
 	}
+	c.ident = true
 	for r, w := range group {
 		c.inverse[w] = int32(r)
+		if w != int32(r) {
+			c.ident = false
+		}
 	}
 	c.t = buildTopo(c)
 	return c
@@ -113,10 +118,23 @@ func (c *Comm) Wtime() float64 { return c.p.Now().Seconds() }
 // world translates a communicator rank to the world rank the device
 // addresses.
 func (c *Comm) world(rank int) int32 {
-	if rank < 0 || rank >= len(c.group) {
-		panic(fmt.Sprintf("mpi: rank %d outside communicator of size %d", rank, len(c.group)))
+	if uint(rank) >= uint(len(c.group)) {
+		c.badRank(rank)
+	}
+	if c.ident {
+		// World (and duplicates of it) map ranks to themselves; skipping the
+		// table avoids touching np words of translation data per communicator.
+		return int32(rank)
 	}
 	return c.group[rank]
+}
+
+// badRank is kept out of world so world stays within the inlining budget —
+// it sits on every send/receive path.
+//
+//go:noinline
+func (c *Comm) badRank(rank int) {
+	panic(fmt.Sprintf("mpi: rank %d outside communicator of size %d", rank, len(c.group)))
 }
 
 // local rewrites a receive status into this communicator's rank space.

@@ -12,10 +12,12 @@ import (
 
 // replayTrace is everything two runs of the same seeded chaos schedule
 // must agree on, bit for bit: the final simulated clock, the engine's
-// event-stream fingerprint, and a checksum of every rank's payload.
+// event-stream fingerprint, the dispatched-event count, and a checksum of
+// every rank's payload.
 type replayTrace struct {
 	finalTime des.Time
 	fp        uint64
+	events    uint64
 	payload   uint64
 }
 
@@ -39,8 +41,9 @@ func replayPlan(seed int64, nodes, rails int) *fault.Plan {
 
 // replayRun executes one seeded chaos run: a patterned ring shift large
 // enough to drive the rendezvous/striping path, followed by an allreduce,
-// under the generated fault schedule, with engine tracing on.
-func replayRun(t *testing.T, tp topology, rails int, plan *fault.Plan) replayTrace {
+// under the generated fault schedule, with engine tracing on. A nil plan
+// runs fault-free; kind selects the engine's pending-event queue.
+func replayRun(t *testing.T, tp topology, rails int, plan *fault.Plan, kind des.QueueKind) replayTrace {
 	t.Helper()
 	c := cluster.MustNew(cluster.Config{
 		NP:           tp.np,
@@ -48,6 +51,7 @@ func replayRun(t *testing.T, tp topology, rails int, plan *fault.Plan) replayTra
 		Transport:    cluster.TransportZeroCopy,
 		RailsPerNode: rails,
 		Fault:        plan,
+		EngineQueue:  kind,
 	})
 	defer c.Close()
 	c.Eng.EnableTrace()
@@ -72,7 +76,7 @@ func replayRun(t *testing.T, tp topology, rails int, plan *fault.Plan) replayTra
 		sums[me] = fnv64(rb) ^ uint64(mpi.GetInt64(ob, 0))
 	})
 
-	tr := replayTrace{finalTime: c.Now(), fp: c.Eng.TraceFingerprint()}
+	tr := replayTrace{finalTime: c.Now(), fp: c.Eng.TraceFingerprint(), events: c.Eng.EventsExecuted()}
 	for _, s := range sums {
 		tr.payload = tr.payload*1099511628211 ^ s
 	}
@@ -99,8 +103,8 @@ func TestReplayMatrixBitIdentical(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/rails=%d", tp.name, rails), func(t *testing.T) {
 				nodes := (tp.np + tp.cpn - 1) / tp.cpn
 				seed := int64(tp.np*100 + rails)
-				a := replayRun(t, tp, rails, replayPlan(seed, nodes, rails))
-				b := replayRun(t, tp, rails, replayPlan(seed, nodes, rails))
+				a := replayRun(t, tp, rails, replayPlan(seed, nodes, rails), des.QueueDefault)
+				b := replayRun(t, tp, rails, replayPlan(seed, nodes, rails), des.QueueDefault)
 				if a != b {
 					t.Fatalf("replay diverged:\nrun1 %+v\nrun2 %+v", a, b)
 				}
@@ -117,9 +121,44 @@ func TestReplayMatrixBitIdentical(t *testing.T) {
 // fingerprint is not actually observing the fault machinery.
 func TestReplayDistinctSeedsDiverge(t *testing.T) {
 	tp := topology{"flat-np4", 4, 1}
-	a := replayRun(t, tp, 2, replayPlan(1, 4, 2))
-	b := replayRun(t, tp, 2, replayPlan(2, 4, 2))
+	a := replayRun(t, tp, 2, replayPlan(1, 4, 2), des.QueueDefault)
+	b := replayRun(t, tp, 2, replayPlan(2, 4, 2), des.QueueDefault)
 	if a.fp == b.fp && a.finalTime == b.finalTime {
 		t.Fatal("different fault schedules left identical traces")
+	}
+}
+
+// TestEngineQueueEquivalence is the determinism cross-check between the
+// engine's two pending-event structures: on every collective topology —
+// fault-free, and additionally under a seeded chaos replay — the calendar
+// queue and the heap fallback must dispatch the exact same schedule:
+// identical trace fingerprint, event count, final simulated time, and
+// payload checksums. This is what licenses the calendar queue as the
+// default: it is a pure speed change, observationally invisible.
+func TestEngineQueueEquivalence(t *testing.T) {
+	check := func(t *testing.T, cal, heap replayTrace) {
+		t.Helper()
+		if cal != heap {
+			t.Fatalf("queue kinds diverged:\ncalendar %+v\nheap     %+v", cal, heap)
+		}
+		if cal.payload == 0 {
+			t.Fatal("payload checksum degenerate — workload did not run")
+		}
+	}
+	for _, tp := range collectiveTopologies {
+		tp := tp
+		t.Run(tp.name, func(t *testing.T) {
+			cal := replayRun(t, tp, 1, nil, des.QueueCalendar)
+			heap := replayRun(t, tp, 1, nil, des.QueueHeap)
+			check(t, cal, heap)
+		})
+		t.Run(tp.name+"/faults", func(t *testing.T) {
+			const rails = 2
+			nodes := (tp.np + tp.cpn - 1) / tp.cpn
+			seed := int64(tp.np*100 + rails)
+			cal := replayRun(t, tp, rails, replayPlan(seed, nodes, rails), des.QueueCalendar)
+			heap := replayRun(t, tp, rails, replayPlan(seed, nodes, rails), des.QueueHeap)
+			check(t, cal, heap)
+		})
 	}
 }

@@ -35,14 +35,17 @@ type SRQPool struct {
 	rcq *ib.CQ // shared receive CQ: one poll reaps arrivals from every peer
 	scq *ib.CQ // shared send CQ
 
-	recvVA uint64
-	recv   []byte
-	recvMR *ib.MR
+	recvVA  uint64
+	recv    []byte
+	recvMR  *ib.MR
+	recvWRs []ib.RecvWR // per-slot descriptors, built once and reposted as-is
 
 	sendVA   uint64
 	send     []byte
 	sendMR   *ib.MR
 	sendFree []int
+	sendWRs  []ib.SendWR // per-slot work requests (WRID = slot), reused
+	sendCBs  []stagedCB  // per-slot completion callbacks (one in flight per slot)
 
 	wridSeq uint64
 	onSend  map[uint64]func(p *des.Proc, cqe ib.CQE)
@@ -52,9 +55,10 @@ type SRQPool struct {
 	lastSeq  uint64 // adapter event seq at the last poll
 	everSeen bool   // lastSeq holds a real snapshot
 
-	regc  *regcache.Cache
-	onErr func(error)
-	stats SRQPoolStats
+	regc   *regcache.Cache
+	onErr  func(error)
+	shared bool // polled once per progress pass by the transport engine
+	stats  SRQPoolStats
 }
 
 // SRQDispatch consumes packets arriving into pool slots — one per bound
@@ -106,10 +110,29 @@ func NewSRQPool(p *des.Proc, cfg Config, h *ib.HCA, onErr func(error)) (*SRQPool
 	if sp.sendMR, err = h.RegisterMR(p, sp.pd, sp.sendVA, m, ib.AccessLocalWrite); err != nil {
 		return nil, fmt.Errorf("rdmachan(srq): send pool: %w", err)
 	}
+	sendSGEs := make([]ib.SGE, cfg.SRQSendSlots)
+	sp.sendWRs = make([]ib.SendWR, cfg.SRQSendSlots)
+	sp.sendCBs = make([]stagedCB, cfg.SRQSendSlots)
 	for i := 0; i < cfg.SRQSendSlots; i++ {
 		sp.sendFree = append(sp.sendFree, i)
+		sendSGEs[i] = ib.SGE{
+			Addr: sp.sendVA + uint64(i*cfg.SRQSlotSize),
+			LKey: sp.sendMR.LKey(),
+		}
+		sp.sendWRs[i] = ib.SendWR{
+			WRID: uint64(i), Op: ib.OpSend, Signaled: true,
+			SGL: sendSGEs[i : i+1 : i+1],
+		}
 	}
+	sges := make([]ib.SGE, cfg.SRQSlots)
+	sp.recvWRs = make([]ib.RecvWR, cfg.SRQSlots)
 	for i := 0; i < cfg.SRQSlots; i++ {
+		sges[i] = ib.SGE{
+			Addr: sp.recvVA + uint64(i*cfg.SRQSlotSize),
+			Len:  cfg.SRQSlotSize,
+			LKey: sp.recvMR.LKey(),
+		}
+		sp.recvWRs[i] = ib.RecvWR{WRID: uint64(i), SGL: sges[i : i+1 : i+1]}
 		sp.postSlot(p, i)
 	}
 	sp.limitFn = func() {
@@ -126,16 +149,11 @@ func NewSRQPool(p *des.Proc, cfg Config, h *ib.HCA, onErr func(error)) (*SRQPool
 	return sp, nil
 }
 
-// postSlot returns receive slot i to the shared queue.
+// postSlot returns receive slot i to the shared queue, reusing the
+// descriptor built at pool construction — the refill path allocates
+// nothing.
 func (sp *SRQPool) postSlot(p *des.Proc, i int) {
-	sp.srq.PostRecv(p, ib.RecvWR{
-		WRID: uint64(i),
-		SGL: []ib.SGE{{
-			Addr: sp.recvVA + uint64(i*sp.cfg.SRQSlotSize),
-			Len:  sp.cfg.SRQSlotSize,
-			LKey: sp.recvMR.LKey(),
-		}},
-	})
+	sp.srq.PostRecv(p, sp.recvWRs[i])
 }
 
 // arm re-arms the low-watermark event: when the shared queue drains below
@@ -169,6 +187,15 @@ func (sp *SRQPool) RegCache() *regcache.Cache { return sp.regc }
 // included).
 func (sp *SRQPool) SlotSize() int { return sp.cfg.SRQSlotSize }
 
+// MarkShared records that the pool is registered as rank-wide shared
+// progress work (transport.Engine.AddSharedPoll): connections built on it
+// afterwards skip the pool poll in their own Poll, since the engine already
+// ran it this pass.
+func (sp *SRQPool) MarkShared() { sp.shared = true }
+
+// SharedProgress reports whether MarkShared was called.
+func (sp *SRQPool) SharedProgress() bool { return sp.shared }
+
 // Resilient reports whether the pool runs in fault-survival mode
 // (Config.Resilient): connections on it retain packets until acknowledged
 // and recover from link failures by re-dialing.
@@ -201,10 +228,12 @@ func (sp *SRQPool) OnCQE(cb func(p *des.Proc, cqe ib.CQE)) uint64 {
 const srqWridBase = 0x53520000_00000000
 
 // Send stages one packet — hdr followed by the payload bytes — into a free
-// send slot and posts it. It reports false (and charges nothing) when no
-// staging slot is free; the caller retries from its poll loop. onSent runs
-// when the send completes end-to-end (the CQE, i.e. the packet was placed
-// in a peer pool slot).
+// send slot and posts it. Both pieces are copied straight into the
+// registered slot, so the hot eager path builds no intermediate packet
+// buffer. It reports false (and charges nothing) when no staging slot is
+// free; the caller retries from its poll loop. onSent runs when the send
+// completes end-to-end (the CQE, i.e. the packet was placed in a peer pool
+// slot).
 func (sp *SRQPool) Send(p *des.Proc, qp *ib.QP, hdr []byte, payload Buffer,
 	onSent func(p *des.Proc)) (bool, error) {
 	total := len(hdr) + payload.Len
@@ -212,16 +241,23 @@ func (sp *SRQPool) Send(p *des.Proc, qp *ib.QP, hdr []byte, payload Buffer,
 		return false, fmt.Errorf("rdmachan(srq): packet of %d bytes exceeds %d-byte slot",
 			total, sp.cfg.SRQSlotSize)
 	}
-	pkt := make([]byte, 0, total)
-	pkt = append(pkt, hdr...)
+	var src []byte
 	if payload.Len > 0 {
-		src, err := sp.node.Mem.Resolve(payload.Addr, payload.Len)
+		var err error
+		src, err = sp.node.Mem.Resolve(payload.Addr, payload.Len)
 		if err != nil {
 			return false, fmt.Errorf("rdmachan(srq): send: %w", err)
 		}
-		pkt = append(pkt, src...)
 	}
-	return sp.SendPkt(p, qp, pkt, payload.Len, onSent, nil)
+	slot, ok := sp.takeSlot(p)
+	if !ok {
+		return false, nil
+	}
+	dst := sp.send[slot*sp.cfg.SRQSlotSize:]
+	n := copy(dst, hdr)
+	n += copy(dst[n:], src)
+	sp.postStaged(p, qp, slot, n, payload.Len, onSent, nil)
+	return true, nil
 }
 
 // SendPkt stages one pre-assembled packet and posts it, like Send.
@@ -236,47 +272,51 @@ func (sp *SRQPool) SendPkt(p *des.Proc, qp *ib.QP, pkt []byte, eagerBytes int,
 		return false, fmt.Errorf("rdmachan(srq): packet of %d bytes exceeds %d-byte slot",
 			len(pkt), sp.cfg.SRQSlotSize)
 	}
+	slot, ok := sp.takeSlot(p)
+	if !ok {
+		return false, nil
+	}
+	n := copy(sp.send[slot*sp.cfg.SRQSlotSize:], pkt)
+	sp.postStaged(p, qp, slot, n, eagerBytes, onSent, onFail)
+	return true, nil
+}
+
+// takeSlot pops a free staging slot, reaping the send CQ first when the
+// free list is dry. A false return is a stall, counted but not charged.
+func (sp *SRQPool) takeSlot(p *des.Proc) (int, bool) {
 	if len(sp.sendFree) == 0 {
 		sp.drainSend(p)
 		if len(sp.sendFree) == 0 {
 			sp.stats.SendStalls++
-			return false, nil
+			return 0, false
 		}
 	}
 	slot := sp.sendFree[len(sp.sendFree)-1]
 	sp.sendFree = sp.sendFree[:len(sp.sendFree)-1]
-	dst := sp.send[slot*sp.cfg.SRQSlotSize:]
-	n := copy(dst, pkt)
+	return slot, true
+}
+
+// stagedCB holds a staged packet's completion callbacks, slot-indexed: the
+// slot is exclusive until its CQE, so no per-send id, closure, or map entry
+// is needed.
+type stagedCB struct {
+	onSent, onFail func(p *des.Proc)
+}
+
+// postStaged charges the staging copy of n bytes already placed in slot and
+// posts the send, wiring the completion callback that frees the slot. The
+// work request is the slot's reused descriptor (WRID = slot); only the
+// length varies per packet.
+func (sp *SRQPool) postStaged(p *des.Proc, qp *ib.QP, slot, n, eagerBytes int,
+	onSent, onFail func(p *des.Proc)) {
 	if eagerBytes > 0 {
 		sp.stats.BytesEager += uint64(eagerBytes)
 	}
 	// The staging copy crosses the memory bus, like any eager sender copy.
 	sp.node.Bus.Memcpy(p, n, n)
-	sp.wridSeq++
-	id := srqWridBase + sp.wridSeq
-	sp.onSend[id] = func(q *des.Proc, cqe ib.CQE) {
-		sp.sendFree = append(sp.sendFree, slot)
-		if cqe.Status != ib.StatusSuccess {
-			if onFail != nil {
-				onFail(q)
-				return
-			}
-			sp.fail(fmt.Errorf("rdmachan(srq): send completed %v", cqe.Status))
-			return
-		}
-		if onSent != nil {
-			onSent(q)
-		}
-	}
-	qp.PostSend(p, ib.SendWR{
-		WRID: id, Op: ib.OpSend, Signaled: true,
-		SGL: []ib.SGE{{
-			Addr: sp.sendVA + uint64(slot*sp.cfg.SRQSlotSize),
-			Len:  len(pkt),
-			LKey: sp.sendMR.LKey(),
-		}},
-	})
-	return true, nil
+	sp.sendCBs[slot] = stagedCB{onSent: onSent, onFail: onFail}
+	sp.sendWRs[slot].SGL[0].Len = n
+	qp.PostSend(p, sp.sendWRs[slot])
 }
 
 func (sp *SRQPool) fail(err error) {
@@ -296,6 +336,25 @@ func (sp *SRQPool) drainSend(p *des.Proc) bool {
 		}
 		prog = true
 		p.Sleep(sp.prm.CQPollOverhead)
+		if cqe.WRID < srqWridBase {
+			// A staged eager packet: the WRID is its staging slot.
+			slot := int(cqe.WRID)
+			cb := sp.sendCBs[slot]
+			sp.sendCBs[slot] = stagedCB{}
+			sp.sendFree = append(sp.sendFree, slot)
+			if cqe.Status != ib.StatusSuccess {
+				if cb.onFail != nil {
+					cb.onFail(p)
+					continue
+				}
+				sp.fail(fmt.Errorf("rdmachan(srq): send completed %v", cqe.Status))
+				continue
+			}
+			if cb.onSent != nil {
+				cb.onSent(p)
+			}
+			continue
+		}
 		cb, ok := sp.onSend[cqe.WRID]
 		if !ok {
 			sp.fail(fmt.Errorf("rdmachan(srq): completion for unknown wr %#x", cqe.WRID))

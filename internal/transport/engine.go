@@ -66,8 +66,20 @@ type Engine struct {
 	hca  *ib.HCA
 
 	eps   []Endpoint // by peer rank; nil for self
+	act   []int32    // peers with established (pollable) endpoints, ascending
 	ready []int32    // fulfilled stubs awaiting promotion (lazy mode)
-	rr    int        // round-robin polling cursor
+	rr    int        // round-robin polling cursor over act
+
+	// dialer starts connection establishment toward a peer. When set, the
+	// first send to a nil endpoint slot creates the lazy stub on demand —
+	// the engine never holds per-peer state for peers it has not talked to,
+	// which is what keeps np=4096 setup O(np) instead of O(np²).
+	dialer func(p *des.Proc, peer int32)
+
+	// shared holds progress work common to every endpoint of this rank
+	// (the SRQ pools): Progress runs each once per pass, instead of every
+	// connection on a pool re-polling it.
+	shared []func(p *des.Proc) bool
 
 	prq []*postedRecv
 	uq  []*uqEntry
@@ -88,7 +100,44 @@ func NewEngine(rank int32, size int, hca *ib.HCA) *Engine {
 }
 
 // SetEndpoint installs the endpoint to a peer rank.
-func (e *Engine) SetEndpoint(peer int32, ep Endpoint) { e.eps[peer] = ep }
+func (e *Engine) SetEndpoint(peer int32, ep Endpoint) {
+	e.eps[peer] = ep
+	if _, ok := ep.(*Stub); !ok {
+		e.activate(peer)
+	}
+}
+
+// activate records peer in the established-endpoint list the progress loop
+// polls. The list is kept sorted by rank so the poll order is a
+// deterministic function of the connected set.
+func (e *Engine) activate(peer int32) {
+	lo, hi := 0, len(e.act)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.act[mid] < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(e.act) && e.act[lo] == peer {
+		return
+	}
+	e.act = append(e.act, 0)
+	copy(e.act[lo+1:], e.act[lo:])
+	e.act[lo] = peer
+}
+
+// SetDialer installs the lazy connection starter: the first send toward a
+// rank with no endpoint creates the stub and invokes it. One closure per
+// engine replaces the per-pair stubs eagerly pre-installed before.
+func (e *Engine) SetDialer(dial func(p *des.Proc, peer int32)) { e.dialer = dial }
+
+// AddSharedPoll registers rank-wide progress work that Progress runs once
+// per pass, before the per-endpoint polls. Endpoints whose heavy lifting
+// lives in a shared structure (SRQ pools) register it here and keep their
+// own Poll connection-local.
+func (e *Engine) AddSharedPoll(f func(p *des.Proc) bool) { e.shared = append(e.shared, f) }
 
 // Endpoint returns the endpoint to a peer rank. In lazy mode this is a
 // *Stub until the first send triggers establishment.
@@ -113,6 +162,7 @@ func (e *Engine) Fulfill(peer int32, ep Endpoint) {
 		e.ready = append(e.ready, peer)
 	} else {
 		e.eps[peer] = ep
+		e.activate(peer)
 	}
 	e.hca.NotifyMemWrite()
 }
@@ -133,6 +183,7 @@ func (e *Engine) promoteStubs(p *des.Proc) bool {
 			continue
 		}
 		e.eps[peer] = st.inner
+		e.activate(peer)
 		for _, ps := range st.pending {
 			e.dispatchSend(p, st.inner, ps.env, ps.buf, ps.req)
 			prog = true
@@ -160,6 +211,9 @@ func (e *Engine) Connected(peer int32) bool {
 // endpoint is promoted. Callers that need verbs-level resources up front
 // (one-sided window creation) use it; ordinary sends connect implicitly.
 func (e *Engine) EnsureConnected(p *des.Proc, peer int32) {
+	if e.eps[peer] == nil && e.dialer != nil && peer != e.rank {
+		e.makeStub(peer)
+	}
 	st, ok := e.eps[peer].(*Stub)
 	if !ok {
 		return
@@ -172,15 +226,37 @@ func (e *Engine) EnsureConnected(p *des.Proc, peer int32) {
 }
 
 // ConnectedPeers counts established endpoints — the rank's connection
-// count in the scalability accounting.
+// count in the scalability accounting. It costs O(connected), not O(np).
 func (e *Engine) ConnectedPeers() int {
-	n := 0
-	for peer := range e.eps {
-		if e.Connected(int32(peer)) {
+	n := len(e.act)
+	for _, peer := range e.ready {
+		if st, ok := e.eps[peer].(*Stub); ok && st.inner != nil {
 			n++
 		}
 	}
 	return n
+}
+
+// ForEachEndpoint visits every established endpoint in ascending peer
+// order (a fulfilled-but-unpromoted stub contributes its inner endpoint).
+// Accounting walks connections through this instead of probing all np
+// slots per rank.
+func (e *Engine) ForEachEndpoint(f func(peer int32, ep Endpoint)) {
+	for _, peer := range e.act {
+		f(peer, e.eps[peer])
+	}
+	for _, peer := range e.ready {
+		if st, ok := e.eps[peer].(*Stub); ok && st.inner != nil {
+			f(peer, st.inner)
+		}
+	}
+}
+
+// makeStub creates the lazy connector for peer on demand via the dialer.
+func (e *Engine) makeStub(peer int32) *Stub {
+	st := NewStub(peer, func(p *des.Proc) { e.dialer(p, peer) })
+	e.eps[peer] = st
+	return st
 }
 
 // Fail records a fatal transport error; subsequent calls panic with it (a
@@ -210,6 +286,9 @@ func (e *Engine) Isend(p *des.Proc, dest, tag, ctx int32, buf Buffer) *Request {
 	req := &Request{}
 	env := Envelope{Src: e.rank, Tag: tag, Ctx: ctx, Len: buf.Len}
 	ep := e.eps[dest]
+	if ep == nil && e.dialer != nil {
+		ep = e.makeStub(dest)
+	}
 	if st, ok := ep.(*Stub); ok {
 		// No connection yet: queue the message and start the handshake;
 		// Fulfill flushes in posted order once the endpoint exists.
@@ -361,25 +440,50 @@ func (e *Engine) ArriveRTS(p *des.Proc, env Envelope, ep Endpoint, id uint64) {
 	e.uq = append(e.uq, &uqEntry{env: env, isRndv: true, rndvEP: ep, rndvID: id})
 }
 
-// Progress makes one round-robin pass over all endpoints; with block set
-// it sleeps until fabric activity when nothing moved. The rotation cursor
-// advances every pass so no peer is structurally favoured when many
+// Progress makes one round-robin pass over the established endpoints; with
+// block set it sleeps until fabric activity when nothing moved. The pass
+// walks the active list — O(connected), not O(np), which is what keeps a
+// 4096-rank stencil (a handful of neighbours each) fast. The rotation
+// cursor advances every pass so no peer is structurally favoured when many
 // endpoints compete. The activity counter is read before the pass so that
 // a delivery racing with the polling of another endpoint cannot be lost.
 func (e *Engine) Progress(p *des.Proc, block bool) bool {
 	e.check()
 	seq := e.hca.MemEventSeq()
 	prog := e.promoteStubs(p)
-	n := len(e.eps)
-	start := e.rr
-	e.rr = (e.rr + 1) % n
-	for i := 0; i < n; i++ {
-		ep := e.eps[(start+i)%n]
-		if ep == nil {
-			continue
-		}
-		if ep.Poll(p) {
+	for _, f := range e.shared {
+		if f(p) {
 			prog = true
+		}
+	}
+	if n := len(e.act); n > 0 {
+		// The cursor rotates over the full rank space and is binary-searched
+		// into the active list: the peer polled first each pass is exactly
+		// the one the original all-slots scan would have reached, so the
+		// poll schedule (and with it every calibrated figure) is unchanged —
+		// only the nil-slot skipping went away.
+		start := int32(e.rr)
+		e.rr = (e.rr + 1) % e.size
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if e.act[mid] < start {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == n {
+			lo = 0
+		}
+		for i := 0; i < n; i++ {
+			idx := lo + i
+			if idx >= n {
+				idx -= n
+			}
+			if e.eps[e.act[idx]].Poll(p) {
+				prog = true
+			}
 		}
 	}
 	e.check()
