@@ -9,16 +9,21 @@
 // Usage:
 //
 //	enginebench -np 64,256,1024 -repeat 3 -out BENCH_engine.json   # cheap rows
-//	enginebench -np 4096 -out BENCH_engine.json -merge     # the ~25-minute row
+//	enginebench -np 4096 -out BENCH_engine.json -merge     # the ~30-minute row
 //	enginebench -np 64 -compare BENCH_engine.json          # CI regression gate
 //	enginebench -np 1024 -queue heap                       # the fallback queue
 //	enginebench -np 1024 -repeat 3                         # fastest of 3 walls
+//	enginebench -np 1024 -shards 4                         # sharded engine (§13)
+//	enginebench -np 1024 -shards 1,4 -out BENCH_engine.json -merge # both rows
 //	enginebench -np 1024 -cpuprofile cpu.prof              # profile the run
 //
 // In comparison mode the simulated metrics must match the baseline
 // exactly — a mismatch means the simulation changed, which is never a
 // mere performance regression — and wall-clock-per-simulated-second may
-// not regress beyond -tolerance. Exits non-zero on any violation.
+// not regress beyond -tolerance. A measured row missing from the
+// baseline also fails: new np/queue/shards combinations are admitted
+// deliberately with -out -merge, never silently. Exits non-zero on any
+// violation.
 package main
 
 import (
@@ -43,6 +48,7 @@ func run() int {
 	benchName := flag.String("bench", "cg", "NAS kernel to drive the engine with")
 	class := flag.String("class", "S", "problem class: S, A or B")
 	queue := flag.String("queue", "calendar", "pending-event queue: calendar, heap, or both")
+	shardsFlag := flag.String("shards", "1", "comma-separated shard counts; >1 runs the sharded engine (DESIGN.md §13)")
 	repeat := flag.Int("repeat", 1, "runs per row; the fastest wall clock is recorded")
 	out := flag.String("out", "", "write the report as JSON to this path")
 	merge := flag.Bool("merge", false, "with -out: update rows in an existing report instead of replacing the file (regenerate one np without re-running the rest)")
@@ -77,6 +83,16 @@ func run() int {
 		return 2
 	}
 
+	var shardCounts []int
+	for _, f := range strings.Split(*shardsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -shards entry %q\n", f)
+			return 2
+		}
+		shardCounts = append(shardCounts, n)
+	}
+
 	rep := bench.NewEngineReport()
 	for _, f := range strings.Split(*nps, ",") {
 		np, err := strconv.Atoi(strings.TrimSpace(f))
@@ -85,11 +101,13 @@ func run() int {
 			return 2
 		}
 		for _, kind := range kinds {
-			r := bench.MeasureEngine(*benchName, nas.Class((*class)[0]), np, *repeat, kind)
-			rep.Runs = append(rep.Runs, r)
-			fmt.Printf("%s.%s np=%d queue=%s: events=%d fp=%s sim=%.6fs wall=%.2fs ev/s=%.0f wall/simsec=%.1f verified=%v\n",
-				r.Bench, r.Class, r.NP, r.Queue, r.Events, r.Fingerprint,
-				r.SimSeconds, r.WallSeconds, r.EventsPerSec, r.WallPerSimSec, r.Verified)
+			for _, shards := range shardCounts {
+				r := bench.MeasureEngineSharded(*benchName, nas.Class((*class)[0]), np, *repeat, kind, shards)
+				rep.Runs = append(rep.Runs, r)
+				fmt.Printf("%s.%s np=%d queue=%s shards=%d: events=%d fp=%s sim=%.6fs wall=%.2fs setup=%.2fs ev/s=%.0f wall/simsec=%.1f verified=%v\n",
+					r.Bench, r.Class, r.NP, r.Queue, r.Shards, r.Events, r.Fingerprint,
+					r.SimSeconds, r.WallSeconds, r.SetupSeconds, r.EventsPerSec, r.WallPerSimSec, r.Verified)
+			}
 		}
 	}
 

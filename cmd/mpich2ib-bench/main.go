@@ -16,6 +16,8 @@
 //	mpich2ib-bench -connect lazy -nps 8,64,512          # chosen job sizes
 //	mpich2ib-bench -rails 1,2,4                         # bandwidth vs rails
 //	mpich2ib-bench -rails 1,2 -rail-policy weighted     # chosen eager policy
+//	mpich2ib-bench -rails 1,2,4 -rails-out BENCH_rails.json      # baseline
+//	mpich2ib-bench -rails 1,2,4 -rails-compare BENCH_rails.json  # CI gate
 //	mpich2ib-bench -faults 0,2,4,8                      # resilience sweep
 //	mpich2ib-bench -faults 4 -fault-seed 7              # one seeded schedule
 //
@@ -73,6 +75,9 @@ func main() {
 	nps := flag.String("nps", "", "rank counts for -connect sweeps, e.g. 8,16,32 (default 8..512)")
 	rails := flag.String("rails", "", "multi-rail sweep (comma list of rail counts, e.g. 1,2,4): bandwidth-vs-rails figure + rail-policy comparison + striping-threshold ablation; overrides -fig")
 	railPolicy := flag.String("rail-policy", "round-robin", "eager rail policy for -rails sweeps: round-robin, weighted or fixed")
+	railsOut := flag.String("rails-out", "", "with -rails: write the bandwidth records as JSON (the BENCH_rails.json baseline)")
+	railsCompare := flag.String("rails-compare", "", "with -rails: compare against this baseline — simulated bandwidth exactly, wall clock within -rails-tolerance")
+	railsTolerance := flag.Float64("rails-tolerance", 0.5, "allowed wall-clock regression for -rails-compare (walls are seconds-scale, so generous)")
 	faults := flag.String("faults", "", "resilience sweep (comma list of per-run failure counts, e.g. 0,2,4,8): completed traffic + recovery latency vs failure rate on the lazy SRQ rails=2 stack; overrides -fig")
 	faultSeed := flag.Int64("fault-seed", 1, "schedule seed base for -faults sweeps (same seed, same schedule, same run)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
@@ -114,9 +119,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Println(bench.FormatFigure(bench.RailBandwidth(counts, pol)))
+		rep := bench.MeasureRails(counts, pol)
+		fmt.Println(bench.FormatFigure(bench.RailsFigure(rep)))
 		fmt.Println(bench.FormatFigure(bench.RailPolicyFigure()))
 		fmt.Println(bench.FormatFigure(bench.AblationRailStripe()))
+		if *railsOut != "" {
+			if err := bench.WriteRailsReport(*railsOut, rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *railsOut)
+		}
+		if *railsCompare != "" {
+			base, err := bench.ReadRailsReport(*railsCompare)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if errs := bench.CompareRailsReports(base, rep, *railsTolerance); len(errs) > 0 {
+				for _, e := range errs {
+					fmt.Fprintf(os.Stderr, "FAIL: %v\n", e)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("within tolerance of %s (%.0f%%)\n", *railsCompare, 100**railsTolerance)
+		}
 		return
 	}
 

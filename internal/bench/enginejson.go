@@ -31,10 +31,11 @@ const EngineSchema = "mpich2ib/engine-bench/v1"
 // wall figures are the fastest of the repeats (the least-noise estimator);
 // the simulated figures are checked identical across every repeat first.
 type EngineRun struct {
-	Bench string `json:"bench"`
-	Class string `json:"class"`
-	NP    int    `json:"np"`
-	Queue string `json:"queue"`
+	Bench  string `json:"bench"`
+	Class  string `json:"class"`
+	NP     int    `json:"np"`
+	Queue  string `json:"queue"`
+	Shards int    `json:"shards,omitempty"` // 0/absent = serial (pre-shard rows)
 
 	Events      uint64  `json:"events"`
 	Fingerprint string  `json:"fingerprint"`
@@ -42,14 +43,20 @@ type EngineRun struct {
 	Verified    bool    `json:"verified"`
 
 	WallSeconds   float64 `json:"wall_sec"`
+	SetupSeconds  float64 `json:"setup_sec,omitempty"` // cluster construction wall, outside WallSeconds
 	EventsPerSec  float64 `json:"events_per_sec"`
 	WallPerSimSec float64 `json:"wall_per_simulated_sec"`
 	Repeats       int     `json:"repeats"`
 }
 
-// key identifies a run for baseline matching.
+// key identifies a run for baseline matching. Serial rows written before
+// the sharded engine carry no shards field; they alias shards=1.
 func (r EngineRun) key() string {
-	return fmt.Sprintf("%s.%s/np=%d/%s", r.Bench, r.Class, r.NP, r.Queue)
+	s := r.Shards
+	if s < 1 {
+		s = 1
+	}
+	return fmt.Sprintf("%s.%s/np=%d/%s/shards=%d", r.Bench, r.Class, r.NP, r.Queue, s)
 }
 
 // EngineReport is the BENCH_engine.json document.
@@ -70,18 +77,30 @@ func NewEngineReport() *EngineReport {
 // measured row. It panics if the simulated results differ between repeats:
 // that is a determinism bug, and recording either value would be wrong.
 func MeasureEngine(benchName string, class nas.Class, np, repeats int, kind des.QueueKind) EngineRun {
+	return MeasureEngineSharded(benchName, class, np, repeats, kind, 1)
+}
+
+// MeasureEngineSharded is MeasureEngine on the sharded execution mode
+// (DESIGN.md §13). shards=1 is the serial engine. The simulated metrics
+// are shard-count-invariant by construction — the determinism suites prove
+// fingerprint equality against serial — so a sharded row diverging from a
+// serial baseline row's simulated results is a bug, not a measurement.
+func MeasureEngineSharded(benchName string, class nas.Class, np, repeats int, kind des.QueueKind, shards int) EngineRun {
 	if repeats < 1 {
 		repeats = 1
 	}
+	if shards < 1 {
+		shards = 1
+	}
 	run := EngineRun{
 		Bench: benchName, Class: string(class), NP: np,
-		Queue: kind.String(), Repeats: repeats,
+		Queue: kind.String(), Shards: shards, Repeats: repeats,
 	}
 	for i := 0; i < repeats; i++ {
-		events, fp, sim, wall, verified := measureEngineOnce(benchName, class, np, kind)
+		events, fp, sim, wall, setup, verified := measureEngineOnce(benchName, class, np, kind, shards)
 		if i == 0 {
 			run.Events, run.Fingerprint, run.SimSeconds, run.Verified = events, fp, sim, verified
-			run.WallSeconds = wall
+			run.WallSeconds, run.SetupSeconds = wall, setup
 			continue
 		}
 		if events != run.Events || fp != run.Fingerprint || sim != run.SimSeconds || verified != run.Verified {
@@ -90,6 +109,9 @@ func MeasureEngine(benchName string, class nas.Class, np, repeats int, kind des.
 		}
 		if wall < run.WallSeconds {
 			run.WallSeconds = wall
+		}
+		if setup < run.SetupSeconds {
+			run.SetupSeconds = setup
 		}
 	}
 	if run.WallSeconds > 0 {
@@ -104,16 +126,20 @@ func MeasureEngine(benchName string, class nas.Class, np, repeats int, kind des.
 // measureEngineOnce executes one run. The wall clock covers the benchmark
 // execution only (the engine's dispatch loop under load); the event count
 // is the delta across it, so cluster construction cost does not dilute the
-// events/sec figure.
-func measureEngineOnce(benchName string, class nas.Class, np int, kind des.QueueKind) (
-	events uint64, fp string, simSec, wallSec float64, verified bool) {
+// events/sec figure. Construction is timed separately into setupSec — the
+// other scalability axis (the satellite on cluster-construction cost).
+func measureEngineOnce(benchName string, class nas.Class, np int, kind des.QueueKind, shards int) (
+	events uint64, fp string, simSec, wallSec, setupSec float64, verified bool) {
+	setupStart := time.Now()
 	c := cluster.MustNew(cluster.Config{
 		NP:          np,
 		Transport:   cluster.TransportZeroCopy,
 		ConnectMode: cluster.ConnectLazy,
 		Chan:        rdmachan.Config{UseSRQ: true},
 		EngineQueue: kind,
+		Shards:      shards,
 	})
+	setupSec = time.Since(setupStart).Seconds()
 	defer c.Close()
 	c.Eng.EnableTrace()
 	ev0, sim0 := c.Eng.EventsExecuted(), c.Now()
@@ -186,8 +212,11 @@ func MergeEngineReports(base, update *EngineReport) *EngineReport {
 // never a mere performance regression), and wall-clock-per-simulated-
 // second may not regress by more than tol (0.15 = 15%). Getting faster is
 // not an error. Baseline rows current did not measure are skipped — the
-// CI smoke compares a subset of the committed matrix. Returns one error
-// per violated row.
+// CI smoke compares a subset of the committed matrix — but every measured
+// row MUST exist in the baseline: a new np/queue/shards combination that
+// nothing has vetted is a gate failure, reported with the full measured
+// row so the maintainer can regenerate the baseline deliberately. Returns
+// one error per violated row.
 func CompareEngineReports(baseline, current *EngineReport, tol float64) []error {
 	base := make(map[string]EngineRun, len(baseline.Runs))
 	for _, r := range baseline.Runs {
@@ -198,14 +227,21 @@ func CompareEngineReports(baseline, current *EngineReport, tol float64) []error 
 	for _, cur := range current.Runs {
 		b, ok := base[cur.key()]
 		if !ok {
-			errs = append(errs, fmt.Errorf("%s: not in baseline", cur.key()))
+			errs = append(errs, fmt.Errorf(
+				"%s: row missing from baseline — measured events=%d fp=%s sim=%gs verified=%v; "+
+					"regenerate the baseline with `enginebench -out -merge` to admit it",
+				cur.key(), cur.Events, cur.Fingerprint, cur.SimSeconds, cur.Verified))
 			continue
 		}
 		matched++
 		if cur.Events != b.Events || cur.Fingerprint != b.Fingerprint ||
 			cur.SimSeconds != b.SimSeconds || cur.Verified != b.Verified {
 			errs = append(errs, fmt.Errorf(
-				"%s: simulated results diverge from baseline: events %d vs %d, fp %s vs %s, sim %gs vs %gs, verified %v vs %v",
+				"%s: simulated results diverge from baseline:\n"+
+					"  events   %d, baseline %d\n"+
+					"  fp       %s, baseline %s\n"+
+					"  sim      %gs, baseline %gs\n"+
+					"  verified %v, baseline %v",
 				cur.key(), cur.Events, b.Events, cur.Fingerprint, b.Fingerprint,
 				cur.SimSeconds, b.SimSeconds, cur.Verified, b.Verified))
 		}
@@ -216,7 +252,7 @@ func CompareEngineReports(baseline, current *EngineReport, tol float64) []error 
 				cur.WallPerSimSec, b.WallPerSimSec, 100*tol))
 		}
 	}
-	if matched == 0 {
+	if matched == 0 && len(current.Runs) > 0 {
 		errs = append(errs, fmt.Errorf("no current run matches any baseline row"))
 	}
 	return errs

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func engRun(np, shards int, events uint64, fp string, wallPerSim float64) EngineRun {
+	return EngineRun{
+		Bench: "cg", Class: "S", NP: np, Queue: "calendar", Shards: shards,
+		Events: events, Fingerprint: fp, SimSeconds: 0.01, Verified: true,
+		WallPerSimSec: wallPerSim,
+	}
+}
+
+// TestCompareEngineMissingRow pins the gate against silent admission: a
+// measured np/shards combination absent from the baseline must fail the
+// comparison, and the error must carry the measured row so the maintainer
+// can regenerate the baseline deliberately.
+func TestCompareEngineMissingRow(t *testing.T) {
+	base := &EngineReport{Schema: EngineSchema,
+		Runs: []EngineRun{engRun(64, 1, 1000, "aaaa", 100)}}
+	cur := &EngineReport{Schema: EngineSchema, Runs: []EngineRun{
+		engRun(64, 1, 1000, "aaaa", 100),
+		engRun(64, 4, 1000, "aaaa", 100), // sharded row nothing has vetted
+	}}
+	errs := CompareEngineReports(base, cur, 0.15)
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want exactly 1 (the missing row): %v", len(errs), errs)
+	}
+	msg := errs[0].Error()
+	for _, want := range []string{"shards=4", "missing from baseline", "events=1000", "fp=aaaa"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("missing-row error lacks %q: %s", want, msg)
+		}
+	}
+}
+
+// TestCompareEngineContract covers the rest of the gate: exact simulated
+// matching, wall tolerance, baseline aliasing of pre-shard rows, and the
+// no-overlap guard.
+func TestCompareEngineContract(t *testing.T) {
+	legacy := engRun(64, 0, 1000, "aaaa", 100) // written before the shards field
+	base := &EngineReport{Schema: EngineSchema, Runs: []EngineRun{legacy}}
+
+	if errs := CompareEngineReports(base, &EngineReport{Schema: EngineSchema,
+		Runs: []EngineRun{engRun(64, 1, 1000, "aaaa", 110)}}, 0.15); len(errs) != 0 {
+		t.Errorf("shards=1 row should match a legacy pre-shard baseline row: %v", errs)
+	}
+	if errs := CompareEngineReports(base, &EngineReport{Schema: EngineSchema,
+		Runs: []EngineRun{engRun(64, 1, 1001, "aaaa", 100)}}, 0.15); len(errs) != 1 {
+		t.Errorf("simulated divergence (events) must fail: %v", errs)
+	}
+	if errs := CompareEngineReports(base, &EngineReport{Schema: EngineSchema,
+		Runs: []EngineRun{engRun(64, 1, 1000, "aaaa", 120)}}, 0.15); len(errs) != 1 {
+		t.Errorf("20%% wall regression at 15%% tolerance must fail: %v", errs)
+	}
+	if errs := CompareEngineReports(base, &EngineReport{Schema: EngineSchema,
+		Runs: []EngineRun{engRun(64, 1, 1000, "aaaa", 50)}}, 0.15); len(errs) != 0 {
+		t.Errorf("getting faster is not an error: %v", errs)
+	}
+	if errs := CompareEngineReports(base, &EngineReport{Schema: EngineSchema,
+		Runs: []EngineRun{engRun(256, 1, 2000, "bbbb", 100)}}, 0.15); len(errs) != 2 {
+		t.Errorf("disjoint row must report missing + no-overlap, got: %v", errs)
+	}
+}
+
+func railsBase() *RailsReport {
+	return &RailsReport{Schema: RailsSchema, Runs: []RailsRun{{
+		Rails: 2, Policy: "round-robin",
+		Points:      []RailsPoint{{Size: 4096, MBps: 500}, {Size: 16384, MBps: 700}},
+		WallSeconds: 1.0,
+	}}}
+}
+
+// TestCompareRailsContract pins the rails gate to the same contract as the
+// engine gate: exact simulated bandwidth, wall within tolerance, and no
+// silent admission of unvetted rail counts.
+func TestCompareRailsContract(t *testing.T) {
+	cur := railsBase()
+	if errs := CompareRailsReports(railsBase(), cur, 0.5); len(errs) != 0 {
+		t.Errorf("identical report must pass: %v", errs)
+	}
+
+	cur = railsBase()
+	cur.Runs[0].Points[1].MBps = 699
+	if errs := CompareRailsReports(railsBase(), cur, 0.5); len(errs) != 1 ||
+		!strings.Contains(errs[0].Error(), "size=16384") {
+		t.Errorf("bandwidth divergence must fail naming the size: %v", errs)
+	}
+
+	cur = railsBase()
+	cur.Runs[0].WallSeconds = 2.0
+	if errs := CompareRailsReports(railsBase(), cur, 0.5); len(errs) != 1 {
+		t.Errorf("100%% wall regression at 50%% tolerance must fail: %v", errs)
+	}
+
+	cur = railsBase()
+	cur.Runs = append(cur.Runs, RailsRun{Rails: 8, Policy: "round-robin",
+		Points: []RailsPoint{{Size: 4096, MBps: 900}}})
+	errs := CompareRailsReports(railsBase(), cur, 0.5)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "missing from baseline") {
+		t.Errorf("unvetted rail count must fail the gate: %v", errs)
+	}
+}

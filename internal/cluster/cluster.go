@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/adi3"
 	"repro/internal/ch3"
@@ -126,6 +127,19 @@ type Config struct {
 	// des.QueueCalendar and assert equal trace fingerprints.
 	EngineQueue des.QueueKind
 
+	// Shards partitions the simulation across OS threads: nodes are
+	// assigned to this many shard engines in contiguous blocks, each shard
+	// running its own event queue and dispatch driver, synchronized by
+	// conservative lookahead windows derived from Params.WireLatency
+	// (DESIGN.md §13). 0 or 1 runs the classic single-threaded engine. The
+	// shard count is clamped to the node count, and a fault plan with
+	// events forces serial execution — the recovery machinery reaches
+	// across shard boundaries at unbounded delay, so fault runs trade
+	// parallelism for the proven serial paths. Any fixed shard count
+	// produces dispatch schedules bit-identical to the serial engine
+	// (TraceFingerprint equality).
+	Shards int
+
 	// Fault schedules failure injection: the plan's events fire at their
 	// offsets from the end of cluster setup, downing links, whole
 	// adapters, or opening packet-drop windows (internal/fault). A
@@ -157,8 +171,14 @@ type Cluster struct {
 	rails   int             // resolved RailsPerNode (≥ 1)
 	chanCfg rdmachan.Config // Chan with the design resolved from Transport
 
+	grp       *des.Group // sharded execution group (nil = serial engine)
+	shards    int        // resolved shard count (≥ 1)
+	shardOf   []int32    // shard per node (contiguous blocks; nil = serial)
+	launchSeq uint64     // Launch generation, salts rank-process lineage keys
+
 	pools       [][]*rdmachan.SRQPool // per-rank, per-rail SRQ pools (Chan.UseSRQ only)
 	srqRR       int                   // round-robin cursor for SRQ rail assignment
+	pairMu      sync.Mutex            // guards pairStarted (dials race across shards)
 	pairStarted map[uint64]bool       // pairs whose establishment has begun
 
 	srqConns  map[uint64][2]*ch3.SRQConn // SRQ pairs eligible for re-dial (resilient only)
@@ -233,14 +253,40 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: the basic design is single-rail; use piggyback, pipeline, zerocopy or ch3 with RailsPerNode > 1")
 	}
 	c := &Cluster{
-		Eng:         des.NewEngineWithQueue(cfg.EngineQueue),
 		Prm:         prm,
 		cfg:         cfg,
 		rails:       rails,
 		pairStarted: make(map[uint64]bool),
 	}
-	c.Fabric = ib.NewFabric(c.Eng, prm)
 	nNodes := (cfg.NP + cpn - 1) / cpn
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > nNodes {
+		shards = nNodes
+	}
+	if cfg.Fault != nil && len(cfg.Fault.Events) > 0 {
+		// Recovery paths (failover eviction, re-dial, retained-packet
+		// resend) reach across node boundaries at arbitrary delay; fault
+		// runs execute serially so those paths stay exactly the proven
+		// single-threaded ones. An armed-but-empty plan exercises the
+		// resilient data structures without any cross-shard recovery, so it
+		// keeps its shards.
+		shards = 1
+	}
+	c.shards = shards
+	if shards > 1 {
+		c.grp = des.NewGroup(cfg.EngineQueue, shards, prm.WireLatency)
+		c.Eng = c.grp.Global()
+		c.shardOf = make([]int32, nNodes)
+		for n := 0; n < nNodes; n++ {
+			c.shardOf[n] = int32(n * shards / nNodes)
+		}
+	} else {
+		c.Eng = des.NewEngineWithQueue(cfg.EngineQueue)
+	}
+	c.Fabric = ib.NewFabric(c.Eng, prm)
 	if cfg.Fault != nil {
 		if err := cfg.Fault.Validate(nNodes, rails); err != nil {
 			return nil, fmt.Errorf("cluster: %w", err)
@@ -248,17 +294,26 @@ func New(cfg Config) (*Cluster, error) {
 		c.srqConns = make(map[uint64][2]*ch3.SRQConn)
 		c.redialing = make(map[uint64]bool)
 	}
+	c.Nodes = make([]*model.Node, 0, nNodes)
+	c.Rails = make([][]*ib.HCA, 0, nNodes)
+	c.HCAs = make([]*ib.HCA, 0, nNodes)
 	for n := 0; n < nNodes; n++ {
 		node := model.NewNode(n, prm)
+		if shards > 1 {
+			// Remote shards resolve RDMA target addresses in this node's
+			// address space; arm the allocation-table lock.
+			node.Mem.SetShared()
+		}
 		c.Nodes = append(c.Nodes, node)
 		set := make([]*ib.HCA, rails)
 		for k := 0; k < rails; k++ {
-			set[k] = c.Fabric.NewRailHCA(node, k)
+			set[k] = c.Fabric.NewRailHCAOn(c.nodeEng(n), node, k)
 		}
 		c.Rails = append(c.Rails, set)
 		c.HCAs = append(c.HCAs, set[0])
 	}
 	c.nodeOf = make([]int32, cfg.NP)
+	c.Devs = make([]*adi3.Device, 0, cfg.NP)
 	for r := 0; r < cfg.NP; r++ {
 		c.nodeOf[r] = int32(r / cpn)
 		c.Devs = append(c.Devs, adi3.NewDevice(int32(r), cfg.NP, c.HCAs[c.nodeOf[r]]))
@@ -377,6 +432,27 @@ func MustNew(cfg Config) *Cluster {
 	return c
 }
 
+// Shards returns the resolved shard count the cluster executes on (1 =
+// the serial engine, whether configured or forced by a fault plan).
+func (c *Cluster) Shards() int { return c.shards }
+
+// nodeEng returns the engine a node's hardware and processes run on: the
+// owning shard under sharded execution, the single engine otherwise.
+func (c *Cluster) nodeEng(node int) *des.Engine {
+	if c.grp == nil {
+		return c.Eng
+	}
+	return c.grp.Shard(int(c.shardOf[node]))
+}
+
+// Lineage-key salt domains for processes spawned from host context or from
+// engine-dependent contexts, keeping event keys independent of which engine
+// the spawn lands on (DESIGN.md §13).
+const (
+	connSalt = 0x434F_4E4E // "CONN": connection-manager processes
+	rankSalt = 0x524E_4B53 // "RNKS": Launch rank processes
+)
+
 // pairKey orders a rank pair into one map key.
 func pairKey(i, j int) uint64 {
 	if i > j {
@@ -396,10 +472,36 @@ func pairKey(i, j int) uint64 {
 func (c *Cluster) installDialers() {
 	for i := 0; i < c.cfg.NP; i++ {
 		i := i
-		c.Devs[i].Engine().SetDialer(func(_ *des.Proc, peer int32) {
-			c.startConnect(i, int(peer))
+		c.Devs[i].Engine().SetDialer(func(p *des.Proc, peer int32) {
+			c.requestConnect(p, i, int(peer))
 		})
 	}
+}
+
+// requestConnect routes a dial to where it may run. A same-node dial is
+// shard-local and starts inline; a cross-node dial under sharded execution
+// may touch the remote shard's pools and the shared rail cursor, so it is
+// deposited as a control call and executes serialized at the next window
+// barrier. Both paths go through CtlCall so the caller's lineage-key
+// consumption is identical in serial and sharded runs.
+func (c *Cluster) requestConnect(p *des.Proc, i, j int) {
+	p.Engine().CtlCall(c.nodeOf[i] == c.nodeOf[j], func() {
+		c.startConnect(i, j)
+	})
+}
+
+// connEng returns the engine a pair's connection manager runs on: the
+// node's shard for co-located pairs, the global engine for inter-node
+// pairs (whose establishment touches both ends), the single engine when
+// serial.
+func (c *Cluster) connEng(i, j int) *des.Engine {
+	if c.grp == nil {
+		return c.Eng
+	}
+	if c.nodeOf[i] == c.nodeOf[j] {
+		return c.nodeEng(int(c.nodeOf[i]))
+	}
+	return c.grp.Global()
 }
 
 // startConnect begins establishing the pair's connection unless a dial
@@ -407,15 +509,18 @@ func (c *Cluster) installDialers() {
 // to a single establishment whose result both engines share.
 func (c *Cluster) startConnect(i, j int) {
 	key := pairKey(i, j)
-	if c.pairStarted[key] {
+	c.pairMu.Lock()
+	started := c.pairStarted[key]
+	c.pairStarted[key] = true
+	c.pairMu.Unlock()
+	if started {
 		return
 	}
-	c.pairStarted[key] = true
 	lo, hi := i, j
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	c.Eng.Spawn(fmt.Sprintf("connmgr.%d-%d", lo, hi), func(p *des.Proc) {
+	c.connEng(i, j).SpawnSeeded(des.Salt(connSalt, key), fmt.Sprintf("connmgr.%d-%d", lo, hi), func(p *des.Proc) {
 		if c.nodeOf[i] != c.nodeOf[j] {
 			// Address-exchange handshake: QP numbers and buffer keys cross
 			// the wire and back before either side can post.
@@ -436,7 +541,9 @@ func (c *Cluster) startConnect(i, j int) {
 // configured channel design otherwise — and installs both endpoints,
 // flushing any sends queued on connector stubs.
 func (c *Cluster) wirePair(p *des.Proc, i, j int) error {
+	c.pairMu.Lock()
 	c.pairStarted[pairKey(i, j)] = true
+	c.pairMu.Unlock()
 	if c.nodeOf[i] == c.nodeOf[j] {
 		ci, cj := shmchan.NewPair(c.HCAs[c.nodeOf[i]], c.cfg.Shm,
 			c.Devs[i].Engine(), c.Devs[j].Engine())
@@ -720,11 +827,17 @@ func (c *Cluster) RegCacheStats() regcache.Stats {
 // Launch runs body on every rank as a simulated process and returns when
 // all ranks have finished. It can be called repeatedly on one cluster.
 func (c *Cluster) Launch(body func(comm *mpi.Comm)) {
+	c.launchSeq++
+	gen := c.launchSeq
 	for i := 0; i < c.cfg.NP; i++ {
 		dev := c.Devs[i]
-		c.Eng.Spawn(fmt.Sprintf("rank%d", i), func(p *des.Proc) {
-			body(mpi.NewWithTuning(p, dev, c.cfg.Tuning))
-		})
+		// Rank processes run on their node's shard. The start events are
+		// seeded with the (generation, rank) identity so the launch
+		// schedule is independent of which engine each rank lands on.
+		c.nodeEng(int(c.nodeOf[i])).SpawnSeeded(des.Salt(rankSalt, gen, uint64(i)),
+			fmt.Sprintf("rank%d", i), func(p *des.Proc) {
+				body(mpi.NewWithTuning(p, dev, c.cfg.Tuning))
+			})
 	}
 	c.Eng.Run()
 }

@@ -3,8 +3,8 @@ package des
 // The engine's pending-event set, behind a small interface so the two
 // implementations — a value-type d-ary heap and a calendar queue (Brown,
 // CACM 1988) — can be swapped by Config and cross-checked for identical
-// dispatch order. Both are exact priority queues over the (at, seq) total
-// order, so the schedule fingerprint is bit-identical between them; the
+// dispatch order. Both are exact priority queues over the (at, key, seq)
+// total order, so the schedule fingerprint is bit-identical between them; the
 // calendar queue is the default because the simulation's events are
 // overwhelmingly near-future (see DESIGN.md §12 for the measurements).
 
@@ -34,14 +34,19 @@ func (k QueueKind) String() string {
 	}
 }
 
-// event is a scheduled occurrence. Events with equal times fire in
-// scheduling order (seq), which is what makes the simulation deterministic.
-// Events are plain values — they live inside the queue's slices, never
-// individually on the heap. A nil fn marks a process wakeup: dispatch
-// resumes proc directly if its pause generation still matches gen, with no
-// per-wakeup closure allocation.
+// event is a scheduled occurrence. Events with equal times fire in lineage
+// key order (see engine.go: a key is a hash of the scheduling event's key
+// and a per-dispatch child counter), with the engine-local scheduling
+// sequence as the final tiebreak. The key order is a pure function of the
+// simulation's causal structure, so it is identical whether the engine runs
+// alone or as one shard of a Group — that is what makes sharded dispatch
+// bit-identical to serial. Events are plain values — they live inside the
+// queue's slices, never individually on the heap. A nil fn marks a process
+// wakeup: dispatch resumes proc directly if its pause generation still
+// matches gen, with no per-wakeup closure allocation.
 type event struct {
 	at   Time
+	key  uint64
 	seq  uint64
 	fn   func()
 	proc *Proc
@@ -53,11 +58,14 @@ func (e *event) before(o *event) bool {
 	if e.at != o.at {
 		return e.at < o.at
 	}
+	if e.key != o.key {
+		return e.key < o.key
+	}
 	return e.seq < o.seq
 }
 
-// eventQueue is the pending-event set: push in any order, pop in (at, seq)
-// order.
+// eventQueue is the pending-event set: push in any order, pop in (at, key,
+// seq) order.
 type eventQueue interface {
 	push(ev event)
 	pop() (event, bool)
@@ -66,6 +74,10 @@ type eventQueue interface {
 	popLE(max Time) (event, bool)
 	// next returns the timestamp of the earliest pending event.
 	next() (Time, bool)
+	// peekKey returns the timestamp and lineage key of the earliest pending
+	// event without popping it. The Group coordinator uses it to interleave
+	// same-instant events across shard queues in global key order.
+	peekKey() (Time, uint64, bool)
 	len() int
 	// clear drops all pending events and releases their references.
 	clear()
@@ -108,6 +120,13 @@ func (h *heapQueue) next() (Time, bool) {
 		return 0, false
 	}
 	return h.evs[0].at, true
+}
+
+func (h *heapQueue) peekKey() (Time, uint64, bool) {
+	if len(h.evs) == 0 {
+		return 0, 0, false
+	}
+	return h.evs[0].at, h.evs[0].key, true
 }
 
 func (h *heapQueue) popLE(max Time) (event, bool) {
@@ -156,56 +175,67 @@ func (h *heapQueue) pop() (event, bool) {
 	return top, true
 }
 
-// calBucket is one calendar bucket: events of the days that hash to it,
-// kept sorted by (at, seq). head is the consumed prefix — pops advance it
-// instead of resizing, and inserts go through binary search over the live
-// region. Same-instant events arrive in seq order (the engine's seq is
-// monotonic), so the common insert lands at the tail with no shifting.
+// calBucket is one calendar bucket: the events of the days that hash to
+// it, held in a small 4-ary min-heap over the (at, key, seq) order. The
+// calendar only ever needs the bucket's minimum, so a heap gives O(log k)
+// insert and pop where a sorted array paid O(k) shifting — and k explodes
+// exactly when the simulation bursts: lineage keys are hashes, so a burst
+// of same-instant events (a 1024-rank collective fanning out) inserts at
+// random positions, not at the tail the old monotone-seq order hit.
 type calBucket struct {
-	evs  []event
-	head int
+	evs []event
 }
 
-func (b *calBucket) empty() bool { return b.head == len(b.evs) }
+func (b *calBucket) empty() bool { return len(b.evs) == 0 }
 
-func (b *calBucket) min() *event { return &b.evs[b.head] }
+func (b *calBucket) min() *event { return &b.evs[0] }
 
 func (b *calBucket) pop() event {
-	ev := b.evs[b.head]
-	b.evs[b.head] = event{}
-	b.head++
-	if b.head == len(b.evs) {
-		b.evs = b.evs[:0]
-		b.head = 0
+	top := b.evs[0]
+	n := len(b.evs) - 1
+	last := b.evs[n]
+	b.evs[n] = event{} // release fn/proc references
+	b.evs = b.evs[:n]
+	if n > 0 {
+		evs := b.evs
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
+			}
+			best := first
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if evs[c].before(&evs[best]) {
+					best = c
+				}
+			}
+			if !evs[best].before(&last) {
+				break
+			}
+			evs[i] = evs[best]
+			i = best
+		}
+		evs[i] = last
 	}
-	return ev
+	return top
 }
 
 func (b *calBucket) insert(ev event) {
-	lo, hi := b.head, len(b.evs)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if b.evs[mid].before(&ev) {
-			lo = mid + 1
-		} else {
-			hi = mid
+	b.evs = append(b.evs, ev)
+	i := len(b.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !b.evs[i].before(&b.evs[parent]) {
+			break
 		}
+		b.evs[i], b.evs[parent] = b.evs[parent], b.evs[i]
+		i = parent
 	}
-	if lo == len(b.evs) {
-		b.evs = append(b.evs, ev)
-		return
-	}
-	if b.head > 0 {
-		// Shift the shorter prefix left into the consumed region instead of
-		// shifting the suffix right.
-		copy(b.evs[b.head-1:], b.evs[b.head:lo])
-		b.head--
-		b.evs[lo-1] = ev
-		return
-	}
-	b.evs = append(b.evs, event{})
-	copy(b.evs[lo+1:], b.evs[lo:])
-	b.evs[lo] = ev
 }
 
 // calQueue is a classic calendar queue: time is divided into days of width
@@ -247,7 +277,6 @@ func (q *calQueue) setup(nb int, shift uint, day int64) {
 		q.buckets = q.buckets[:nb]
 		for i := range q.buckets {
 			q.buckets[i].evs = q.buckets[i].evs[:0]
-			q.buckets[i].head = 0
 		}
 	} else {
 		q.buckets = make([]calBucket, nb)
@@ -331,6 +360,15 @@ func (q *calQueue) next() (Time, bool) {
 	return q.buckets[idx].min().at, true
 }
 
+func (q *calQueue) peekKey() (Time, uint64, bool) {
+	idx, _, ok := q.locate()
+	if !ok {
+		return 0, 0, false
+	}
+	ev := q.buckets[idx].min()
+	return ev.at, ev.key, true
+}
+
 func (q *calQueue) pop() (event, bool) {
 	idx, day, ok := q.locate()
 	if !ok {
@@ -371,7 +409,7 @@ func (q *calQueue) resize() {
 	all := q.scratch[:0]
 	for i := range q.buckets {
 		b := &q.buckets[i]
-		all = append(all, b.evs[b.head:]...)
+		all = append(all, b.evs...)
 	}
 
 	nb := calMinBuckets

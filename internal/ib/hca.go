@@ -2,6 +2,7 @@ package ib
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/des"
 	"repro/internal/model"
@@ -19,8 +20,10 @@ type HCA struct {
 
 	pdSeq  int
 	qpSeq  uint32
-	keySeq uint32
-	lkeys  map[uint32]*MR
+	shared bool           // engine is sharded: key-table access must lock
+	keyMu  sync.RWMutex   // guards keySeq, the key tables and MR.valid:
+	keySeq uint32         // registration runs on the owning shard, but remote
+	lkeys  map[uint32]*MR // requesters validate rkeys from their own shard
 	rkeys  map[uint32]*MR
 
 	qps       []*QP    // every QP created on this adapter (fault fan-out)
@@ -202,7 +205,7 @@ func (h *HCA) runReadResponder(p *des.Proc) {
 		}
 		src, err := h.checkRemote(req.w.wr.RemoteAddr, req.length, req.w.wr.RKey, qp.peer.pd, need)
 		if err != nil {
-			h.eng.After(prm.WireLatency, func() {
+			h.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
 				qp.completeErr(req.w, StatusRemoteAccessErr)
 				qp.readSlots.Release(1)
 			})
@@ -246,7 +249,7 @@ func (h *HCA) runReadResponder(p *des.Proc) {
 		// the requester one wire latency later.
 		n := len(data)
 		if n == 0 {
-			h.eng.After(prm.WireLatency, func() {
+			h.eng.AfterOn(reqHCA.eng, prm.WireLatency, func() {
 				reqHCA.rxq.Put(rxItem{fn: deliver})
 			})
 			continue
@@ -263,7 +266,7 @@ func (h *HCA) runReadResponder(p *des.Proc) {
 				fn = deliver
 			}
 			it := rxItem{bytes: chunk, fn: fn}
-			h.eng.After(prm.WireLatency, func() {
+			h.eng.AfterOn(reqHCA.eng, prm.WireLatency, func() {
 				reqHCA.rxq.Put(it)
 			})
 		}
@@ -296,23 +299,38 @@ func (f *Fabric) NewHCA(node *model.Node) *HCA {
 // sharing the node memory controller, so rails pace their DMA at their own
 // NetBandwidth but aggregate no further than the node's MemBandwidth.
 func (f *Fabric) NewRailHCA(node *model.Node, rail int) *HCA {
+	return f.NewRailHCAOn(f.eng, node, rail)
+}
+
+// hcaSalt is the lineage-key domain for adapter daemon start events.
+const hcaSalt = 0x4942_4843 // "IBHC"
+
+// NewRailHCAOn is NewRailHCA with the adapter's engine chosen by the
+// caller — in sharded execution the shard owning the node, so the adapter's
+// service daemons and every event they schedule stay shard-local. Daemon
+// start events are seeded with the (node, rail) identity, keeping start
+// order identical across serial and sharded runs.
+func (f *Fabric) NewRailHCAOn(eng *des.Engine, node *model.Node, rail int) *HCA {
 	bus := node.Bus
 	if rail > 0 {
 		bus = node.NewRailBus(fmt.Sprintf("node%d.pcix%d", node.ID, rail))
 	}
 	h := &HCA{
 		node:   node,
-		eng:    f.eng,
+		eng:    eng,
 		prm:    f.prm,
 		bus:    bus,
 		rail:   rail,
+		shared: eng.Sharded(),
 		keySeq: 0x100,
 		lkeys:  make(map[uint32]*MR),
 		rkeys:  make(map[uint32]*MR),
 	}
 	f.hcas = append(f.hcas, h)
-	f.eng.SpawnDaemon(fmt.Sprintf("hca%d.%d.rx", node.ID, rail), h.runRx)
-	f.eng.SpawnDaemon(fmt.Sprintf("hca%d.%d.readresp", node.ID, rail), h.runReadResponder)
+	eng.SpawnDaemonSeeded(des.Salt(hcaSalt, uint64(node.ID), uint64(rail), 0),
+		fmt.Sprintf("hca%d.%d.rx", node.ID, rail), h.runRx)
+	eng.SpawnDaemonSeeded(des.Salt(hcaSalt, uint64(node.ID), uint64(rail), 1),
+		fmt.Sprintf("hca%d.%d.readresp", node.ID, rail), h.runReadResponder)
 	return h
 }
 

@@ -41,7 +41,16 @@ func (mr *MR) LKey() uint32 { return mr.lkey }
 func (mr *MR) RKey() uint32 { return mr.rkey }
 
 // Valid reports whether the region is still registered.
-func (mr *MR) Valid() bool { return mr.valid }
+func (mr *MR) Valid() bool {
+	h := mr.pd.hca
+	if !h.shared {
+		return mr.valid
+	}
+	h.keyMu.RLock()
+	v := mr.valid
+	h.keyMu.RUnlock()
+	return v
+}
 
 // AllocPD creates a protection domain on the adapter.
 func (h *HCA) AllocPD() *PD {
@@ -60,7 +69,15 @@ func (h *HCA) RegisterMR(p *des.Proc, pd *PD, addr uint64, length int, access Ac
 	if _, err := h.node.Mem.Resolve(addr, length); err != nil {
 		return nil, fmt.Errorf("ib: register: %w", err)
 	}
+	// The registration cost is charged before touching the tables: Sleep
+	// parks the calling process, and the key lock must never be held across
+	// a park (a remote shard validating an rkey would stall its window on
+	// simulated time).
 	p.Sleep(h.prm.RegTime(length))
+	if h.shared {
+		h.keyMu.Lock()
+		defer h.keyMu.Unlock()
+	}
 	h.keySeq++
 	mr := &MR{
 		pd:     pd,
@@ -84,10 +101,14 @@ const rkeyBit = 0x8000_0000
 
 // DeregisterMR unpins the region, charging deregistration cost.
 func (h *HCA) DeregisterMR(p *des.Proc, mr *MR) error {
-	if !mr.valid {
+	if !mr.Valid() {
 		return fmt.Errorf("ib: deregister: MR already invalid")
 	}
 	p.Sleep(h.prm.DeregTime(mr.length))
+	if h.shared {
+		h.keyMu.Lock()
+		defer h.keyMu.Unlock()
+	}
 	mr.valid = false
 	delete(h.lkeys, mr.lkey)
 	delete(h.rkeys, mr.rkey)
@@ -95,11 +116,27 @@ func (h *HCA) DeregisterMR(p *des.Proc, mr *MR) error {
 	return nil
 }
 
+// lookupKey resolves a key through one of the adapter's tables and reports
+// whether the MR is still registered, locking only in sharded mode: key
+// validation is the per-verb hot path, and under a lone serial engine the
+// baton-passing dispatch already orders every table access.
+func (h *HCA) lookupKey(table map[uint32]*MR, key uint32) (*MR, bool) {
+	if !h.shared {
+		mr, ok := table[key]
+		return mr, ok && mr.valid
+	}
+	h.keyMu.RLock()
+	mr, ok := table[key]
+	valid := ok && mr.valid
+	h.keyMu.RUnlock()
+	return mr, valid
+}
+
 // checkLocal validates an SGE against the adapter's lkey table and returns
 // the backing bytes. needWrite requires AccessLocalWrite (scatter targets).
 func (h *HCA) checkLocal(sge SGE, pd *PD, needWrite bool) ([]byte, error) {
-	mr, ok := h.lkeys[sge.LKey]
-	if !ok || !mr.valid {
+	mr, valid := h.lookupKey(h.lkeys, sge.LKey)
+	if !valid {
 		return nil, fmt.Errorf("ib: invalid lkey %#x", sge.LKey)
 	}
 	if mr.pd != pd {
@@ -117,8 +154,8 @@ func (h *HCA) checkLocal(sge SGE, pd *PD, needWrite bool) ([]byte, error) {
 
 // checkRemote validates a remote access against this adapter's rkey table.
 func (h *HCA) checkRemote(addr uint64, length int, rkey uint32, pd *PD, need Access) ([]byte, error) {
-	mr, ok := h.rkeys[rkey]
-	if !ok || !mr.valid {
+	mr, valid := h.lookupKey(h.rkeys, rkey)
+	if !valid {
 		return nil, fmt.Errorf("ib: invalid rkey %#x", rkey)
 	}
 	if mr.pd != pd {

@@ -315,9 +315,11 @@ func (qp *QP) execWrite(p *des.Proc, w *sendWork) {
 	qp.hca.stats.BytesInjected += uint64(len(data))
 	seq := w.seq
 	last := func() {
+		// Runs at the responder: the ack back to the requester crosses the
+		// wire, so it is scheduled onto the requester's engine.
 		copy(dst, data)
 		peer.hca.notifyMemWrite()
-		qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
+		peer.hca.eng.AfterOn(qp.hca.eng, qp.hca.prm.WireLatency, func() {
 			cqe, has := qp.cqeFor(w, len(data))
 			qp.complete(seq, cqe, has)
 		})
@@ -388,7 +390,7 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 	// retry — completes in error without consuming a receive descriptor,
 	// preserving "error CQE means definitively not delivered".
 	if qp.state == QPError || peer.state == QPError {
-		qp.hca.eng.After(prm.WireLatency, func() {
+		peer.hca.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
 			qp.completeErr(w, StatusWRFlushErr)
 		})
 		return true
@@ -401,18 +403,19 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 			w.rnr++
 			limit := rnrRetryLimit(prm)
 			if limit < 7 && w.rnr > limit {
-				qp.hca.eng.After(prm.WireLatency, func() {
+				peer.hca.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
 					qp.completeErr(w, StatusRNRRetryExc)
 				})
 				return true // consumed (in error); later sends may proceed
 			}
 			// Exponentially backed-off RNR timer (capped), plus the NAK and
-			// resend crossing the wire.
+			// resend crossing the wire. The retried delivery pops the
+			// responder's SRQ, so it stays on the responder's engine.
 			shift := w.rnr - 1
 			if shift > 6 {
 				shift = 6
 			}
-			qp.hca.eng.After(2*prm.WireLatency+rnrTimeout(prm)<<uint(shift), func() {
+			peer.hca.eng.After(2*prm.WireLatency+rnrTimeout(prm)<<uint(shift), func() {
 				qp.drainDeliverq()
 			})
 			return false
@@ -433,14 +436,14 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 		peer.stats.ErrsCompleted++
 		peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusLocalProtErr, Op: OpRecv, QPNum: peer.num})
 		peer.fail()
-		qp.hca.eng.After(prm.WireLatency, func() {
+		peer.hca.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
 			qp.completeErr(w, StatusRemoteAccessErr)
 		})
 		return true
 	}
 	peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusSuccess, Op: OpRecv, ByteLen: len(data), QPNum: peer.num})
 	peer.hca.notifyMemWrite()
-	qp.hca.eng.After(prm.WireLatency, func() {
+	peer.hca.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
 		cqe, has := qp.cqeFor(w, len(data))
 		qp.complete(seq, cqe, has)
 	})
@@ -465,8 +468,9 @@ func (qp *QP) execRead(p *des.Proc, w *sendWork) {
 	qp.readSlots.Acquire(p, 1)
 	qp.stats.BytesRead += uint64(need)
 	req := &readRequest{qp: qp, w: w, length: need}
-	qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
-		qp.peer.hca.readq.Put(req)
+	peer := qp.peer
+	qp.hca.eng.AfterOn(peer.hca.eng, qp.hca.prm.WireLatency, func() {
+		peer.hca.readq.Put(req)
 	})
 }
 
@@ -484,8 +488,9 @@ func (qp *QP) execAtomic(p *des.Proc, w *sendWork) {
 	}
 	qp.readSlots.Acquire(p, 1)
 	req := &readRequest{qp: qp, w: w, length: 8, atomic: true}
-	qp.hca.eng.After(qp.hca.prm.WireLatency, func() {
-		qp.peer.hca.readq.Put(req)
+	peer := qp.peer
+	qp.hca.eng.AfterOn(peer.hca.eng, qp.hca.prm.WireLatency, func() {
+		peer.hca.readq.Put(req)
 	})
 }
 
@@ -497,7 +502,7 @@ func (qp *QP) execAtomic(p *des.Proc, w *sendWork) {
 func (qp *QP) inject(p *des.Proc, dst *HCA, n int, onLast func()) {
 	prm := qp.hca.prm
 	if n == 0 {
-		qp.hca.eng.After(prm.WireLatency, func() {
+		qp.hca.eng.AfterOn(dst.eng, prm.WireLatency, func() {
 			dst.rxq.Put(rxItem{bytes: 0, fn: onLast})
 		})
 		return
@@ -516,7 +521,7 @@ func (qp *QP) inject(p *des.Proc, dst *HCA, n int, onLast func()) {
 			fn = onLast
 		}
 		it := rxItem{bytes: chunk, fn: fn}
-		qp.hca.eng.After(prm.WireLatency, func() {
+		qp.hca.eng.AfterOn(dst.eng, prm.WireLatency, func() {
 			dst.rxq.Put(it)
 		})
 	}

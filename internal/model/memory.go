@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/des"
 )
@@ -11,10 +12,24 @@ import (
 // simulated virtual addresses; RDMA operations name remote memory by
 // (virtual address, rkey) exactly as InfiniBand does, and the simulator
 // resolves the address back to backing storage with bounds checking.
+//
+// The allocation table is guarded by a reader/writer lock taken only in
+// sharded execution (SetShared): allocation is always performed by the
+// owning node's shard, but remote requesters resolve RDMA target addresses
+// from their own shard's OS thread. Under a lone serial engine the
+// baton-passing dispatch already orders every access, and Resolve is too
+// hot a path to pay for atomics it does not need.
 type Memory struct {
+	mu     sync.RWMutex
+	shared bool
 	next   uint64
 	allocs []allocation // sorted by base
 }
+
+// SetShared arms the allocation-table lock. Must be called before the
+// simulation starts dispatching, i.e. while the cluster is still being
+// constructed single-threaded.
+func (m *Memory) SetShared() { m.shared = true }
 
 type allocation struct {
 	base uint64
@@ -37,6 +52,10 @@ func (m *Memory) Alloc(n int) (uint64, []byte) {
 	if n <= 0 {
 		panic("model: Alloc of nonpositive size")
 	}
+	if m.shared {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
 	base := m.next
 	buf := make([]byte, n)
 	m.allocs = append(m.allocs, allocation{base, buf})
@@ -53,6 +72,10 @@ func (m *Memory) Alloc(n int) (uint64, []byte) {
 func (m *Memory) Resolve(va uint64, n int) ([]byte, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("model: negative length %d", n)
+	}
+	if m.shared {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
 	}
 	i := sort.Search(len(m.allocs), func(i int) bool {
 		return m.allocs[i].base > va

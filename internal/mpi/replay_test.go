@@ -19,6 +19,7 @@ type replayTrace struct {
 	fp        uint64
 	events    uint64
 	payload   uint64
+	faults    cluster.FaultStats
 }
 
 // replayPlan draws the chaos schedule for one matrix cell. Rail 0 carries
@@ -43,16 +44,20 @@ func replayPlan(seed int64, nodes, rails int) *fault.Plan {
 // enough to drive the rendezvous/striping path, followed by an allreduce,
 // under the generated fault schedule, with engine tracing on. A nil plan
 // runs fault-free; kind selects the engine's pending-event queue.
-func replayRun(t *testing.T, tp topology, rails int, plan *fault.Plan, kind des.QueueKind) replayTrace {
+func replayRun(t *testing.T, tp topology, rails int, plan *fault.Plan, kind des.QueueKind, mods ...func(*cluster.Config)) replayTrace {
 	t.Helper()
-	c := cluster.MustNew(cluster.Config{
+	cfg := cluster.Config{
 		NP:           tp.np,
 		CoresPerNode: tp.cpn,
 		Transport:    cluster.TransportZeroCopy,
 		RailsPerNode: rails,
 		Fault:        plan,
 		EngineQueue:  kind,
-	})
+	}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	c := cluster.MustNew(cfg)
 	defer c.Close()
 	c.Eng.EnableTrace()
 
@@ -76,7 +81,8 @@ func replayRun(t *testing.T, tp topology, rails int, plan *fault.Plan, kind des.
 		sums[me] = fnv64(rb) ^ uint64(mpi.GetInt64(ob, 0))
 	})
 
-	tr := replayTrace{finalTime: c.Now(), fp: c.Eng.TraceFingerprint(), events: c.Eng.EventsExecuted()}
+	tr := replayTrace{finalTime: c.Now(), fp: c.Eng.TraceFingerprint(),
+		events: c.Eng.EventsExecuted(), faults: c.FaultStats()}
 	for _, s := range sums {
 		tr.payload = tr.payload*1099511628211 ^ s
 	}

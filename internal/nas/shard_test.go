@@ -1,0 +1,49 @@
+package nas
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rdmachan"
+)
+
+// TestShardedCGSmoke is the CI sharded smoke (DESIGN.md §13): NAS CG at
+// np=64 on the scalable stack (zero-copy, lazy connections, SRQ), two
+// shards against serial. The MPI-layer determinism suites prove schedule
+// equality on small topologies; this runs a real kernel at CI scale and is
+// executed under the race detector in the chaos job — the proof that the
+// shard engines, mailboxes and cross-shard model state are data-race free
+// under production load.
+func TestShardedCGSmoke(t *testing.T) {
+	type trace struct {
+		fp       string
+		verified bool
+		mops     float64
+	}
+	run := func(shards int) trace {
+		c := cluster.MustNew(cluster.Config{
+			NP:          64,
+			Transport:   cluster.TransportZeroCopy,
+			ConnectMode: cluster.ConnectLazy,
+			Chan:        rdmachan.Config{UseSRQ: true},
+			Shards:      shards,
+		})
+		defer c.Close()
+		c.Eng.EnableTrace()
+		res := RunOn(c, "cg", ClassS)
+		return trace{
+			fp:       fmt.Sprintf("%016x", c.Eng.TraceFingerprint()),
+			verified: res.Verified,
+			mops:     res.Mops,
+		}
+	}
+	want := run(1)
+	if !want.verified {
+		t.Fatal("serial cg.S np=64 failed verification")
+	}
+	got := run(2)
+	if got != want {
+		t.Errorf("shards=2 diverged from serial:\nserial  %+v\nsharded %+v", want, got)
+	}
+}

@@ -65,8 +65,15 @@ type Engine struct {
 	node *model.Node
 	hca  *ib.HCA
 
-	eps   []Endpoint // by peer rank; nil for self
+	// Endpoint slots are sparse: sorted parallel slices holding only the
+	// peers this rank has spoken to (stubs included). A 4096-rank job's
+	// engines used to carry np pointers each — 134 MB of nil slots across
+	// the cluster before the first message — where a stencil rank talks to
+	// a handful of peers.
+	peers []int32    // ranks with an endpoint slot, ascending
+	peps  []Endpoint // parallel to peers
 	act   []int32    // peers with established (pollable) endpoints, ascending
+	actEp []Endpoint // parallel to act — the poll loop's O(1) hot path
 	ready []int32    // fulfilled stubs awaiting promotion (lazy mode)
 	rr    int        // round-robin polling cursor over act
 
@@ -95,22 +102,61 @@ func NewEngine(rank int32, size int, hca *ib.HCA) *Engine {
 		size: size,
 		node: hca.Node(),
 		hca:  hca,
-		eps:  make([]Endpoint, size),
 	}
+}
+
+// epIndex locates peer's endpoint slot: its index when found, the
+// insertion point otherwise.
+func (e *Engine) epIndex(peer int32) (int, bool) {
+	lo, hi := 0, len(e.peers)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.peers[mid] < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(e.peers) && e.peers[lo] == peer
+}
+
+// ep returns peer's endpoint slot, nil when the rank has never spoken to
+// peer.
+func (e *Engine) ep(peer int32) Endpoint {
+	if i, ok := e.epIndex(peer); ok {
+		return e.peps[i]
+	}
+	return nil
+}
+
+// setEp installs or replaces peer's endpoint slot, keeping the slices
+// sorted.
+func (e *Engine) setEp(peer int32, ep Endpoint) {
+	i, ok := e.epIndex(peer)
+	if ok {
+		e.peps[i] = ep
+		return
+	}
+	e.peers = append(e.peers, 0)
+	e.peps = append(e.peps, nil)
+	copy(e.peers[i+1:], e.peers[i:])
+	copy(e.peps[i+1:], e.peps[i:])
+	e.peers[i] = peer
+	e.peps[i] = ep
 }
 
 // SetEndpoint installs the endpoint to a peer rank.
 func (e *Engine) SetEndpoint(peer int32, ep Endpoint) {
-	e.eps[peer] = ep
+	e.setEp(peer, ep)
 	if _, ok := ep.(*Stub); !ok {
-		e.activate(peer)
+		e.activate(peer, ep)
 	}
 }
 
 // activate records peer in the established-endpoint list the progress loop
 // polls. The list is kept sorted by rank so the poll order is a
 // deterministic function of the connected set.
-func (e *Engine) activate(peer int32) {
+func (e *Engine) activate(peer int32, ep Endpoint) {
 	lo, hi := 0, len(e.act)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -121,11 +167,15 @@ func (e *Engine) activate(peer int32) {
 		}
 	}
 	if lo < len(e.act) && e.act[lo] == peer {
+		e.actEp[lo] = ep
 		return
 	}
 	e.act = append(e.act, 0)
+	e.actEp = append(e.actEp, nil)
 	copy(e.act[lo+1:], e.act[lo:])
+	copy(e.actEp[lo+1:], e.actEp[lo:])
 	e.act[lo] = peer
+	e.actEp[lo] = ep
 }
 
 // SetDialer installs the lazy connection starter: the first send toward a
@@ -141,12 +191,12 @@ func (e *Engine) AddSharedPoll(f func(p *des.Proc) bool) { e.shared = append(e.s
 
 // Endpoint returns the endpoint to a peer rank. In lazy mode this is a
 // *Stub until the first send triggers establishment.
-func (e *Engine) Endpoint(peer int32) Endpoint { return e.eps[peer] }
+func (e *Engine) Endpoint(peer int32) Endpoint { return e.ep(peer) }
 
 // SetStub installs a lazy connector toward peer: dial starts simulated
 // connection establishment and is invoked by the first send (see Stub).
 func (e *Engine) SetStub(peer int32, dial func(p *des.Proc)) {
-	e.eps[peer] = NewStub(peer, dial)
+	e.setEp(peer, NewStub(peer, dial))
 }
 
 // Fulfill delivers the established endpoint for peer. With no stub in the
@@ -157,12 +207,12 @@ func (e *Engine) SetStub(peer int32, dial func(p *des.Proc)) {
 // flush them itself). The wakeup ensures a progress loop blocked on
 // fabric activity notices the new endpoint.
 func (e *Engine) Fulfill(peer int32, ep Endpoint) {
-	if st, ok := e.eps[peer].(*Stub); ok {
+	if st, ok := e.ep(peer).(*Stub); ok {
 		st.inner = ep
 		e.ready = append(e.ready, peer)
 	} else {
-		e.eps[peer] = ep
-		e.activate(peer)
+		e.setEp(peer, ep)
+		e.activate(peer, ep)
 	}
 	e.hca.NotifyMemWrite()
 }
@@ -178,12 +228,12 @@ func (e *Engine) promoteStubs(p *des.Proc) bool {
 	for len(e.ready) > 0 {
 		peer := e.ready[0]
 		e.ready = e.ready[1:]
-		st, ok := e.eps[peer].(*Stub)
+		st, ok := e.ep(peer).(*Stub)
 		if !ok || st.inner == nil {
 			continue
 		}
-		e.eps[peer] = st.inner
-		e.activate(peer)
+		e.setEp(peer, st.inner)
+		e.activate(peer, st.inner)
 		for _, ps := range st.pending {
 			e.dispatchSend(p, st.inner, ps.env, ps.buf, ps.req)
 			prog = true
@@ -196,7 +246,7 @@ func (e *Engine) promoteStubs(p *des.Proc) bool {
 // Connected reports whether an established endpoint to peer exists
 // (fulfilled-but-unpromoted stubs count: their connection is up).
 func (e *Engine) Connected(peer int32) bool {
-	switch ep := e.eps[peer].(type) {
+	switch ep := e.ep(peer).(type) {
 	case nil:
 		return false
 	case *Stub:
@@ -211,10 +261,10 @@ func (e *Engine) Connected(peer int32) bool {
 // endpoint is promoted. Callers that need verbs-level resources up front
 // (one-sided window creation) use it; ordinary sends connect implicitly.
 func (e *Engine) EnsureConnected(p *des.Proc, peer int32) {
-	if e.eps[peer] == nil && e.dialer != nil && peer != e.rank {
+	if e.ep(peer) == nil && e.dialer != nil && peer != e.rank {
 		e.makeStub(peer)
 	}
-	st, ok := e.eps[peer].(*Stub)
+	st, ok := e.ep(peer).(*Stub)
 	if !ok {
 		return
 	}
@@ -230,7 +280,7 @@ func (e *Engine) EnsureConnected(p *des.Proc, peer int32) {
 func (e *Engine) ConnectedPeers() int {
 	n := len(e.act)
 	for _, peer := range e.ready {
-		if st, ok := e.eps[peer].(*Stub); ok && st.inner != nil {
+		if st, ok := e.ep(peer).(*Stub); ok && st.inner != nil {
 			n++
 		}
 	}
@@ -242,11 +292,11 @@ func (e *Engine) ConnectedPeers() int {
 // Accounting walks connections through this instead of probing all np
 // slots per rank.
 func (e *Engine) ForEachEndpoint(f func(peer int32, ep Endpoint)) {
-	for _, peer := range e.act {
-		f(peer, e.eps[peer])
+	for i, peer := range e.act {
+		f(peer, e.actEp[i])
 	}
 	for _, peer := range e.ready {
-		if st, ok := e.eps[peer].(*Stub); ok && st.inner != nil {
+		if st, ok := e.ep(peer).(*Stub); ok && st.inner != nil {
 			f(peer, st.inner)
 		}
 	}
@@ -255,7 +305,7 @@ func (e *Engine) ForEachEndpoint(f func(peer int32, ep Endpoint)) {
 // makeStub creates the lazy connector for peer on demand via the dialer.
 func (e *Engine) makeStub(peer int32) *Stub {
 	st := NewStub(peer, func(p *des.Proc) { e.dialer(p, peer) })
-	e.eps[peer] = st
+	e.setEp(peer, st)
 	return st
 }
 
@@ -285,7 +335,7 @@ func (e *Engine) Isend(p *des.Proc, dest, tag, ctx int32, buf Buffer) *Request {
 	}
 	req := &Request{}
 	env := Envelope{Src: e.rank, Tag: tag, Ctx: ctx, Len: buf.Len}
-	ep := e.eps[dest]
+	ep := e.ep(dest)
 	if ep == nil && e.dialer != nil {
 		ep = e.makeStub(dest)
 	}
@@ -481,7 +531,7 @@ func (e *Engine) Progress(p *des.Proc, block bool) bool {
 			if idx >= n {
 				idx -= n
 			}
-			if e.eps[e.act[idx]].Poll(p) {
+			if e.actEp[idx].Poll(p) {
 				prog = true
 			}
 		}
