@@ -12,6 +12,9 @@
 //	mpich2ib-bench -transport shm,ib -sizes 4K,64K
 //	mpich2ib-bench -coll bcast,reduce -np 16 -ppn 4     # algorithm sweep
 //	mpich2ib-bench -coll bcast -coll-alg bcast=binomial # one algorithm
+//	mpich2ib-bench -coll allreduce -net fattree-d4-u1   # contended fat tree
+//	mpich2ib-bench -coll allreduce,alltoall -np 16 -ppn 1 -coll-out BENCH_coll.json      # baseline
+//	mpich2ib-bench -coll allreduce,alltoall -np 16 -ppn 1 -coll-compare BENCH_coll.json  # CI gate
 //	mpich2ib-bench -connect eager,lazy                  # footprint vs np
 //	mpich2ib-bench -connect lazy -nps 8,64,512          # chosen job sizes
 //	mpich2ib-bench -rails 1,2,4                         # bandwidth vs rails
@@ -71,6 +74,10 @@ func main() {
 	np := flag.Int("np", 16, "ranks for -coll sweeps")
 	ppn := flag.Int("ppn", 4, "ranks per node for -coll sweeps")
 	iters := flag.Int("iters", 10, "measured calls per point for -coll sweeps")
+	net := flag.String("net", "flat", "network model for -coll sweeps: flat, or fattree-dD-uU (D nodes per leaf, U uplinks)")
+	collOut := flag.String("coll-out", "", "with -coll: measure flat AND the contended fat tree and write the records as JSON (the BENCH_coll.json baseline)")
+	collCompare := flag.String("coll-compare", "", "with -coll: measure both nets and compare against this baseline — simulated times exactly, wall clock within -coll-tolerance")
+	collTolerance := flag.Float64("coll-tolerance", 1.0, "allowed wall-clock regression for -coll-compare (walls are sub-second, so generous)")
 	connect := flag.String("connect", "", "connection-management sweep (comma list of eager, lazy): footprint-vs-np figures + setup-latency ablation; overrides -fig")
 	nps := flag.String("nps", "", "rank counts for -connect sweeps, e.g. 8,16,32 (default 8..512)")
 	rails := flag.String("rails", "", "multi-rail sweep (comma list of rail counts, e.g. 1,2,4): bandwidth-vs-rails figure + rail-policy comparison + striping-threshold ablation; overrides -fig")
@@ -182,6 +189,7 @@ func main() {
 		for _, c := range mpi.Collectives() {
 			known[c] = true
 		}
+		var names []string
 		for _, name := range strings.Split(*coll, ",") {
 			name = strings.TrimSpace(name)
 			if name == "" {
@@ -192,7 +200,51 @@ func main() {
 					name, strings.Join(mpi.Collectives(), ", "))
 				os.Exit(1)
 			}
-			f, err := bench.CollAlgSweep(name, *np, *ppn, sz, *iters, tun)
+			names = append(names, name)
+		}
+
+		// Baseline modes measure flat AND the canonical contended fat tree,
+		// so one record set pins both sides of the topology crossovers.
+		if *collOut != "" || *collCompare != "" {
+			rep, err := bench.MeasureColl(names, *np, *ppn, sz, *iters)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, f := range bench.CollFigures(rep) {
+				fmt.Println(bench.FormatFigure(f))
+			}
+			if *collOut != "" {
+				if err := bench.WriteCollReport(*collOut, rep); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", *collOut)
+			}
+			if *collCompare != "" {
+				base, err := bench.ReadCollReport(*collCompare)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if errs := bench.CompareCollReports(base, rep, *collTolerance); len(errs) > 0 {
+					for _, e := range errs {
+						fmt.Fprintf(os.Stderr, "FAIL: %v\n", e)
+					}
+					os.Exit(1)
+				}
+				fmt.Printf("within tolerance of %s (%.0f%%)\n", *collCompare, 100**collTolerance)
+			}
+			return
+		}
+
+		sw, err := bench.ParseNet(*net)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, name := range names {
+			f, err := bench.CollAlgSweepNet(name, *np, *ppn, sw, sz, *iters, tun)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

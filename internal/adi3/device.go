@@ -28,8 +28,9 @@ type Device struct {
 	hca  *ib.HCA
 	prm  *model.Params
 
-	eng    *transport.Engine
-	nodeOf []int32 // node id per rank; nil = one rank per node
+	eng        *transport.Engine
+	nodeOf     []int32 // node id per rank; nil = one rank per node
+	rdmaDirect bool    // cluster-wide RDMA-direct collective capability
 }
 
 // NewDevice builds a device for rank of size ranks on the given adapter.
@@ -80,6 +81,17 @@ func (d *Device) Node() *model.Node { return d.node }
 
 // HCA returns the rank's adapter.
 func (d *Device) HCA() *ib.HCA { return d.hca }
+
+// SetRDMADirect records whether this cluster supports RDMA-direct
+// collectives (single-rail channel-design transport, no SRQ eager mode,
+// no armed fault plan). The cluster sets the same value on every rank's
+// device, so the algorithm registry's applicability predicate — which
+// every rank of a communicator must evaluate identically or the
+// collective deadlocks — stays a pure function of cluster-wide facts.
+func (d *Device) SetRDMADirect(ok bool) { d.rdmaDirect = ok }
+
+// RDMADirect reports the cluster-wide RDMA-direct collective capability.
+func (d *Device) RDMADirect() bool { return d.rdmaDirect }
 
 // OnErr returns the fatal-error callback endpoints are constructed with.
 func (d *Device) OnErr() func(error) { return d.eng.Fail }

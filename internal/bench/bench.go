@@ -10,6 +10,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/rdmachan"
 	"repro/internal/shmchan"
+	"repro/internal/switchfab"
 )
 
 // Point is one x/y sample of a series.
@@ -67,7 +68,8 @@ type Options struct {
 	Chan         rdmachan.Config
 	Shm          shmchan.Config
 	CH3Threshold int
-	Tuning       *mpi.Tuning // collective algorithm overrides (nil = default table)
+	Tuning       *mpi.Tuning       // collective algorithm overrides (nil = default table)
+	Switch       *switchfab.Config // route wires through a fat tree (nil = flat wire)
 	Params       *model.Params
 
 	// Observe, when set, runs against each measurement cluster after its
@@ -86,6 +88,7 @@ func (o Options) cluster(np int) *cluster.Cluster {
 		Shm:          o.Shm,
 		CH3Threshold: o.CH3Threshold,
 		Tuning:       o.Tuning,
+		Switch:       o.Switch,
 		Params:       o.Params,
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/switchfab"
 )
 
 // Collective algorithm sweeps: every registered algorithm of a collective
@@ -38,6 +39,19 @@ func collRunner(coll string, np, root int) func(comm *mpi.Comm, buf mpi.Buffer) 
 			recv, _ := comm.Alloc(maxInt(buf.Len*np, 8))
 			comm.Allgather(buf, recv)
 		}
+	case "allreduce":
+		return func(comm *mpi.Comm, buf mpi.Buffer) {
+			recv, _ := comm.Alloc(maxInt(buf.Len, 1))
+			comm.Allreduce(buf, mpi.Slice(recv, 0, buf.Len), mpi.Byte, mpi.Sum)
+		}
+	case "alltoall":
+		// buf is the per-destination block, as in allgather's per-rank view.
+		return func(comm *mpi.Comm, buf mpi.Buffer) {
+			n := maxInt(buf.Len, 1)
+			send, _ := comm.Alloc(n * np)
+			recv, _ := comm.Alloc(n * np)
+			comm.Alltoall(send, recv)
+		}
 	case "barrier":
 		return func(comm *mpi.Comm, buf mpi.Buffer) { comm.Barrier() }
 	}
@@ -51,6 +65,13 @@ func collRunner(coll string, np, root int) func(comm *mpi.Comm, buf mpi.Buffer) 
 // each series; a base algorithm forced for coll itself restricts the
 // sweep to that one series.
 func CollAlgSweep(coll string, np, cpn int, sizes []int, iters int, base mpi.Tuning) (Figure, error) {
+	return CollAlgSweepNet(coll, np, cpn, nil, sizes, iters, base)
+}
+
+// CollAlgSweepNet is CollAlgSweep with the wires routed through a fat
+// tree (nil sw = flat wire): the same registry sweep measured under
+// uplink contention, the data the topology-keyed tuning defaults rest on.
+func CollAlgSweepNet(coll string, np, cpn int, sw *switchfab.Config, sizes []int, iters int, base mpi.Tuning) (Figure, error) {
 	algs := mpi.AlgorithmNames(coll) // panics on unknown coll; callers validate
 	if alg := base.Forced(coll); alg != "" {
 		found := false
@@ -67,7 +88,8 @@ func CollAlgSweep(coll string, np, cpn int, sizes []int, iters int, base mpi.Tun
 	// name would silently fall back to the flat algorithm and mislabel
 	// its series. One probe launch asks the world communicator.
 	applicable := map[string]bool{}
-	probe := cluster.MustNew(cluster.Config{NP: np, CoresPerNode: cpn, Transport: cluster.TransportZeroCopy})
+	probe := cluster.MustNew(cluster.Config{NP: np, CoresPerNode: cpn,
+		Transport: cluster.TransportZeroCopy, Switch: sw})
 	probe.Launch(func(comm *mpi.Comm) {
 		if comm.Rank() != 0 {
 			return
@@ -92,15 +114,20 @@ func CollAlgSweep(coll string, np, cpn int, sizes []int, iters int, base mpi.Tun
 	if root >= np {
 		root = np - 1
 	}
+	net := "flat"
+	if sw != nil {
+		net = sw.Label()
+	}
 	f := Figure{
-		ID:     "coll-" + coll,
-		Title:  fmt.Sprintf("Collective algorithms: %s (%d ranks, %d per node, root %d)", coll, np, cpn, root),
+		ID: "coll-" + coll,
+		Title: fmt.Sprintf("Collective algorithms: %s (%d ranks, %d per node, root %d, net %s)",
+			coll, np, cpn, root, net),
 		XLabel: "message size (bytes)", YLabel: "time per call (µs)",
 	}
 	for _, a := range algs {
 		tun := base
 		tun.Force(coll, a)
-		o := Options{Transport: cluster.TransportZeroCopy, CoresPerNode: cpn, Tuning: &tun}
+		o := Options{Transport: cluster.TransportZeroCopy, CoresPerNode: cpn, Tuning: &tun, Switch: sw}
 		s := CollectiveTime(o, np, sizes, iters, collRunner(coll, np, root))
 		s.Name = coll + "/" + a
 		f.Series = append(f.Series, s)

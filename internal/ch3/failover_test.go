@@ -61,7 +61,13 @@ func runRendezvousExchange(t *testing.T, cfg cluster.Config) (sum uint64, took d
 // rail downed at offsets sweeping the whole transfer, checking the
 // checksum every time.
 func sweepRailLoss(t *testing.T, mk func(plan *fault.Plan) cluster.Config, rail int) {
-	want, took := runRendezvousExchange(t, mk(&fault.Plan{}))
+	sweepRailLossWith(t, mk, rail, runRendezvousExchange)
+}
+
+// sweepRailLossWith is sweepRailLoss over an arbitrary workload runner.
+func sweepRailLossWith(t *testing.T, mk func(plan *fault.Plan) cluster.Config, rail int,
+	run func(*testing.T, cluster.Config) (uint64, des.Time)) {
+	want, took := run(t, mk(&fault.Plan{}))
 	if want == 0 {
 		t.Fatal("degenerate failure-free checksum")
 	}
@@ -72,7 +78,7 @@ func sweepRailLoss(t *testing.T, mk func(plan *fault.Plan) cluster.Config, rail 
 	for off := des.Time(0); off <= took+step; off += step {
 		off := off
 		t.Run(fmt.Sprintf("down@%v", off), func(t *testing.T) {
-			got, _ := runRendezvousExchange(t, mk(&fault.Plan{Events: []fault.Event{
+			got, _ := run(t, mk(&fault.Plan{Events: []fault.Event{
 				{At: off, Kind: fault.HCADown, Node: 0, Rail: rail},
 				{At: off, Kind: fault.HCADown, Node: 1, Rail: rail},
 			}}))
@@ -113,6 +119,58 @@ func TestChunkStripeRailLossSweep(t *testing.T) {
 			Fault:        plan,
 		}
 	}, 1)
+}
+
+// runDirectAllreduceWindow runs three allreduce rounds with the tuning
+// table forcing allreduce/rdma-direct and returns a checksum over every
+// round's result on rank 1 plus the finish time. An armed fault plan
+// clears the cluster's RDMA-direct capability, so the forced algorithm
+// falls back to the flat path through the registry — the fallback under
+// test here.
+func runDirectAllreduceWindow(t *testing.T, cfg cluster.Config) (sum uint64, took des.Time) {
+	t.Helper()
+	cfg.NP = 2
+	tun := mpi.Tuning{Allreduce: "rdma-direct"}
+	cfg.Tuning = &tun
+	c := cluster.MustNew(cfg)
+	defer c.Close()
+	const n = 16 << 10 // elements; 128 KiB payload, several granule flights
+	c.Launch(func(comm *mpi.Comm) {
+		send, sb := comm.Alloc(8 * n)
+		recv, rb := comm.Alloc(8 * n)
+		for round := 0; round < 3; round++ {
+			for i := 0; i < n; i++ {
+				mpi.PutInt64(sb, i, int64(comm.Rank()+i+round))
+			}
+			comm.Allreduce(send, recv, mpi.Int64, mpi.Sum)
+			if comm.Rank() == 1 {
+				want := int64(1) // 0+1 rank contributions
+				if got := mpi.GetInt64(rb, 0); got != want+2*int64(round) {
+					t.Errorf("round %d: elem 0 = %d, want %d", round, got, want+2*int64(round))
+				}
+				sum = sum*1099511628211 ^ fnvSum(rb)
+			}
+		}
+	})
+	return sum, c.Now()
+}
+
+// TestRDMADirectRailLossSweep kills a rail at every window of an
+// allreduce sequence whose tuning forces the RDMA-direct path. The armed
+// fault plan drops the cluster's direct capability, so every round falls
+// back to the flat algorithms over the resilient SRQ stack — rail death
+// mid-collective must re-dial and complete with bit-identical results at
+// every failure instant.
+func TestRDMADirectRailLossSweep(t *testing.T) {
+	sweepRailLossWith(t, func(plan *fault.Plan) cluster.Config {
+		return cluster.Config{
+			Transport:    cluster.TransportZeroCopy,
+			ConnectMode:  cluster.ConnectLazy,
+			RailsPerNode: 2,
+			Chan:         rdmachan.Config{UseSRQ: true},
+			Fault:        plan,
+		}
+	}, 0, runDirectAllreduceWindow)
 }
 
 // TestSRQRefillUnderRailFlap drives an eager burst through a deliberately

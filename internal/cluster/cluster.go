@@ -14,6 +14,7 @@ import (
 	"repro/internal/rdmachan"
 	"repro/internal/regcache"
 	"repro/internal/shmchan"
+	"repro/internal/switchfab"
 	"repro/internal/transport"
 )
 
@@ -121,6 +122,16 @@ type Config struct {
 	// Params overrides the testbed cost model (nil = calibrated defaults).
 	Params *model.Params
 
+	// Switch replaces the flat per-link timing with a blocking two-level
+	// fat-tree fabric (internal/switchfab): nodes hang off leaf switches,
+	// cross-leaf granules pay switch hops plus per-uplink queueing, and
+	// alltoall/hotspot traffic actually collides. nil keeps the flat
+	// model, bit-identical to the pre-switch cluster. Each rail gets an
+	// independent plane. Under sharded execution the shard count is
+	// additionally clamped to the leaf count so every leaf's port clocks
+	// have a single owning engine (determinism; DESIGN.md §14).
+	Switch *switchfab.Config
+
 	// EngineQueue selects the simulation kernel's pending-event structure
 	// (des.QueueDefault = the calendar queue). The determinism cross-check
 	// suites run identical workloads under des.QueueHeap and
@@ -168,8 +179,9 @@ type Cluster struct {
 
 	nodeOf  []int32 // node id per rank
 	cfg     Config
-	rails   int             // resolved RailsPerNode (≥ 1)
-	chanCfg rdmachan.Config // Chan with the design resolved from Transport
+	rails   int               // resolved RailsPerNode (≥ 1)
+	chanCfg rdmachan.Config   // Chan with the design resolved from Transport
+	sw      *switchfab.Fabric // fat-tree fabric (nil = flat links)
 
 	grp       *des.Group // sharded execution group (nil = serial engine)
 	shards    int        // resolved shard count (≥ 1)
@@ -259,12 +271,24 @@ func New(cfg Config) (*Cluster, error) {
 		pairStarted: make(map[uint64]bool),
 	}
 	nNodes := (cfg.NP + cpn - 1) / cpn
+	if cfg.Switch != nil {
+		sw, err := switchfab.New(*cfg.Switch, nNodes, rails, prm.NetBandwidth)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.sw = sw
+	}
 	shards := cfg.Shards
 	if shards <= 0 {
 		shards = 1
 	}
 	if shards > nNodes {
 		shards = nNodes
+	}
+	if c.sw != nil && shards > c.sw.Leaves() {
+		// A leaf's uplink and downlink clocks must be touched by exactly
+		// one engine; shards therefore partition whole leaves.
+		shards = c.sw.Leaves()
 	}
 	if cfg.Fault != nil && len(cfg.Fault.Events) > 0 {
 		// Recovery paths (failover eviction, re-dial, retained-packet
@@ -281,7 +305,13 @@ func New(cfg Config) (*Cluster, error) {
 		c.Eng = c.grp.Global()
 		c.shardOf = make([]int32, nNodes)
 		for n := 0; n < nNodes; n++ {
-			c.shardOf[n] = int32(n * shards / nNodes)
+			if c.sw != nil {
+				// Leaf-aligned blocks: a leaf's nodes — and so its switch
+				// port clocks — all land on one shard.
+				c.shardOf[n] = int32(c.sw.LeafOf(n) * shards / c.sw.Leaves())
+			} else {
+				c.shardOf[n] = int32(n * shards / nNodes)
+			}
 		}
 	} else {
 		c.Eng = des.NewEngineWithQueue(cfg.EngineQueue)
@@ -308,16 +338,27 @@ func New(cfg Config) (*Cluster, error) {
 		set := make([]*ib.HCA, rails)
 		for k := 0; k < rails; k++ {
 			set[k] = c.Fabric.NewRailHCAOn(c.nodeEng(n), node, k)
+			if c.sw != nil {
+				set[k].AttachSwitch(c.sw.Plane(k), c.sw.LeafOf(n), c.sw.Config().HopLatency)
+			}
 		}
 		c.Rails = append(c.Rails, set)
 		c.HCAs = append(c.HCAs, set[0])
 	}
 	c.nodeOf = make([]int32, cfg.NP)
 	c.Devs = make([]*adi3.Device, 0, cfg.NP)
+	// RDMA-direct collectives ride the one-sided machinery: they need a
+	// channel-design transport exposing raw verbs resources on a single
+	// rail, outside the SRQ eager mode, and no armed fault plan (the
+	// direct exposure protocol has no mid-flight recovery; under faults
+	// the registry falls back to the two-sided algorithms, which do).
+	direct := !cfg.Chan.UseSRQ && rails == 1 && cfg.Fault == nil &&
+		cfg.Transport != TransportBasic
 	for r := 0; r < cfg.NP; r++ {
 		c.nodeOf[r] = int32(r / cpn)
 		c.Devs = append(c.Devs, adi3.NewDevice(int32(r), cfg.NP, c.HCAs[c.nodeOf[r]]))
 		c.Devs[r].SetTopology(c.nodeOf)
+		c.Devs[r].SetRDMADirect(direct)
 	}
 
 	c.chanCfg = c.cfg.Chan
@@ -435,6 +476,27 @@ func MustNew(cfg Config) *Cluster {
 // Shards returns the resolved shard count the cluster executes on (1 =
 // the serial engine, whether configured or forced by a fault plan).
 func (c *Cluster) Shards() int { return c.shards }
+
+// NetLabel names the cluster's network model — "flat" without a switch,
+// the fat-tree shape label (switchfab.Config.Label) otherwise. The
+// per-communicator tuning table keys on it, and benchmark reports carry
+// it so crossovers measured on different fabrics never compare.
+func (c *Cluster) NetLabel() string {
+	if c.sw == nil {
+		return "flat"
+	}
+	return c.sw.Label()
+}
+
+// SwitchStats returns the fabric's contention counters (zero value
+// without a switch). Call between runs, not mid-run: the counters are
+// owned by the shard engines.
+func (c *Cluster) SwitchStats() switchfab.Stats {
+	if c.sw == nil {
+		return switchfab.Stats{}
+	}
+	return c.sw.Stats()
+}
 
 // nodeEng returns the engine a node's hardware and processes run on: the
 // owning shard under sharded execution, the single engine otherwise.
@@ -829,6 +891,17 @@ func (c *Cluster) RegCacheStats() regcache.Stats {
 func (c *Cluster) Launch(body func(comm *mpi.Comm)) {
 	c.launchSeq++
 	gen := c.launchSeq
+	// Thread the network label into the collective tuning so the default
+	// table can key on topology (mpi.DefaultTuningFor); an explicit
+	// Config.Tuning is used as given, only stamped with the label when it
+	// does not pin one itself.
+	tun := mpi.DefaultTuningFor(c.NetLabel())
+	if c.cfg.Tuning != nil {
+		tun = *c.cfg.Tuning
+		if tun.Net == "" {
+			tun.Net = c.NetLabel()
+		}
+	}
 	for i := 0; i < c.cfg.NP; i++ {
 		dev := c.Devs[i]
 		// Rank processes run on their node's shard. The start events are
@@ -836,7 +909,7 @@ func (c *Cluster) Launch(body func(comm *mpi.Comm)) {
 		// schedule is independent of which engine each rank lands on.
 		c.nodeEng(int(c.nodeOf[i])).SpawnSeeded(des.Salt(rankSalt, gen, uint64(i)),
 			fmt.Sprintf("rank%d", i), func(p *des.Proc) {
-				body(mpi.NewWithTuning(p, dev, c.cfg.Tuning))
+				body(mpi.NewWithTuning(p, dev, &tun))
 			})
 	}
 	c.Eng.Run()

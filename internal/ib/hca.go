@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/model"
+	"repro/internal/switchfab"
 )
 
 // HCA is a simulated host channel adapter attached to one node. It owns
@@ -29,6 +30,13 @@ type HCA struct {
 	qps       []*QP    // every QP created on this adapter (fault fan-out)
 	down      bool     // link administratively down (LinkDown)
 	dropUntil des.Time // packet-drop window end (InjectDropBurst)
+
+	// Switch attachment (AttachSwitch). nil sw keeps the flat model: every
+	// crossing costs exactly WireLatency, bit-identical to the pre-switch
+	// code path.
+	sw   *switchfab.Plane
+	leaf int      // this adapter's leaf switch in sw
+	hop  des.Time // per-switch-hop latency on cross-leaf paths
 
 	rxq   des.Queue[rxItem]
 	readq des.Queue[*readRequest]
@@ -84,6 +92,59 @@ func (h *HCA) Bus() *model.Bus { return h.bus }
 
 // Down reports whether the adapter's link is down (fault injection).
 func (h *HCA) Down() bool { return h.down }
+
+// AttachSwitch routes this adapter's wire crossings through a switch
+// plane: the adapter hangs off the given leaf, and cross-leaf paths pay
+// two hops of latency plus per-port queueing. The cluster attaches rail
+// k's adapters to plane k during construction, before any traffic.
+func (h *HCA) AttachSwitch(sw *switchfab.Plane, leaf int, hop des.Time) {
+	h.sw, h.leaf, h.hop = sw, leaf, hop
+}
+
+// pathLatency is the contention-free first-byte latency from this
+// adapter to dst: the flat WireLatency inside a leaf (the leaf crossbar
+// is non-blocking, as the original 8-port InfiniScale testbed was), plus
+// two switch hops across leaves.
+func (h *HCA) pathLatency(dst *HCA) des.Time {
+	if h.sw == nil || h.sw != dst.sw || h.leaf == dst.leaf {
+		return h.prm.WireLatency
+	}
+	return h.prm.WireLatency + 2*h.hop
+}
+
+// crossCtl carries a control message (completion ack, read request, NAK)
+// to dst's engine after the path latency. Control traffic is headers:
+// it crosses the switch without booking uplink bandwidth.
+func (h *HCA) crossCtl(dst *HCA, fn func()) {
+	h.eng.AfterOn(dst.eng, h.pathLatency(dst), fn)
+}
+
+// crossData carries one payload granule into dst's receive queue. On a
+// cross-leaf path the granule books the source leaf's uplink chosen by
+// the destination route (queueing charged here, on the engine owning the
+// source leaf), crosses at the path latency plus that wait, then books
+// the destination leaf's matching downlink before entering dst's receive
+// path. Every cross-engine delay is >= WireLatency — the sharded group's
+// lookahead — so the conservative-window protocol is untouched; the
+// downlink wait is a destination-local After. Per-flow granule order
+// survives the variable delay because each port's departures are
+// strictly increasing (switchfab.portClock).
+func (h *HCA) crossData(dst *HCA, it rxItem) {
+	if h.sw == nil || h.sw != dst.sw || h.leaf == dst.leaf {
+		h.eng.AfterOn(dst.eng, h.prm.WireLatency, func() { dst.rxq.Put(it) })
+		return
+	}
+	port := h.sw.Route(dst.node.ID)
+	upWait := h.sw.Up(h.leaf, port, it.bytes, h.eng.Now())
+	h.eng.AfterOn(dst.eng, h.prm.WireLatency+2*h.hop+upWait, func() {
+		downWait := dst.sw.Down(dst.leaf, port, it.bytes, dst.eng.Now())
+		if downWait <= 0 {
+			dst.rxq.Put(it)
+			return
+		}
+		dst.eng.After(downWait, func() { dst.rxq.Put(it) })
+	})
+}
 
 // LinkDown fails the adapter's link: every connected queue pair through it
 // — and each one's remote peer — transitions to the error state with
@@ -205,7 +266,7 @@ func (h *HCA) runReadResponder(p *des.Proc) {
 		}
 		src, err := h.checkRemote(req.w.wr.RemoteAddr, req.length, req.w.wr.RKey, qp.peer.pd, need)
 		if err != nil {
-			h.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
+			h.crossCtl(qp.hca, func() {
 				qp.completeErr(req.w, StatusRemoteAccessErr)
 				qp.readSlots.Release(1)
 			})
@@ -246,12 +307,10 @@ func (h *HCA) runReadResponder(p *des.Proc) {
 		}
 
 		// Stream the response through the responder's bus; granules land at
-		// the requester one wire latency later.
+		// the requester one path latency (plus any switch queueing) later.
 		n := len(data)
 		if n == 0 {
-			h.eng.AfterOn(reqHCA.eng, prm.WireLatency, func() {
-				reqHCA.rxq.Put(rxItem{fn: deliver})
-			})
+			h.crossData(reqHCA, rxItem{fn: deliver})
 			continue
 		}
 		g := prm.BusGranule
@@ -265,10 +324,7 @@ func (h *HCA) runReadResponder(p *des.Proc) {
 			if off+chunk >= n {
 				fn = deliver
 			}
-			it := rxItem{bytes: chunk, fn: fn}
-			h.eng.AfterOn(reqHCA.eng, prm.WireLatency, func() {
-				reqHCA.rxq.Put(it)
-			})
+			h.crossData(reqHCA, rxItem{bytes: chunk, fn: fn})
 		}
 	}
 }

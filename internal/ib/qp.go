@@ -319,7 +319,7 @@ func (qp *QP) execWrite(p *des.Proc, w *sendWork) {
 		// wire, so it is scheduled onto the requester's engine.
 		copy(dst, data)
 		peer.hca.notifyMemWrite()
-		peer.hca.eng.AfterOn(qp.hca.eng, qp.hca.prm.WireLatency, func() {
+		peer.hca.crossCtl(qp.hca, func() {
 			cqe, has := qp.cqeFor(w, len(data))
 			qp.complete(seq, cqe, has)
 		})
@@ -390,7 +390,7 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 	// retry — completes in error without consuming a receive descriptor,
 	// preserving "error CQE means definitively not delivered".
 	if qp.state == QPError || peer.state == QPError {
-		peer.hca.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
+		peer.hca.crossCtl(qp.hca, func() {
 			qp.completeErr(w, StatusWRFlushErr)
 		})
 		return true
@@ -403,7 +403,7 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 			w.rnr++
 			limit := rnrRetryLimit(prm)
 			if limit < 7 && w.rnr > limit {
-				peer.hca.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
+				peer.hca.crossCtl(qp.hca, func() {
 					qp.completeErr(w, StatusRNRRetryExc)
 				})
 				return true // consumed (in error); later sends may proceed
@@ -436,14 +436,14 @@ func (qp *QP) tryDeliver(w *sendWork) bool {
 		peer.stats.ErrsCompleted++
 		peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusLocalProtErr, Op: OpRecv, QPNum: peer.num})
 		peer.fail()
-		peer.hca.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
+		peer.hca.crossCtl(qp.hca, func() {
 			qp.completeErr(w, StatusRemoteAccessErr)
 		})
 		return true
 	}
 	peer.rcq.insert(CQE{WRID: rwr.WRID, Status: StatusSuccess, Op: OpRecv, ByteLen: len(data), QPNum: peer.num})
 	peer.hca.notifyMemWrite()
-	peer.hca.eng.AfterOn(qp.hca.eng, prm.WireLatency, func() {
+	peer.hca.crossCtl(qp.hca, func() {
 		cqe, has := qp.cqeFor(w, len(data))
 		qp.complete(seq, cqe, has)
 	})
@@ -469,7 +469,7 @@ func (qp *QP) execRead(p *des.Proc, w *sendWork) {
 	qp.stats.BytesRead += uint64(need)
 	req := &readRequest{qp: qp, w: w, length: need}
 	peer := qp.peer
-	qp.hca.eng.AfterOn(peer.hca.eng, qp.hca.prm.WireLatency, func() {
+	qp.hca.crossCtl(peer.hca, func() {
 		peer.hca.readq.Put(req)
 	})
 }
@@ -489,22 +489,22 @@ func (qp *QP) execAtomic(p *des.Proc, w *sendWork) {
 	qp.readSlots.Acquire(p, 1)
 	req := &readRequest{qp: qp, w: w, length: 8, atomic: true}
 	peer := qp.peer
-	qp.hca.eng.AfterOn(peer.hca.eng, qp.hca.prm.WireLatency, func() {
+	qp.hca.crossCtl(peer.hca, func() {
 		peer.hca.readq.Put(req)
 	})
 }
 
 // inject streams n bytes through the local node's memory bus at the
 // network rate in bus granules; each granule is handed to the responder's
-// receive path one wire latency after it leaves. onLast runs at the
-// responder after the final granule has crossed the responder's bus.
-// Zero-length operations still traverse the wire as a single header.
+// receive path one path latency (plus any switch queueing) after it
+// leaves. onLast runs at the responder after the final granule has
+// crossed the responder's bus. Zero-length operations still traverse the
+// wire as a single header — through crossData, not crossCtl, so they
+// cannot overtake earlier payload granules of the same flow.
 func (qp *QP) inject(p *des.Proc, dst *HCA, n int, onLast func()) {
 	prm := qp.hca.prm
 	if n == 0 {
-		qp.hca.eng.AfterOn(dst.eng, prm.WireLatency, func() {
-			dst.rxq.Put(rxItem{bytes: 0, fn: onLast})
-		})
+		qp.hca.crossData(dst, rxItem{bytes: 0, fn: onLast})
 		return
 	}
 	bus := qp.hca.bus
@@ -520,10 +520,7 @@ func (qp *QP) inject(p *des.Proc, dst *HCA, n int, onLast func()) {
 		if isLast {
 			fn = onLast
 		}
-		it := rxItem{bytes: chunk, fn: fn}
-		qp.hca.eng.AfterOn(dst.eng, prm.WireLatency, func() {
-			dst.rxq.Put(it)
-		})
+		qp.hca.crossData(dst, rxItem{bytes: chunk, fn: fn})
 	}
 }
 

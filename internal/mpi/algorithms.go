@@ -26,6 +26,8 @@ type (
 	reduceFn    func(c *Comm, send, recv Buffer, dt Datatype, op Op, root int)
 	allgatherFn func(c *Comm, send, recv Buffer)
 	barrierFn   func(c *Comm)
+	allreduceFn func(c *Comm, send, recv Buffer, dt Datatype, op Op)
+	alltoallFn  func(c *Comm, send, recv Buffer)
 )
 
 // applicable predicates: whether an algorithm can run on this
@@ -37,6 +39,14 @@ func hierAllgatherOK(c *Comm) bool {
 	// block-contiguous rank placement within the communicator.
 	return c.t.multi && c.t.contiguous
 }
+
+// rdmaDirectOK gates the RDMA-direct collectives (rdmadirect.go). Every
+// rank of the communicator must evaluate it identically or the exposure
+// handshake deadlocks, so it is a pure function of cluster-wide facts —
+// the capability flag the cluster stamps on every device — and of the
+// communicator's topology: every member pair must be inter-node, because
+// co-located pairs ride shared memory and expose no raw verbs endpoint.
+func rdmaDirectOK(c *Comm) bool { return c.dev.RDMADirect() && !c.t.multi }
 
 type bcastEntry struct {
 	run bcastFn
@@ -54,14 +64,23 @@ type barrierEntry struct {
 	run barrierFn
 	ok  func(*Comm) bool
 }
+type allreduceEntry struct {
+	run allreduceFn
+	ok  func(*Comm) bool
+}
+type alltoallEntry struct {
+	run alltoallFn
+	ok  func(*Comm) bool
+}
 
 // The registries. Flat algorithms are the topology-oblivious defaults;
 // hierarchical ones split the collective into a leader level (one rank
 // per node, over the network) and a node level (over shared memory).
 var (
 	bcastAlgs = map[string]bcastEntry{
-		"binomial":    {run: (*Comm).FlatBcast, ok: alwaysOK},
-		"hier-leader": {run: (*Comm).hierBcast, ok: smpOK},
+		"binomial":          {run: (*Comm).FlatBcast, ok: alwaysOK},
+		"hier-leader":       {run: (*Comm).hierBcast, ok: smpOK},
+		"scatter-allgather": {run: (*Comm).saBcast, ok: alwaysOK},
 	}
 	reduceAlgs = map[string]reduceEntry{
 		"binomial": {run: (*Comm).FlatReduce, ok: alwaysOK},
@@ -75,6 +94,16 @@ var (
 		"dissemination": {run: (*Comm).FlatBarrier, ok: alwaysOK},
 		"hier":          {run: (*Comm).hierBarrier, ok: smpOK},
 	}
+	allreduceAlgs = map[string]allreduceEntry{
+		"reduce-bcast":       {run: (*Comm).FlatAllreduce, ok: alwaysOK},
+		"recursive-doubling": {run: (*Comm).rdAllreduce, ok: alwaysOK},
+		"rabenseifner":       {run: (*Comm).rabAllreduce, ok: alwaysOK},
+		"rdma-direct":        {run: (*Comm).directAllreduce, ok: rdmaDirectOK},
+	}
+	alltoallAlgs = map[string]alltoallEntry{
+		"pairwise":    {run: (*Comm).FlatAlltoall, ok: alwaysOK},
+		"rdma-direct": {run: (*Comm).directAlltoall, ok: rdmaDirectOK},
+	}
 )
 
 // Flat algorithm names, the fallbacks when a forced algorithm is
@@ -84,10 +113,14 @@ const (
 	flatReduce    = "binomial"
 	flatAllgather = "ring"
 	flatBarrier   = "dissemination"
+	flatAllreduce = "reduce-bcast"
+	flatAlltoall  = "pairwise"
 )
 
 // Collectives lists the collectives with registered algorithms.
-func Collectives() []string { return []string{"allgather", "barrier", "bcast", "reduce"} }
+func Collectives() []string {
+	return []string{"allgather", "allreduce", "alltoall", "barrier", "bcast", "reduce"}
+}
 
 // AlgorithmNames lists the registered algorithms of one collective,
 // sorted. It panics on an unknown collective.
@@ -108,6 +141,14 @@ func AlgorithmNames(coll string) []string {
 		}
 	case "barrier":
 		for n := range barrierAlgs {
+			names = append(names, n)
+		}
+	case "allreduce":
+		for n := range allreduceAlgs {
+			names = append(names, n)
+		}
+	case "alltoall":
+		for n := range alltoallAlgs {
 			names = append(names, n)
 		}
 	default:
@@ -135,10 +176,19 @@ func Algorithms() []string {
 // algorithm is inapplicable on the communicator's topology). Derived
 // communicators inherit their parent's tuning.
 type Tuning struct {
-	Bcast     string // "" | "binomial" | "hier-leader"
+	Bcast     string // "" | "binomial" | "hier-leader" | "scatter-allgather"
 	Reduce    string // "" | "binomial" | "hier"
 	Allgather string // "" | "ring" | "hier"
 	Barrier   string // "" | "dissemination" | "hier"
+	Allreduce string // "" | "reduce-bcast" | "recursive-doubling" | "rabenseifner" | "rdma-direct"
+	Alltoall  string // "" | "pairwise" | "rdma-direct"
+
+	// Net names the network model the table was keyed for: "" or "flat"
+	// for the flat per-link wire, or a switchfab label ("fattree-d4-u1").
+	// cluster.Launch stamps it from the topology it built; the default
+	// table consults it because the allreduce crossovers measured on the
+	// contended fat-tree differ from the flat-wire ones (DESIGN.md §14).
+	Net string
 
 	// ReduceHierCutoff is the message size in bytes at and above which the
 	// default table picks reduce/hier on SMP layouts; below it the flat
@@ -146,10 +196,34 @@ type Tuning struct {
 	// hierarchy serializes the intra-node stage. 0 means the measured
 	// default (hierReduceCutoff, DESIGN.md §6).
 	ReduceHierCutoff int
+
+	// AllreduceRabCutoff is the message size in bytes at and above which
+	// the default table on a fat-tree network picks allreduce/rabenseifner
+	// over recursive-doubling: Rabenseifner moves ~half the bytes per rank
+	// through the contended uplinks, which wins once serialization on the
+	// uplink ports dominates the extra startup latency of its two phases.
+	// 0 means the measured default (allreduceRabCutoff, DESIGN.md §14).
+	AllreduceRabCutoff int
 }
 
 // DefaultTuning is the table that reproduces the measured dispatch.
-func DefaultTuning() Tuning { return Tuning{ReduceHierCutoff: hierReduceCutoff} }
+func DefaultTuning() Tuning {
+	return Tuning{ReduceHierCutoff: hierReduceCutoff, AllreduceRabCutoff: allreduceRabCutoff}
+}
+
+// DefaultTuningFor returns the default table keyed for a network label —
+// cluster.Launch's entry point, so communicators on a fat-tree topology
+// re-measure their size crossovers against the contended switch model
+// instead of the flat wire.
+func DefaultTuningFor(net string) Tuning {
+	t := DefaultTuning()
+	t.Net = net
+	return t
+}
+
+// fattree reports whether the tuning was keyed for a blocking fat-tree
+// network (switchfab label).
+func (t Tuning) fattree() bool { return strings.HasPrefix(t.Net, "fattree") }
 
 // Forced returns the algorithm forced for one collective ("" = the
 // table). It panics on an unknown collective.
@@ -163,6 +237,10 @@ func (t Tuning) Forced(coll string) string {
 		return t.Allgather
 	case "barrier":
 		return t.Barrier
+	case "allreduce":
+		return t.Allreduce
+	case "alltoall":
+		return t.Alltoall
 	}
 	panic(fmt.Sprintf("mpi: unknown collective %q (have %s)",
 		coll, strings.Join(Collectives(), ", ")))
@@ -180,6 +258,10 @@ func (t *Tuning) Force(coll, alg string) {
 		t.Allgather = alg
 	case "barrier":
 		t.Barrier = alg
+	case "allreduce":
+		t.Allreduce = alg
+	case "alltoall":
+		t.Alltoall = alg
 	default:
 		panic(fmt.Sprintf("mpi: unknown collective %q (have %s)",
 			coll, strings.Join(Collectives(), ", ")))
@@ -190,6 +272,9 @@ func (t *Tuning) Force(coll, alg string) {
 func (t Tuning) withDefaults() Tuning {
 	if t.ReduceHierCutoff == 0 {
 		t.ReduceHierCutoff = hierReduceCutoff
+	}
+	if t.AllreduceRabCutoff == 0 {
+		t.AllreduceRabCutoff = allreduceRabCutoff
 	}
 	check := func(coll, name string) {
 		if name == "" {
@@ -207,6 +292,8 @@ func (t Tuning) withDefaults() Tuning {
 	check("reduce", t.Reduce)
 	check("allgather", t.Allgather)
 	check("barrier", t.Barrier)
+	check("allreduce", t.Allreduce)
+	check("alltoall", t.Alltoall)
 	return t
 }
 
@@ -232,6 +319,14 @@ func ParseTuning(s string) (Tuning, error) {
 			t.ReduceHierCutoff = n
 			continue
 		}
+		if k == "rab-cutoff" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return t, fmt.Errorf("mpi: bad rab-cutoff %q", v)
+			}
+			t.AllreduceRabCutoff = n
+			continue
+		}
 		valid := false
 		switch k {
 		case "bcast":
@@ -246,6 +341,12 @@ func ParseTuning(s string) (Tuning, error) {
 		case "barrier":
 			_, valid = barrierAlgs[v]
 			t.Barrier = v
+		case "allreduce":
+			_, valid = allreduceAlgs[v]
+			t.Allreduce = v
+		case "alltoall":
+			_, valid = alltoallAlgs[v]
+			t.Alltoall = v
 		default:
 			return t, fmt.Errorf("mpi: unknown collective %q (have %s)",
 				k, strings.Join(Collectives(), ", "))
@@ -280,6 +381,14 @@ func (c *Comm) AlgorithmApplicable(coll, alg string) bool {
 	case "barrier":
 		var e barrierEntry
 		e, found = barrierAlgs[alg]
+		ok = e.ok
+	case "allreduce":
+		var e allreduceEntry
+		e, found = allreduceAlgs[alg]
+		ok = e.ok
+	case "alltoall":
+		var e alltoallEntry
+		e, found = alltoallAlgs[alg]
 		ok = e.ok
 	default:
 		panic(fmt.Sprintf("mpi: unknown collective %q (have %s)",
@@ -342,4 +451,35 @@ func (c *Comm) pickBarrier() barrierFn {
 		return e.run
 	}
 	return barrierAlgs[flatBarrier].run
+}
+
+func (c *Comm) pickAllreduce(n int) allreduceFn {
+	name := c.tuning.Allreduce
+	if name == "" && c.tuning.fattree() {
+		// The fat-tree table: the reduce-then-bcast composition funnels the
+		// whole vector through rank 0's uplink twice, which the contended
+		// model punishes; the doubling/halving families spread the load
+		// across leaf uplinks (BENCH_coll.json, DESIGN.md §14).
+		if n >= c.tuning.AllreduceRabCutoff {
+			name = "rabenseifner"
+		} else {
+			name = "recursive-doubling"
+		}
+	}
+	if name != "" {
+		if e := allreduceAlgs[name]; e.ok(c) {
+			return e.run
+		}
+	}
+	return allreduceAlgs[flatAllreduce].run
+}
+
+func (c *Comm) pickAlltoall() alltoallFn {
+	name := c.tuning.Alltoall
+	if name != "" {
+		if e := alltoallAlgs[name]; e.ok(c) {
+			return e.run
+		}
+	}
+	return alltoallAlgs[flatAlltoall].run
 }

@@ -1,0 +1,186 @@
+package mpi_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+// Algorithm-equivalence harness: every registered algorithm of every
+// collective, forced through the tuning table, must produce results
+// bit-identical to the expected values on every test topology — at
+// non-power-of-two rank counts, across Int32/Float32/Float64 with
+// integer-valued data (so floating-point sums are exact and byte
+// comparison is meaningful), and again on a Split sub-communicator. A
+// forced algorithm that is inapplicable on a topology (hier on flat
+// layouts, rdma-direct on SMP ones) falls back to the flat default, so
+// every case must come out right on every topology either way.
+//
+// The forcing matrix packs one algorithm per collective into each launch
+// slot, padding shorter registries with repeats, so every (collective,
+// algorithm) pair runs on every topology while launching only
+// max-registry-size clusters per topology.
+
+func equivSlots() []mpi.Tuning {
+	maxAlgs := 0
+	for _, coll := range mpi.Collectives() {
+		if n := len(mpi.AlgorithmNames(coll)); n > maxAlgs {
+			maxAlgs = n
+		}
+	}
+	slots := make([]mpi.Tuning, maxAlgs)
+	for s := range slots {
+		for _, coll := range mpi.Collectives() {
+			names := mpi.AlgorithmNames(coll)
+			slots[s].Force(coll, names[s%len(names)])
+		}
+	}
+	return slots
+}
+
+var equivDatatypes = []struct {
+	name string
+	dt   mpi.Datatype
+	put  func(b []byte, i, v int)
+}{
+	{"int32", mpi.Int32, func(b []byte, i, v int) { mpi.PutInt32(b, i, int32(v)) }},
+	{"float32", mpi.Float32, func(b []byte, i, v int) { mpi.PutFloat32(b, i, float32(v)) }},
+	{"float64", mpi.Float64, func(b []byte, i, v int) { mpi.PutFloat64(b, i, float64(v)) }},
+}
+
+func TestCollAlgorithmEquivalence(t *testing.T) {
+	for _, tp := range collectiveTopologies {
+		tp := tp
+		for _, tun := range equivSlots() {
+			tun := tun
+			name := tp.name + "/allreduce=" + tun.Allreduce + ",bcast=" + tun.Bcast
+			t.Run(name, func(t *testing.T) {
+				c := cluster.MustNew(cluster.Config{
+					NP:           tp.np,
+					CoresPerNode: tp.cpn,
+					Transport:    cluster.TransportZeroCopy,
+					Tuning:       &tun,
+				})
+				defer c.Close()
+				c.Launch(func(comm *mpi.Comm) {
+					equivChecks(t, comm, "world")
+					// The same algorithms must hold on derived communicators:
+					// Split re-derives topology, contexts, and — for
+					// rdma-direct — a fresh exposure region over the member
+					// subset. Odd/even split yields non-trivial sub-groups on
+					// every test topology, including size-1 degenerates.
+					sub := comm.Split(comm.Rank()%2, comm.Rank())
+					equivChecks(t, sub, "split")
+				})
+			})
+		}
+	}
+}
+
+// equivChecks runs every collective once per datatype/size on comm and
+// compares results byte-for-byte against locally computed expectations.
+func equivChecks(t *testing.T, comm *mpi.Comm, label string) {
+	size, rank := comm.Size(), comm.Rank()
+
+	// Bcast: non-power-of-two payload exercises chunk tails in
+	// scatter-allgather; compare all bytes on all ranks.
+	const bn = 977
+	root := size - 1
+	buf, b := comm.Alloc(bn)
+	if rank == root {
+		for i := range b {
+			b[i] = byte(i*7 + 3)
+		}
+	}
+	comm.Bcast(buf, root)
+	for i := range b {
+		if b[i] != byte(i*7+3) {
+			t.Errorf("%s bcast: rank %d wrong byte at %d", label, rank, i)
+			break
+		}
+	}
+
+	comm.Barrier()
+
+	for _, dc := range equivDatatypes {
+		es := dc.dt.Size()
+
+		// Reduce at a non-zero root.
+		const rn = 13
+		send, sb := comm.Alloc(rn * es)
+		recv, rb := comm.Alloc(rn * es)
+		want := make([]byte, rn*es)
+		for i := 0; i < rn; i++ {
+			dc.put(sb, i, rank+i+1)
+			dc.put(want, i, size*(size-1)/2+size*(i+1)) // sum over ranks of rank+i+1
+		}
+		comm.Reduce(send, recv, dc.dt, mpi.Sum, root)
+		if rank == root && !bytes.Equal(rb, want) {
+			t.Errorf("%s reduce/%s: rank %d result differs from expectation", label, dc.name, rank)
+		}
+
+		// Allreduce at element counts below and above the power-of-two
+		// participant count, so Rabenseifner's range arithmetic sees both
+		// zero-size and uneven chunks.
+		for _, an := range []int{3, 50} {
+			asend, asb := comm.Alloc(an * es)
+			arecv, arb := comm.Alloc(an * es)
+			awant := make([]byte, an*es)
+			for i := 0; i < an; i++ {
+				dc.put(asb, i, rank+i+1)
+				dc.put(awant, i, size*(size-1)/2+size*(i+1))
+			}
+			comm.Allreduce(asend, arecv, dc.dt, mpi.Sum)
+			if !bytes.Equal(arb, awant) {
+				t.Errorf("%s allreduce/%s n=%d: rank %d result differs", label, dc.name, an, rank)
+			}
+			for i := 0; i < an; i++ {
+				dc.put(awant, i, rank+i+1)
+			}
+			if !bytes.Equal(asb, awant) {
+				t.Errorf("%s allreduce/%s n=%d: rank %d send buffer clobbered", label, dc.name, an, rank)
+			}
+		}
+	}
+
+	// Allgather.
+	const gn = 33
+	gsend, gsb := comm.Alloc(gn)
+	grecv, grb := comm.Alloc(gn * size)
+	for i := range gsb {
+		gsb[i] = byte(rank*11 + i)
+	}
+	comm.Allgather(gsend, grecv)
+	for r := 0; r < size; r++ {
+		for i := 0; i < gn; i++ {
+			if grb[r*gn+i] != byte(r*11+i) {
+				t.Errorf("%s allgather: rank %d block %d wrong at %d", label, rank, r, i)
+				return
+			}
+		}
+	}
+
+	// Alltoall: block (src,dst,i) fingerprints catch both misrouted and
+	// misplaced blocks.
+	const an = 24
+	asend, asb := comm.Alloc(an * size)
+	arecv, arb := comm.Alloc(an * size)
+	for dst := 0; dst < size; dst++ {
+		for i := 0; i < an; i++ {
+			asb[dst*an+i] = byte(rank*131 + dst*17 + i)
+		}
+	}
+	comm.Alltoall(asend, arecv)
+	for src := 0; src < size; src++ {
+		for i := 0; i < an; i++ {
+			if arb[src*an+i] != byte(src*131+rank*17+i) {
+				t.Errorf("%s alltoall: rank %d block from %d wrong at %d", label, rank, src, i)
+				return
+			}
+		}
+	}
+
+	comm.Barrier()
+}

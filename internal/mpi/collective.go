@@ -24,6 +24,13 @@ const (
 	tagHBarrierUp
 	tagHBarrierDissem
 	tagHBarrierDown
+	tagARFold    // allreduce pre/post fold to a power-of-two participant set
+	tagARDouble  // allreduce recursive-doubling exchange
+	tagRabRS     // rabenseifner reduce-scatter (recursive halving)
+	tagRabAG     // rabenseifner allgather (recursive doubling)
+	tagSAScatter // scatter-allgather bcast: binomial scatter stage
+	tagSARing    // scatter-allgather bcast: ring allgatherv stage
+	tagXAddr     // RDMA-direct exposure region addr/rkey exchange
 )
 
 // scratch holds the reusable per-comm buffers the collective algorithms
@@ -126,13 +133,26 @@ func (c *Comm) chargeReduceFlops(n int, dt Datatype) {
 	c.Compute(float64(n / dt.Size()))
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast, the classic simple
-// algorithm (adequate at 8 ranks).
+// Allreduce combines send buffers elementwise into recv on every rank
+// through the tuned algorithm. The flat default is reduce-then-bcast; on
+// fat-tree topologies the default table picks the doubling/halving
+// families, whose crossover BENCH_coll.json re-measures on the contended
+// switch model.
 func (c *Comm) Allreduce(send, recv Buffer, dt Datatype, op Op) {
-	c.Reduce(send, recv, dt, op, 0)
-	if c.Rank() != 0 && recv.Len != send.Len {
+	if recv.Len != send.Len {
 		panic("mpi: Allreduce needs a full recv buffer on every rank")
 	}
+	if c.Size() == 1 {
+		copy(c.Bytes(recv), c.Bytes(send))
+		return
+	}
+	c.pickAllreduce(send.Len)(c, send, recv, dt, op)
+}
+
+// FlatAllreduce is Reduce to rank 0 followed by Bcast, the classic simple
+// algorithm (allreduce/reduce-bcast; adequate at 8 ranks on a flat wire).
+func (c *Comm) FlatAllreduce(send, recv Buffer, dt Datatype, op Op) {
+	c.Reduce(send, recv, dt, op, 0)
 	c.Bcast(recv, 0)
 }
 
@@ -208,13 +228,21 @@ func (c *Comm) FlatAllgather(send, recv Buffer) {
 	}
 }
 
-// Alltoall exchanges equal-size blocks between all rank pairs (pairwise
-// exchange schedule).
+// Alltoall exchanges equal-size blocks between all rank pairs through the
+// tuned algorithm (alltoall/pairwise by default).
 func (c *Comm) Alltoall(send, recv Buffer) {
-	size, rank := c.Size(), c.Rank()
+	size := c.Size()
 	if send.Len%size != 0 || recv.Len != send.Len {
 		panic("mpi: Alltoall buffers must be size-divisible and equal")
 	}
+	c.pickAlltoall()(c, send, recv)
+}
+
+// FlatAlltoall is the pairwise exchange schedule (alltoall/pairwise): at
+// step k every rank sends to rank+k and receives from rank-k, so each
+// step is a perfect matching and no rank is ever oversubscribed.
+func (c *Comm) FlatAlltoall(send, recv Buffer) {
+	size, rank := c.Size(), c.Rank()
 	n := send.Len / size
 	copy(c.Bytes(Slice(recv, rank*n, n)), c.Bytes(Slice(send, rank*n, n)))
 	for step := 1; step < size; step++ {

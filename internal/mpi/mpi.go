@@ -54,6 +54,8 @@ type Comm struct {
 
 	scr    scratch // reusable per-comm collective scratch buffers
 	allocs int     // Alloc call count (scratch-reuse test hook)
+
+	direct *rdmaDirect // lazily built RDMA-direct exposure (rdmadirect.go)
 }
 
 // New binds a world communicator handle to a device and its process.

@@ -1,0 +1,331 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ib"
+	"repro/internal/rdmachan"
+)
+
+// RDMA-direct collectives: the paper's RDMA fast path applied to whole
+// collective schedules instead of single messages. Each communicator
+// lazily exposes a registered slot region on every rank; algorithm steps
+// then move payloads with one RDMA write straight from the sender's
+// buffer into the receiver's pre-exposed slot — no eager copy through the
+// channel ring, no rendezvous handshake — and publish each payload with a
+// second 8-byte flag write the receiver polls, exactly the remote-write
+// completion detection the channel design uses for its own ring.
+//
+// Correctness leans on two orderings the fabric model provides. First,
+// two writes posted on one queue pair apply in order (the send engine
+// serializes granules and the switch model preserves per-flow granule
+// order), so a flag can never overtake its payload. Second, a writer's
+// completion fires only after the remote apply, so draining our own
+// completions before touching local buffers makes reuse safe.
+//
+// Slot reuse across calls is guarded by call-parity double buffering:
+// call k uses slot bank k mod 2 within its algorithm family's dedicated
+// slot area (areas are a pure function of the communicator size, so
+// interleaved allreduce/alltoall calls never alias each other's bytes),
+// and the flag value is the per-comm call sequence number, never reused.
+// A single bank is provably racy — a partner can post its call-k+1 write
+// before we read its call-k slot — but two suffice: completing any direct
+// call causally requires every rank to have posted its initial write for
+// that call, hence to have finished the call before it outright
+// (alltoall receives from everyone; an allreduce result data-depends on
+// every rank's fold-in), so a same-bank writer at call k+2 can only exist
+// once every call-k slot has been read.
+//
+// Applicability (rdmaDirectOK) requires the cluster-wide capability flag
+// — single rail, channel-design transport, no SRQ eager mode, no armed
+// fault plan — and an all-inter-node communicator. Under an armed fault
+// plan the flag is down, so a tuning table forcing "rdma-direct" falls
+// back to the flat algorithms through the registry's standard fallback:
+// that is the failover story the rail-loss sweep asserts.
+
+// wridDirect marks RDMA-direct collective work requests in completion
+// handling, distinct from the one-sided window WRID.
+const wridDirect = 0x0D1C
+
+// rdmaDirect is a communicator's exposure state. The region is a row of
+// slots, each slotSize payload bytes plus an 8-byte flag, split into two
+// parity banks of slots/2 lanes each.
+type rdmaDirect struct {
+	slotSize int // payload bytes per slot (power of two, grow-only)
+	slots    int // total slots, both parity banks (grow-only)
+	region   Buffer
+	seq      uint64 // collective call counter; the published flag value
+	peers    []directPeer
+
+	outstanding int // signaled RDMA writes awaiting completion
+	failed      error
+	calls       int    // completed RDMA-direct collectives (test hook)
+	flagSrc     Buffer // 8-byte staging cell the flag writes gather from
+}
+
+type directPeer struct {
+	raw   rdmachan.RawAccess
+	mr    *ib.MR // region registration under this connection's PD
+	rAddr uint64 // peer region base
+	rKey  uint32
+}
+
+func (x *rdmaDirect) stride() int { return x.slotSize + 8 }
+
+// ensureDirect returns the communicator's exposure state, (re)building it
+// when a call needs larger slots or more of them. Every rank computes the
+// same (minSlot, nSlots) from the same collective arguments and carries
+// the same grow-only state, so all ranks agree on whether to rebuild —
+// the rebuild's pairwise address exchange is itself collective. A rebuild
+// is safe mid-stream: every direct collective drains its writes before
+// returning, so no write targeting the old region is still in flight when
+// any rank enters the exchange.
+func (c *Comm) ensureDirect(minSlot, nSlots int) *rdmaDirect {
+	x := c.direct
+	if x == nil {
+		x = &rdmaDirect{peers: make([]directPeer, c.Size())}
+		c.direct = x
+	}
+	if x.slotSize >= minSlot && x.slots >= nSlots {
+		x.install(c)
+		return x
+	}
+	for x.slotSize < minSlot {
+		if x.slotSize == 0 {
+			x.slotSize = 64
+			continue
+		}
+		x.slotSize *= 2
+	}
+	x.slots = max(x.slots, nSlots)
+	x.region, _ = c.Alloc(x.slots * x.stride()) // zero-filled: flags start clear
+	if x.flagSrc.Len == 0 {
+		x.flagSrc, _ = c.Alloc(8)
+	}
+	np, rank := c.Size(), c.Rank()
+	for peer := 0; peer < np; peer++ {
+		if peer == rank {
+			continue
+		}
+		c.dev.EnsureConnected(c.p, c.world(peer))
+		raw, err := rawOf(c.dev.Endpoint(c.world(peer)))
+		if err != nil {
+			// rdmaDirectOK vouched for every connection; a raw-less endpoint
+			// here is a capability-flag bug, not a runtime condition.
+			panic(fmt.Sprintf("mpi: rdma-direct on incapable connection to rank %d: %v", peer, err))
+		}
+		mr, err := c.dev.HCA().RegisterMR(c.p, raw.RawPD(), x.region.Addr, x.region.Len,
+			ib.AccessLocalWrite|ib.AccessRemoteWrite)
+		if err != nil {
+			panic(fmt.Sprintf("mpi: rdma-direct region registration: %v", err))
+		}
+		x.peers[peer] = directPeer{raw: raw, mr: mr}
+
+		// Exchange region addresses on the collective context. Receiving a
+		// peer's (addr, rkey) implies the peer registered first, so a write
+		// can never race its target's registration; no barrier needed.
+		sb, sbb := c.Alloc(16)
+		rb, rbb := c.Alloc(16)
+		PutInt64(sbb, 0, int64(x.region.Addr))
+		PutInt64(sbb, 1, int64(mr.RKey()))
+		c.Sendrecv2(sb, peer, rb, peer, tagXAddr)
+		x.peers[peer].rAddr = uint64(GetInt64(rbb, 0))
+		x.peers[peer].rKey = uint32(GetInt64(rbb, 1))
+	}
+	x.install(c)
+	return x
+}
+
+// install claims the used connections' foreign-completion hooks. Runs at
+// every call start: a one-sided window (or another communicator's
+// exposure) sharing a connection may have claimed the hook since our last
+// call — the same one-owner-at-a-time restriction windows carry.
+func (x *rdmaDirect) install(c *Comm) {
+	for peer := range x.peers {
+		pr := &x.peers[peer]
+		if pr.raw == nil {
+			continue
+		}
+		pr.raw.SetForeignCQE(func(_ *des.Proc, cqe ib.CQE) {
+			x.outstanding--
+			if cqe.Status != ib.StatusSuccess && x.failed == nil {
+				x.failed = fmt.Errorf("mpi: rdma-direct wr %#x failed: %v", cqe.WRID, cqe.Status)
+			}
+		})
+	}
+}
+
+// putData writes local into slot of peer's region (payload area).
+func (x *rdmaDirect) putData(c *Comm, peer, slot int, local Buffer) {
+	if local.Len == 0 {
+		return
+	}
+	x.post(c, peer, local, slot*x.stride())
+}
+
+// putFlag publishes slot to peer: writes the current call sequence into
+// the slot's flag word. Posted on the same queue pair after the payload,
+// so it applies after the payload.
+func (x *rdmaDirect) putFlag(c *Comm, peer, slot int) {
+	PutInt64(c.Bytes(x.flagSrc), 0, int64(x.seq))
+	x.post(c, peer, x.flagSrc, slot*x.stride()+x.slotSize)
+}
+
+func (x *rdmaDirect) post(c *Comm, peer int, local Buffer, off int) {
+	pr := &x.peers[peer]
+	mr, _, err := pr.raw.RegCache().Register(c.p, local.Addr, local.Len)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rdma-direct source registration: %v", err))
+	}
+	pr.raw.RawQP().PostSend(c.p, ib.SendWR{
+		WRID: wridDirect, Op: ib.OpRDMAWrite, Signaled: true,
+		SGL:        []ib.SGE{{Addr: local.Addr, Len: local.Len, LKey: mr.LKey()}},
+		RemoteAddr: pr.rAddr + uint64(off), RKey: pr.rKey,
+	})
+	x.outstanding++
+	if err := pr.raw.RegCache().Release(c.p, mr); err != nil {
+		panic(fmt.Sprintf("mpi: rdma-direct registration release: %v", err))
+	}
+}
+
+// drain drives progress until all our writes completed remotely. After it
+// returns, local source buffers may be reused (the gather happened) and
+// our payloads are visible at their targets (the apply happened).
+func (x *rdmaDirect) drain(c *Comm) {
+	for x.outstanding > 0 {
+		seq := c.dev.HCA().MemEventSeq()
+		c.dev.Progress(c.p, false)
+		if x.outstanding <= 0 {
+			break
+		}
+		c.dev.HCA().WaitMemEventSince(c.p, seq)
+	}
+	if x.failed != nil {
+		panic(x.failed)
+	}
+}
+
+// await polls slot's flag word until it carries the current call sequence
+// — the channel design's poll-on-last-byte, one level up.
+func (x *rdmaDirect) await(c *Comm, slot int) {
+	fb := c.Bytes(Slice(x.region, slot*x.stride()+x.slotSize, 8))
+	want := int64(x.seq)
+	c.dev.HCA().WaitMemory(c.p, func() bool { return GetInt64(fb, 0) == want })
+}
+
+// slotBytes resolves slot's first n payload bytes.
+func (x *rdmaDirect) slotBytes(c *Comm, slot, n int) []byte {
+	return c.Bytes(Slice(x.region, slot*x.stride(), n))
+}
+
+// directSlotPlan lays out the region's slot areas: the allreduce family
+// owns slots [0, 2·arLanes), the alltoall family [2·arLanes, total), each
+// split into two parity banks. Pure function of the communicator size.
+func (c *Comm) directSlotPlan() (arLanes, total int) {
+	size := c.Size()
+	pof2 := pof2Below(size)
+	steps := 0
+	for m := 1; m < pof2; m <<= 1 {
+		steps++
+	}
+	arLanes = steps + 2
+	return arLanes, 2*arLanes + 2*size
+}
+
+// RDMADirectCalls reports how many collectives completed on the
+// RDMA-direct path on this communicator — the positive proof, used by
+// tests, that a forced "rdma-direct" tuning actually took the direct path
+// rather than falling back.
+func (c *Comm) RDMADirectCalls() int {
+	if c.direct == nil {
+		return 0
+	}
+	return c.direct.calls
+}
+
+// directAllreduce is allreduce/rdma-direct: the recursive-doubling
+// schedule with every exchange a pre-exposed RDMA write. Lane layout per
+// parity bank: lane 0 receives the fold-in contribution, lanes 1..steps
+// the doubling exchanges, lane steps+1 the finished result on the way
+// back to the folded-out evens.
+func (c *Comm) directAllreduce(send, recv Buffer, dt Datatype, op Op) {
+	size, rank, n := c.Size(), c.Rank(), send.Len
+	pof2 := pof2Below(size)
+	rem := size - pof2
+	lanes, total := c.directSlotPlan()
+	x := c.ensureDirect(n, total)
+	x.seq++
+	base := int(x.seq&1) * lanes
+
+	acc := c.scratch(&c.scr.acc, n)
+	copy(c.Bytes(acc), c.Bytes(send))
+
+	vrank := rank - rem
+	if rank < 2*rem {
+		if rank%2 == 0 {
+			x.putData(c, rank+1, base, acc)
+			x.putFlag(c, rank+1, base)
+			x.drain(c)
+			vrank = -1
+		} else {
+			x.await(c, base)
+			reduce(c.Bytes(acc), x.slotBytes(c, base, n), dt, op)
+			c.chargeReduceFlops(n, dt)
+			vrank = rank / 2
+		}
+	}
+	if vrank != -1 {
+		lane := 1
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peer := foldReal(vrank^mask, rem)
+			x.putData(c, peer, base+lane, acc)
+			x.putFlag(c, peer, base+lane)
+			x.drain(c) // acc is rewritten next; the write must have gathered
+			x.await(c, base+lane)
+			reduce(c.Bytes(acc), x.slotBytes(c, base+lane, n), dt, op)
+			c.chargeReduceFlops(n, dt)
+			lane++
+		}
+	}
+	if rank < 2*rem && rank%2 == 0 {
+		x.await(c, base+lanes-1)
+		copy(c.Bytes(recv), x.slotBytes(c, base+lanes-1, n))
+	} else {
+		if rank < 2*rem {
+			x.putData(c, rank-1, base+lanes-1, acc)
+			x.putFlag(c, rank-1, base+lanes-1)
+			x.drain(c)
+		}
+		copy(c.Bytes(recv), c.Bytes(acc))
+	}
+	x.calls++
+}
+
+// directAlltoall is alltoall/rdma-direct: every rank writes block i
+// straight into rank i's lane for this source rank, publishes it, and
+// polls its own lanes — the pairwise schedule's messages without its
+// lockstep send/receive coupling, so a slow uplink stalls only the
+// writers crossing it.
+func (c *Comm) directAlltoall(send, recv Buffer) {
+	size, rank := c.Size(), c.Rank()
+	n := send.Len / size
+	arLanes, total := c.directSlotPlan()
+	x := c.ensureDirect(n, total)
+	x.seq++
+	base := 2*arLanes + int(x.seq&1)*size
+
+	copy(c.Bytes(Slice(recv, rank*n, n)), c.Bytes(Slice(send, rank*n, n)))
+	for step := 1; step < size; step++ {
+		to := (rank + step) % size
+		x.putData(c, to, base+rank, Slice(send, to*n, n))
+		x.putFlag(c, to, base+rank)
+	}
+	x.drain(c)
+	for step := 1; step < size; step++ {
+		from := (rank - step + size) % size
+		x.await(c, base+from)
+		copy(c.Bytes(Slice(recv, from*n, n)), x.slotBytes(c, base+from, n))
+	}
+	x.calls++
+}

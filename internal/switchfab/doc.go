@@ -1,0 +1,21 @@
+// Package switchfab models a blocking two-level fat-tree switch fabric.
+//
+// The flat network model charges every wire crossing the same
+// WireLatency, which makes the fabric non-blocking by construction:
+// alltoall and hotspot traffic never collide, so there is nothing for a
+// collective tuning table to tune against. This package replaces that
+// with a leaf/spine tree: nodes hang off leaf switches, leaves reach each
+// other through a configurable number of uplinks, and each uplink (and
+// the matching spine-to-leaf downlink) is a virtual-clock FIFO port.
+// Cross-leaf granules pay two switch hops of latency plus whatever
+// queueing the shared ports impose; same-leaf traffic stays at the flat
+// WireLatency, so a cluster whose ranks fit one leaf is bit-identical to
+// the flat model.
+//
+// Determinism under sharded execution is structural, not locked: the
+// cluster assigns whole leaves to DES shards, so every port clock is
+// owned by exactly one engine (uplinks and leaf downlinks both belong to
+// the leaf's engine). Because all cross-leaf delays are at least the flat
+// WireLatency — the sharded group's lookahead — the conservative-window
+// protocol needs no changes. See DESIGN.md §14.
+package switchfab
